@@ -1,0 +1,35 @@
+"""Shared reporting for the benchmark harness.
+
+Every bench module regenerates one of the paper's tables/figures.  Besides
+the pytest-benchmark timings, each writes its reproduced artefact (a
+formatted text table or ASCII region map) into ``benchmarks/results/`` so
+the paper-vs-measured comparison survives the run.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def write_report(name: str, text: str) -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text)
+    return path
+
+
+def format_table(headers: list[str], rows: list[list[str]], title: str = "") -> str:
+    widths = [
+        max(len(str(h)), *(len(str(r[i])) for r in rows)) if rows else len(str(h))
+        for i, h in enumerate(headers)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append("  ".join(str(c).ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,140 @@
+"""Reproduce the paper's §5/§6 headline claims on the *simulator* (not just
+the closed forms): who wins, by what factor, where the crossovers fall.
+
+These are the claims:
+
+1. 3DD ≥ DNS and 3D All ≥ 3D All_Trans for both port models, any (n, p)
+   — the reason the paper only carries the two new algorithms forward.
+2. 3D All has the least communication overhead among all applicable
+   algorithms for p ≥ 8, p ≤ n^1.5 (both port models).
+3. HJE beats Cannon on multi-port machines wherever applicable.
+4. In n^1.5 < p ≤ n², 3DD beats Cannon at t_s=150/t_w=3 but loses at
+   very small t_s.
+
+Written to ``benchmarks/results/claims.txt``.
+"""
+
+import pytest
+
+from _report import format_table, write_report
+from repro.analysis.measure import measure_comm_time
+from repro.sim import PortModel
+
+ONE, MULTI = PortModel.ONE_PORT, PortModel.MULTI_PORT
+TS, TW = 150.0, 3.0
+
+_rows: list[list[str]] = []
+
+
+def _note(claim, detail, holds):
+    row = [claim, detail, "HOLDS" if holds else "VIOLATED"]
+    if row not in _rows:  # benchmarked closures run repeatedly; record once
+        _rows.append(row)
+    return holds
+
+
+@pytest.mark.parametrize("port", [ONE, MULTI], ids=str)
+def test_claim_new_algorithms_dominate_predecessors(benchmark, port):
+    def check():
+        ok = True
+        for n, p in [(16, 8), (32, 64), (64, 64)]:
+            t_3dd = measure_comm_time("3dd", n, p, port, TS, TW)
+            t_dns = measure_comm_time("dns", n, p, port, TS, TW)
+            ok &= _note(
+                "3DD <= DNS", f"n={n} p={p} {port}: {t_3dd:.0f} vs {t_dns:.0f}",
+                t_3dd <= t_dns,
+            )
+            t_all = measure_comm_time("3d_all", n, p, port, TS, TW)
+            t_trans = measure_comm_time("3d_all_trans", n, p, port, TS, TW)
+            ok &= _note(
+                "3D All <= All_Trans",
+                f"n={n} p={p} {port}: {t_all:.0f} vs {t_trans:.0f}",
+                t_all <= t_trans,
+            )
+        return ok
+
+    assert benchmark(check)
+
+
+@pytest.mark.parametrize("port", [ONE, MULTI], ids=str)
+def test_claim_3d_all_least_overhead_in_region(benchmark, port):
+    def check():
+        ok = True
+        for n, p in [(16, 8), (32, 64), (64, 64), (64, 512)]:
+            if p > n ** 1.5:
+                continue
+            t_all = measure_comm_time("3d_all", n, p, port, TS, TW)
+            rivals = ["berntsen", "3dd", "dns", "3d_all_trans"]
+            if (p ** 0.5).is_integer() and round(p ** 0.5) ** 2 == p:
+                rivals.append("cannon")
+            for rival in rivals:
+                try:
+                    t_rival = measure_comm_time(rival, n, p, port, TS, TW)
+                except Exception:
+                    continue
+                ok &= _note(
+                    "3D All best in region",
+                    f"vs {rival} n={n} p={p} {port}: "
+                    f"{t_all:.0f} vs {t_rival:.0f}",
+                    t_all <= t_rival,
+                )
+        return ok
+
+    assert benchmark(check)
+
+
+def test_claim_hje_beats_cannon_multiport(benchmark):
+    def check():
+        ok = True
+        for n, p in [(32, 16), (64, 64), (128, 64)]:
+            t_hje = measure_comm_time("hje", n, p, MULTI, TS, TW)
+            t_cannon = measure_comm_time("cannon", n, p, MULTI, TS, TW)
+            ok &= _note(
+                "HJE < Cannon (multi-port)",
+                f"n={n} p={p}: {t_hje:.0f} vs {t_cannon:.0f}",
+                t_hje < t_cannon,
+            )
+        return ok
+
+    assert benchmark(check)
+
+
+def test_claim_middle_band_crossover(benchmark):
+    """n^1.5 < p <= n^2: 3DD wins at t_s=150 and loses at t_s ~ 0."""
+
+    def check():
+        n, p = 8, 64  # p = n^2, above n^1.5 ≈ 22.6
+        slow_start = [
+            measure_comm_time("3dd", n, p, ONE, 150, 3),
+            measure_comm_time("cannon", n, p, ONE, 150, 3),
+        ]
+        free_start = [
+            measure_comm_time("3dd", n, p, ONE, 0.01, 3),
+            measure_comm_time("cannon", n, p, ONE, 0.01, 3),
+        ]
+        ok = _note(
+            "3DD < Cannon at t_s=150",
+            f"n={n} p={p}: {slow_start[0]:.0f} vs {slow_start[1]:.0f}",
+            slow_start[0] < slow_start[1],
+        )
+        ok &= _note(
+            "Cannon < 3DD at t_s→0",
+            f"n={n} p={p}: {free_start[1]:.2f} vs {free_start[0]:.2f}",
+            free_start[1] < free_start[0],
+        )
+        return ok
+
+    assert benchmark(check)
+
+
+def test_write_claims_report(benchmark):
+    def render():
+        return format_table(
+            ["claim", "instance", "verdict"],
+            _rows,
+            title="Paper claims verified on the simulator "
+            f"(t_s={TS:g}, t_w={TW:g} unless stated)",
+        )
+
+    text = benchmark(render)
+    assert write_report("claims", text).exists()

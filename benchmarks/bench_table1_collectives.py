@@ -1,0 +1,117 @@
+"""Reproduce **Table 1**: optimal collective costs on an N-node hypercube.
+
+For every collective pattern and port model, run the executable schedule on
+the simulator and extract the measured ``(t_s-term, t_w-term)`` pair by
+running once with ``(t_s, t_w) = (1, 0)`` and once with ``(0, 1)``; compare
+against the closed forms (``log N``, ``M log N``, ``(N-1)M``, …).
+
+The reproduced table is written to ``benchmarks/results/table1.txt``.
+"""
+
+import numpy as np
+import pytest
+
+from _report import format_table, write_report
+from repro.collectives import (
+    CollectiveCosts,
+    allgather,
+    alltoall,
+    broadcast,
+    gather,
+    reduce,
+    reduce_scatter,
+    scatter,
+)
+from repro.mpi import Comm
+from repro.sim import MachineConfig, PortModel, run_spmd
+
+N = 16  # hypercube size for the table
+M = 32  # message length in words (>= log N)
+
+
+def _body(op):
+    def make(comm):
+        if op == "broadcast":
+            data = np.ones(M) if comm.rank == 0 else None
+            return broadcast(comm, data, root=0)
+        if op == "scatter":
+            blocks = [np.ones(M)] * comm.size if comm.rank == 0 else None
+            return scatter(comm, blocks, root=0)
+        if op == "gather":
+            return gather(comm, np.ones(M), root=0)
+        if op == "allgather":
+            return allgather(comm, np.ones(M))
+        if op == "alltoall":
+            return alltoall(comm, [np.ones(M)] * comm.size)
+        if op == "reduce":
+            return reduce(comm, np.ones(M), root=0)
+        if op == "reduce_scatter":
+            return reduce_scatter(comm, [np.ones(M)] * comm.size)
+        raise KeyError(op)
+
+    return make
+
+
+OPS = [
+    ("broadcast", CollectiveCosts.broadcast, "One-to-All Broadcast"),
+    ("scatter", CollectiveCosts.scatter, "One-to-All Personalized"),
+    ("gather", CollectiveCosts.gather, "All-to-One Collection"),
+    ("allgather", CollectiveCosts.allgather, "All-to-All Broadcast"),
+    ("alltoall", CollectiveCosts.alltoall, "All-to-All Personalized"),
+    ("reduce", CollectiveCosts.reduce, "All-to-One Reduction"),
+    ("reduce_scatter", CollectiveCosts.reduce_scatter, "All-to-All Reduction"),
+]
+
+_rows: list[list[str]] = []
+
+
+def _measure(op, port, t_s, t_w):
+    body = _body(op)
+
+    def prog(ctx):
+        comm = Comm(ctx, list(range(N)))
+        yield from body(comm)
+        return ctx.now
+
+    cfg = MachineConfig.create(N, t_s=t_s, t_w=t_w, port_model=port)
+    return run_spmd(cfg, prog).total_time
+
+
+@pytest.mark.parametrize("port", list(PortModel), ids=str)
+@pytest.mark.parametrize("op,cost_fn,label", OPS, ids=[o[0] for o in OPS])
+def test_table1_row(benchmark, op, cost_fn, label, port):
+    a_meas = _measure(op, port, 1.0, 0.0)
+    b_meas = _measure(op, port, 0.0, 1.0)
+    a_model, b_model = cost_fn(N, M, port)
+
+    benchmark(_measure, op, port, 1.0, 1.0)
+    benchmark.extra_info.update(
+        measured=(a_meas, b_meas), model=(a_model, b_model)
+    )
+    _rows.append(
+        [
+            label,
+            str(port),
+            f"{a_meas:g}",
+            f"{a_model:g}",
+            f"{b_meas:g}",
+            f"{b_model:g}",
+        ]
+    )
+    assert a_meas == pytest.approx(a_model)
+    assert b_meas == pytest.approx(b_model)
+
+
+def test_write_table1_report(benchmark):
+    """Write the regenerated Table 1 (runs after the parametrized rows)."""
+    def render():
+        return format_table(
+            ["communication", "port model", "a meas", "a model", "b meas", "b model"],
+            _rows,
+            title=f"Table 1 reproduction: N={N} hypercube, M={M} words "
+            "(cost = a*t_s + b*t_w)",
+        )
+
+    text = benchmark(render)
+    path = write_report("table1", text)
+    assert path.exists()

@@ -1,0 +1,92 @@
+"""Reproduce **Table 3**: overall space usage and processor limits.
+
+For each algorithm the simulator's per-node peak-resident-words counters
+are summed and compared with the paper's ``2n²√p`` / ``3n²`` / ``2n²∛p``
+formulas; the ``p ≤ n^k`` applicability limits are probed by attempting
+runs just inside and outside each bound.
+
+Written to ``benchmarks/results/table3.txt``.
+"""
+
+import numpy as np
+import pytest
+
+from _report import format_table, write_report
+from repro.algorithms import ALGORITHMS, get_algorithm
+from repro.errors import NotApplicableError
+from repro.models.table3 import SPACE_MODELS, overall_space
+from repro.sim import MachineConfig
+
+# (key, n, p): all eight Table 3 algorithms at a comparable size.
+CASES = [
+    ("simple", 32, 16),
+    ("cannon", 32, 16),
+    ("hje", 32, 16),
+    ("berntsen", 32, 8),
+    ("dns", 32, 8),
+    ("3dd", 32, 8),
+    ("3d_all_trans", 32, 8),
+    ("3d_all", 32, 8),
+]
+
+_rows: list[list[str]] = []
+
+
+def _measure_space(key, n, p):
+    rng = np.random.default_rng(1)
+    A = rng.standard_normal((n, n))
+    B = rng.standard_normal((n, n))
+    run = get_algorithm(key).run(A, B, MachineConfig.create(p))
+    return run.result.total_peak_memory_words()
+
+
+@pytest.mark.parametrize("key,n,p", CASES, ids=[c[0] for c in CASES])
+def test_table3_row(benchmark, key, n, p):
+    measured = benchmark(_measure_space, key, n, p)
+    model = overall_space(key, n, p)
+    benchmark.extra_info.update(measured=measured, model=model)
+    _rows.append(
+        [
+            ALGORITHMS[key].name,
+            SPACE_MODELS[key].formula,
+            f"{model:.0f}",
+            f"{measured}",
+            f"{measured / model:.2f}",
+        ]
+    )
+    # The accounting granularity (result blocks, staging buffers) allows a
+    # modest constant factor; the scaling term must match.
+    assert 0.65 * model <= measured <= 1.7 * model
+
+
+def test_processor_limits_enforced(benchmark):
+    """Table 3's p <= n^k columns: runs beyond the limit must refuse."""
+
+    def probe():
+        failures = []
+        # Cannon p <= n^2: n=4, p=64 violates
+        for key, n, p in [("cannon", 4, 64), ("berntsen", 32, 512),
+                          ("3d_all", 32, 512), ("3d_all_trans", 32, 512)]:
+            try:
+                get_algorithm(key).check_applicable(n, p)
+                failures.append((key, n, p))
+            except NotApplicableError:
+                pass
+        # 3DD allows up to n^3
+        get_algorithm("3dd").check_applicable(8, 512)
+        return failures
+
+    failures = benchmark(probe)
+    assert failures == []
+
+
+def test_write_table3_report(benchmark):
+    def render():
+        return format_table(
+            ["algorithm", "formula", "model words", "measured words", "ratio"],
+            _rows,
+            title="Table 3 reproduction: overall space (sum of per-node peaks)",
+        )
+
+    text = benchmark(render)
+    assert write_report("table3", text).exists()

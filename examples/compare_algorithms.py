@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Race every applicable algorithm at one (n, p) operating point.
+
+Reproduces the experiment behind the paper's Section 5 analysis at one
+point: run all nine algorithms on the same simulated machine, verify each
+against numpy, and rank them by communication time next to the Table 2
+predictions.
+
+Run:  python examples/compare_algorithms.py [n] [p]
+      (defaults n=64, p=64 — a point where every algorithm applies)
+"""
+
+import sys
+
+import numpy as np
+
+from repro import ALGORITHMS, MachineConfig, PortModel
+from repro.errors import NotApplicableError
+from repro.models.table2 import overhead_coefficients
+
+def main() -> None:
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 64
+    p = int(sys.argv[2]) if len(sys.argv) > 2 else 64
+    t_s, t_w = 150.0, 3.0
+
+    rng = np.random.default_rng(7)
+    A = rng.standard_normal((n, n))
+    B = rng.standard_normal((n, n))
+
+    for port in (PortModel.ONE_PORT, PortModel.MULTI_PORT):
+        machine = MachineConfig.create(p, t_s=t_s, t_w=t_w, port_model=port)
+        print(f"\n=== n={n}, p={p}, {port.value} hypercube, "
+              f"t_s={t_s:g}, t_w={t_w:g} ===")
+        print(f"{'algorithm':22s} {'simulated':>12s} {'Table 2':>12s} "
+              f"{'msgs':>7s} {'words':>10s}")
+        ranking = []
+        for key in sorted(ALGORITHMS):
+            algo = ALGORITHMS[key]
+            try:
+                run = algo.run(A, B, machine, verify=True)
+            except NotApplicableError as exc:
+                print(f"{algo.name:22s} {'n/a':>12s}   ({exc})")
+                continue
+            coeffs = overhead_coefficients(key, n, p, port)
+            model = (
+                f"{coeffs[0] * t_s + coeffs[1] * t_w:12,.0f}"
+                if coeffs
+                else f"{'-':>12s}"
+            )
+            print(
+                f"{algo.name:22s} {run.total_time:12,.0f} {model} "
+                f"{run.result.total_messages():7,} "
+                f"{run.result.total_words_sent():10,}"
+            )
+            ranking.append((run.total_time, algo.name))
+        ranking.sort()
+        print("ranking: " + "  <  ".join(name for _, name in ranking))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,43 @@
+#!/usr/bin/env python
+"""Regenerate the paper's Figures 13 and 14 as ASCII region maps.
+
+For each (t_s, t_w) panel, every lattice point of the (log₂ n, log₂ p)
+plane is marked with the algorithm of least communication overhead per the
+Table 2 closed forms — exactly the analysis the paper's Section 5 program
+performed.
+
+Run:  python examples/region_maps.py [panel]
+      (panel ∈ {a, b, c, d}; default prints all panels of both figures)
+"""
+
+import sys
+
+from repro.analysis import PANELS, figure13, figure14, render_ascii
+
+def main() -> None:
+    panels = [sys.argv[1]] if len(sys.argv) > 1 else sorted(PANELS)
+
+    fig13 = figure13(log2_n_max=13, log2_p_max=20)
+    fig14 = figure14(log2_n_max=13, log2_p_max=20)
+
+    for panel in panels:
+        t_s, t_w = PANELS[panel]
+        print(render_ascii(
+            fig13[panel],
+            f"Figure 13({panel}): one-port, t_s={t_s:g}, t_w={t_w:g}",
+        ))
+        print()
+        print(render_ascii(
+            fig14[panel],
+            f"Figure 14({panel}): multi-port, t_s={t_s:g}, t_w={t_w:g}",
+        ))
+        print()
+        counts13 = fig13[panel].counts()
+        counts14 = fig14[panel].counts()
+        print(f"panel ({panel}) winners  one-port: {counts13}")
+        print(f"panel ({panel}) winners multi-port: {counts14}")
+        print("=" * 70)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Scaling study: communication overhead vs processor count at fixed n.
+
+Sweeps p for a fixed matrix size and plots (as an ASCII chart) how the
+communication overhead of Cannon, Berntsen, 3DD and 3D All evolves —
+the crossovers behind the paper's region maps, measured on the simulator
+rather than taken from the closed forms.
+
+Run:  python examples/scaling_study.py [n]
+      (default n=64; p sweeps the powers of 8 up to the structural limits)
+"""
+
+import sys
+
+import numpy as np
+
+from repro import ALGORITHMS, MachineConfig, PortModel
+from repro.errors import NotApplicableError
+
+BAR = 50
+
+def main() -> None:
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 64
+    t_s, t_w = 150.0, 3.0
+    keys = ["cannon", "berntsen", "3dd", "3d_all"]
+
+    rng = np.random.default_rng(11)
+    A = rng.standard_normal((n, n))
+    B = rng.standard_normal((n, n))
+
+    print(f"communication time vs p at n={n} (one-port, t_s={t_s:g}, t_w={t_w:g})\n")
+    results: dict[int, dict[str, float]] = {}
+    for p in (8, 64, 512):
+        if p > n ** 3:
+            break
+        machine = MachineConfig.create(p, t_s=t_s, t_w=t_w)
+        row = {}
+        for key in keys:
+            try:
+                run = ALGORITHMS[key].run(A, B, machine, verify=True)
+            except NotApplicableError:
+                continue
+            row[key] = run.total_time
+        results[p] = row
+
+    peak = max(t for row in results.values() for t in row.values())
+    for p, row in results.items():
+        print(f"p = {p}")
+        best = min(row.values())
+        for key in keys:
+            if key not in row:
+                print(f"  {key:10s} {'not applicable':>10s}")
+                continue
+            t = row[key]
+            bar = "#" * max(1, round(BAR * t / peak))
+            marker = "  <-- best" if t == best else ""
+            print(f"  {key:10s} {t:10,.0f} {bar}{marker}")
+        print()
+
+    print("Cannon's O(sqrt(p)) start-ups hurt as p grows; the 3-D algorithms")
+    print("pay O(log p) start-ups and 3D All the least bandwidth — matching")
+    print("the paper's conclusion that 3D All wins wherever p <= n^1.5.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,43 @@
+"""repro — reproduction of *Communication Efficient Matrix Multiplication on
+Hypercubes* (Gupta & Sadayappan, SPAA 1994).
+
+The package provides:
+
+* a deterministic discrete-event simulator of one-port / multi-port
+  hypercube multicomputers (:mod:`repro.sim`),
+* optimal collective communication schedules matching the paper's Table 1
+  (:mod:`repro.collectives`),
+* all nine distributed matmul algorithms of the paper, runnable and
+  verified against numpy (:mod:`repro.algorithms`),
+* the closed-form cost/space models of Tables 2-3 (:mod:`repro.models`),
+* the Section 5 analysis reproducing Figures 13-14 (:mod:`repro.analysis`).
+
+Quickstart::
+
+    import numpy as np
+    from repro import MachineConfig, PortModel, get_algorithm
+
+    n, p = 64, 64
+    rng = np.random.default_rng(0)
+    A, B = rng.standard_normal((n, n)), rng.standard_normal((n, n))
+
+    machine = MachineConfig.create(p, t_s=150, t_w=3, port_model=PortModel.ONE_PORT)
+    run = get_algorithm("3d_all").run(A, B, machine, verify=True)
+    print(run.total_time, np.allclose(run.C, A @ B))
+"""
+
+from repro.algorithms import ALGORITHMS, AlgorithmRun, get_algorithm, list_algorithms
+from repro.sim.machine import MachineConfig, MachineParams, PortModel
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "ALGORITHMS",
+    "AlgorithmRun",
+    "get_algorithm",
+    "list_algorithms",
+    "MachineConfig",
+    "MachineParams",
+    "PortModel",
+]

@@ -1,0 +1,25 @@
+"""The paper's distributed matrix-multiplication algorithms.
+
+Every algorithm is an SPMD program executed on the hypercube simulator.
+Use the registry to look algorithms up by key::
+
+    from repro.algorithms import get_algorithm, ALGORITHMS
+
+    algo = get_algorithm("3d_all")
+    run = algo.run(A, B, config)
+    assert np.allclose(run.C, A @ B)
+
+Keys: ``simple``, ``cannon``, ``hje``, ``berntsen``, ``dns``,
+``diagonal2d``, ``3dd``, ``3d_all_trans``, ``3d_all``.
+"""
+
+from repro.algorithms.base import AlgorithmRun, MatmulAlgorithm
+from repro.algorithms.registry import ALGORITHMS, get_algorithm, list_algorithms
+
+__all__ = [
+    "AlgorithmRun",
+    "MatmulAlgorithm",
+    "ALGORITHMS",
+    "get_algorithm",
+    "list_algorithms",
+]

@@ -1,0 +1,194 @@
+"""Rectangular-grid 3D All (§4.2.2's closing remark, generalized).
+
+The paper notes that mapping a non-cubic 3-D grid onto the hypercube lets
+3D All use more processors, trading space and start-up structure.  This
+module implements the full generalization: a ``q1 × q2 × q1`` grid
+(``p = q1²·q2``; x- and z-sides must match for the inner dimensions of the
+outer products to agree — re-deriving the §4.2.2 proof with grid sides
+``(qx, qy, qz)`` forces ``qx = qz``).
+
+* ``A`` and ``B`` are partitioned into ``q1`` row-groups × ``q1·q2``
+  column-groups; ``p_{i,j,k}`` holds blocks ``A/B_{k, f(i,j)}`` with
+  ``f(i,j) = i·q2 + j``.
+* Phase 1: all-to-all personalized along y over ``q2`` processors (the
+  ``q2`` row-group split of the ``B`` blocks).
+* Phase 2: all-to-all broadcasts of ``A`` along x and the re-shuffled
+  ``B`` along z — both over ``q1`` processors, overlapped on multi-port.
+* Phase 3: all-to-all reduction along y.
+
+``q2 = q1`` recovers the paper's cubic 3D All exactly.  Larger ``q2``
+(e.g. the paper's ``∜p × √p × ∜p``) uses processor counts that are *not*
+powers of eight — p = 16, 256, 1024, … become reachable — at the price of
+more phase-1/3 start-ups; smaller ``q2`` cuts the y-phases short.  The
+applicability frontier is ``n ≥ q1·q2`` (a column group needs at least one
+column), i.e. ``p ≤ n²·q1 / q2 ≤ ...`` — for the ``q2 = √p`` family this
+reads ``p ≤ n^{4/3}``, extending past the cubic variant's divisibility
+grid while staying below Table 3's ``p ≤ n^{3/2}`` frontier.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.algorithms.base import MatmulAlgorithm
+from repro.algorithms.common import TAG_A, TAG_B, TAG_C, TAG_D, require
+from repro.collectives import allgather, alltoall, reduce_scatter
+from repro.errors import NotApplicableError
+from repro.mpi.communicator import Comm
+from repro.topology.embedding import Grid3DRectEmbedding
+from repro.topology.hypercube import Hypercube
+from repro.util.bits import ilog2, is_power_of_two
+
+__all__ = ["All3DRectAlgorithm"]
+
+
+def _split_sides(p: int, y_side: int | None) -> tuple[int, int] | None:
+    """Choose (q1, q2) with ``p = q1²·q2``; returns None if impossible.
+
+    With ``y_side`` given, validates it.  Otherwise picks the smallest
+    valid ``q2``: that minimizes both the total start-ups
+    (``2·log q1 + 2·log q2 = log p + log q2``) and the divisibility
+    pressure ``n % (q1·q2)`` — letting the variant reach processor counts
+    the cubic grid cannot (p = 16, 256, 1024, …) with modest matrices.
+    """
+    if not is_power_of_two(p):
+        return None
+    k = ilog2(p)
+    if y_side is not None:
+        if not is_power_of_two(y_side):
+            return None
+        c2 = ilog2(y_side)
+        rem = k - c2
+        # y_side = 1 is the degenerate single-plane end of the family,
+        # reaching the paper's "up to n^2 processors".
+        if c2 < 0 or rem < 2 or rem % 2:
+            return None
+        return (1 << (rem // 2), y_side)
+    for c2 in range(1, k - 1):
+        if (k - c2) % 2 == 0:
+            return (1 << ((k - c2) // 2), 1 << c2)
+    return None
+
+
+class All3DRectAlgorithm(MatmulAlgorithm):
+    """Rectangular-grid 3D All family (see module doc)."""
+
+    key = "3d_all_rect"
+    name = "3D All (rectangular)"
+    paper_section = "4.2.2 (variant)"
+
+    def __init__(self, y_side: int | None = None):
+        self.y_side = y_side
+
+    def _sides_for(self, p: int) -> tuple[int, int]:
+        sides = _split_sides(p, self.y_side)
+        if sides is None:
+            raise NotApplicableError(
+                f"{self.name}: p={p} does not split into q1^2*q2 with "
+                f"q1, q2 >= 2 (y_side={self.y_side})"
+            )
+        return sides
+
+    def check_applicable(self, n: int, p: int) -> None:
+        q1, q2 = self._sides_for(p)
+        require(
+            n % (q1 * q2) == 0,
+            f"{self.name}: n={n} must be divisible by q1*q2={q1 * q2}",
+        )
+        # §4.2.2's limit argument: an x-y plane holds q1·q2 processors and
+        # at most n can reside there (one column group each).
+        require(
+            q1 * q2 <= n,
+            f"{self.name}: x-y plane has q1*q2={q1 * q2} > n={n} processors",
+        )
+
+    # -- data layout ---------------------------------------------------------
+
+    def _grid(self, cube: Hypercube) -> Grid3DRectEmbedding:
+        q1, q2 = self._sides_for(cube.num_nodes)
+        return Grid3DRectEmbedding(cube, q1, q2, q1)
+
+    @staticmethod
+    def _extract(M: np.ndarray, n: int, q1: int, q2: int, k: int, c: int):
+        rb = n // q1
+        cb = n // (q1 * q2)
+        return np.ascontiguousarray(
+            M[k * rb:(k + 1) * rb, c * cb:(c + 1) * cb]
+        )
+
+    def distribute_inputs(self, A, B, cube: Hypercube):
+        q1, q2 = self._sides_for(cube.num_nodes)
+        grid = self._grid(cube)
+        n = A.shape[0]
+        out = {}
+        for i in range(q1):
+            for j in range(q2):
+                c = i * q2 + j
+                for k in range(q1):
+                    out[grid.node_at(i, j, k)] = {
+                        "A": self._extract(A, n, q1, q2, k, c),
+                        "B": self._extract(B, n, q1, q2, k, c),
+                    }
+        return out
+
+    def program(self, ctx, n: int, local: dict[str, Any]):
+        q1, q2 = self._sides_for(ctx.config.num_nodes)
+        grid = self._grid(ctx.config.cube)
+        i, j, k = grid.coords_of(ctx.rank)
+
+        x_comm = Comm(ctx, grid.line_members("x", i, j, k))
+        y_comm = Comm(ctx, grid.line_members("y", i, j, k))
+        z_comm = Comm(ctx, grid.line_members("z", i, j, k))
+
+        a_block = local["A"]  # (n/q1, n/(q1*q2))
+        b_block = local["B"]
+
+        # -- phase 1: all-to-all personalized along y (q2 row groups) ---------
+        ctx.phase("alltoall-B")
+        row_groups = [
+            np.ascontiguousarray(g) for g in np.array_split(b_block, q2, axis=0)
+        ]
+        received = yield from alltoall(y_comm, row_groups, tag=TAG_B)
+        # hstack over the y-line: the (q1*q2)x(q1) - partition block
+        # B_{g(k,j), i} with g(k,j) = k*q2 + j.
+        b_wide = np.hstack(received)  # (n/(q1*q2), n/q1)
+
+        # -- phase 2: all-to-all broadcasts along x (A) and z (B) -------------
+        ctx.phase("broadcasts")
+        a_list, b_list = yield from ctx.parallel(
+            allgather(x_comm, a_block, tag=TAG_C),
+            allgather(z_comm, b_wide, tag=TAG_D),
+        )
+        ctx.note_memory(q1 * a_block.size + q1 * b_wide.size + (n // q1) ** 2)
+
+        # -- compute I_{k,i} = sum_m A_{k,f(m,j)} B_{g(m,j),i} -----------------
+        ctx.phase("compute")
+        partial = None
+        for m in range(q1):
+            partial = yield from ctx.local_matmul(a_list[m], b_list[m], partial)
+
+        # -- phase 3: all-to-all reduction along y -----------------------------
+        ctx.phase("reduce")
+        pieces = [
+            np.ascontiguousarray(piece)
+            for piece in np.array_split(partial, q2, axis=1)
+        ]
+        c_block = yield from reduce_scatter(y_comm, pieces, tag=TAG_A)
+        return c_block
+
+    def collect_output(self, n: int, cube: Hypercube, results):
+        q1, q2 = self._sides_for(cube.num_nodes)
+        grid = self._grid(cube)
+        rb = n // q1
+        cb = n // (q1 * q2)
+        C = np.zeros((n, n))
+        for i in range(q1):
+            for j in range(q2):
+                c = i * q2 + j
+                for k in range(q1):
+                    C[k * rb:(k + 1) * rb, c * cb:(c + 1) * cb] = results[
+                        grid.node_at(i, j, k)
+                    ]
+        return C

@@ -1,0 +1,71 @@
+"""Cannon's algorithm (§3.2) on the Gray-embedded ``√p × √p`` grid.
+
+Initial skew followed by ``√p - 1`` shift-multiply-add steps; every shift
+moves ``A`` one position along the row ring and ``B`` one position along
+the column ring (dilation-1 neighbour transfers under the Gray embedding).
+Constant storage — ``3n²`` words overall (Table 3) — at the price of
+``O(√p)`` message start-ups (Table 2).
+
+The initial alignment sends each block up to ``log √p`` hops through the
+cube (e-cube routed, store-and-forward), which is the ``2·log√p·(t_s +
+t_w·n²/p)`` term of §3.2; simultaneous skew messages can contend for links,
+so the simulated alignment can exceed the paper's contention-free bound —
+see EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.algorithms.base import MatmulAlgorithm
+from repro.algorithms.common import GridView2D, cannon_kernel, require_square_grid
+from repro.blocks.partition import BlockPartition2D
+from repro.topology.embedding import Grid2DEmbedding
+from repro.topology.hypercube import Hypercube
+
+__all__ = ["CannonAlgorithm"]
+
+
+class CannonAlgorithm(MatmulAlgorithm):
+    """Cannon's algorithm on the Gray-embedded 2-D grid (see module doc)."""
+
+    key = "cannon"
+    name = "Cannon"
+    paper_section = "3.2"
+
+    def check_applicable(self, n: int, p: int) -> None:
+        require_square_grid(n, p, self.name)
+
+    def distribute_inputs(self, A, B, cube: Hypercube):
+        grid = Grid2DEmbedding.square(cube)
+        part = BlockPartition2D(A.shape[0], grid.rows)
+        return {
+            grid.node_at(i, j): {
+                "A": part.extract(A, i, j),
+                "B": part.extract(B, i, j),
+            }
+            for i in range(grid.rows)
+            for j in range(grid.cols)
+        }
+
+    def program(self, ctx, n: int, local: dict[str, Any]):
+        view = GridView2D.create(ctx)
+        a_block, b_block = local["A"], local["B"]
+        # Constant storage: A, B, and C blocks only.
+        ctx.note_memory(3 * a_block.size)
+        ctx.phase("cannon")
+        c_block = yield from cannon_kernel(
+            ctx, view.grid.node_at, view.q, view.row, view.col, a_block, b_block
+        )
+        return c_block
+
+    def collect_output(self, n: int, cube: Hypercube, results):
+        grid = Grid2DEmbedding.square(cube)
+        part = BlockPartition2D(n, grid.rows)
+        return part.assemble(
+            {
+                (i, j): results[grid.node_at(i, j)]
+                for i in range(grid.rows)
+                for j in range(grid.cols)
+            }
+        )

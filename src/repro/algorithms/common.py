@@ -1,0 +1,189 @@
+"""Shared helpers for the algorithm implementations.
+
+Grid views (2-D and 3-D coordinates plus row/column/line communicators),
+applicability predicates, and the Cannon kernel reused by Berntsen's
+algorithm.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import NotApplicableError
+from repro.mpi.communicator import Comm
+from repro.sim.process import ProcessContext
+from repro.topology.embedding import Grid2DEmbedding, Grid3DEmbedding
+from repro.util.bits import ilog2, is_power_of_eight, is_power_of_two
+
+__all__ = [
+    "require",
+    "require_square_grid",
+    "require_cubic_grid",
+    "GridView2D",
+    "GridView3D",
+    "cannon_kernel",
+    "TAG_A",
+    "TAG_B",
+]
+
+# Tag bases used across algorithms; collectives namespace their own subtags
+# beneath these, so concurrent collectives need distinct bases.
+TAG_A = 1
+TAG_B = 2
+TAG_C = 3
+TAG_D = 4
+
+
+def require(condition: bool, message: str) -> None:
+    """Raise :class:`NotApplicableError` with ``message`` unless ``condition``."""
+    if not condition:
+        raise NotApplicableError(message)
+
+
+def require_square_grid(n: int, p: int, algo: str) -> int:
+    """Check p = 4^k (a √p×√p grid) and n divisible by √p; returns √p."""
+    require(
+        is_power_of_two(p) and ilog2(p) % 2 == 0 and p >= 4,
+        f"{algo}: p must be 4^k with k >= 1 to form a square 2-D grid, got p={p}",
+    )
+    q = 1 << (ilog2(p) // 2)
+    require(n % q == 0, f"{algo}: n={n} must be divisible by sqrt(p)={q}")
+    require(p <= n * n, f"{algo}: requires p <= n^2 (p={p}, n={n})")
+    return q
+
+
+def require_cubic_grid(n: int, p: int, algo: str) -> int:
+    """Check p = 8^k (a ∛p³ grid) and n divisible by ∛p; returns ∛p."""
+    require(
+        is_power_of_eight(p) and p >= 8,
+        f"{algo}: p must be 8^k with k >= 1 to form a 3-D grid, got p={p}",
+    )
+    q = 1 << (ilog2(p) // 3)
+    require(n % q == 0, f"{algo}: n={n} must be divisible by cbrt(p)={q}")
+    return q
+
+
+@dataclass
+class GridView2D:
+    """A rank's view of the √p×√p grid: coordinates and communicators."""
+
+    grid: Grid2DEmbedding
+    row: int
+    col: int
+    row_comm: Comm  # members ordered by column coordinate
+    col_comm: Comm  # members ordered by row coordinate
+
+    @classmethod
+    def create(cls, ctx: ProcessContext) -> "GridView2D":
+        grid = Grid2DEmbedding.square(ctx.config.cube)
+        r, c = grid.coords_of(ctx.rank)
+        return cls(
+            grid=grid,
+            row=r,
+            col=c,
+            row_comm=Comm(ctx, grid.row_members(r)),
+            col_comm=Comm(ctx, grid.col_members(c)),
+        )
+
+    @property
+    def q(self) -> int:
+        return self.grid.rows
+
+
+@dataclass
+class GridView3D:
+    """A rank's view of the ∛p³ grid, with the paper's ``p_{i,j,k}`` names.
+
+    ``x_comm`` spans ``p_{*,j,k}`` ordered by ``x``; ``y_comm`` spans
+    ``p_{i,*,k}`` ordered by ``y``; ``z_comm`` spans ``p_{i,j,*}`` ordered
+    by ``z``.
+    """
+
+    grid: Grid3DEmbedding
+    x: int
+    y: int
+    z: int
+    x_comm: Comm
+    y_comm: Comm
+    z_comm: Comm
+
+    @classmethod
+    def create(cls, ctx: ProcessContext) -> "GridView3D":
+        grid = Grid3DEmbedding(ctx.config.cube)
+        x, y, z = grid.coords_of(ctx.rank)
+        return cls(
+            grid=grid,
+            x=x,
+            y=y,
+            z=z,
+            x_comm=Comm(ctx, grid.line_members("x", x, y, z)),
+            y_comm=Comm(ctx, grid.line_members("y", x, y, z)),
+            z_comm=Comm(ctx, grid.line_members("z", x, y, z)),
+        )
+
+    @property
+    def q(self) -> int:
+        return self.grid.side
+
+
+def cannon_kernel(
+    ctx: ProcessContext,
+    node_at,
+    q: int,
+    row: int,
+    col: int,
+    a_block: np.ndarray,
+    b_block: np.ndarray,
+    tag_a: int = TAG_A,
+    tag_b: int = TAG_B,
+):
+    """Cannon's algorithm on a ``q × q`` grid of nodes (generator).
+
+    ``node_at(r, c)`` maps (wrapped) grid coordinates to cube nodes; this
+    runs equally on the top-level grid and on Berntsen's subcube grids.
+    ``a_block``/``b_block`` are this processor's ``A_{row,col}`` and
+    ``B_{row,col}``; returns the accumulated ``C_{row,col}``.
+
+    The initial alignment skews ``A_{r,c}`` to ``p_{r, c-r}`` and
+    ``B_{r,c}`` to ``p_{r-c, c}`` (the paper describes the mirror-image
+    skew, which does not pair matching inner indices; the standard
+    left/up skew is used here — communication costs are identical by
+    symmetry).  Both matrices move concurrently: a one-port machine
+    serializes the transfers (the paper's ``2(t_s + t_w m)`` per step),
+    a multi-port machine overlaps them (halving the time, as in §3.2).
+    """
+    me = ctx.rank
+
+    # -- alignment: A left by `row`, B up by `col` --------------------------
+    a_dst = node_at(row, col - row)
+    a_src = node_at(row, col + row)
+    b_dst = node_at(row - col, col)
+    b_src = node_at(row + col, col)
+    handles = [
+        (yield from ctx.isend(a_dst, a_block, tag_a)),
+        (yield from ctx.irecv(a_src, tag_a)),
+        (yield from ctx.isend(b_dst, b_block, tag_b)),
+        (yield from ctx.irecv(b_src, tag_b)),
+    ]
+    values = yield from ctx.waitall(handles)
+    a_block, b_block = values[1], values[3]
+
+    # -- q steps of multiply-accumulate + unit shift -------------------------
+    c_block = None
+    left, right = node_at(row, col - 1), node_at(row, col + 1)
+    up, down = node_at(row - 1, col), node_at(row + 1, col)
+    for step in range(q):
+        c_block = yield from ctx.local_matmul(a_block, b_block, c_block)
+        if step == q - 1:
+            break
+        handles = [
+            (yield from ctx.isend(left, a_block, tag_a)),
+            (yield from ctx.irecv(right, tag_a)),
+            (yield from ctx.isend(up, b_block, tag_b)),
+            (yield from ctx.irecv(down, tag_b)),
+        ]
+        values = yield from ctx.waitall(handles)
+        a_block, b_block = values[1], values[3]
+    return c_block

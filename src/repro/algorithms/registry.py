@@ -1,0 +1,68 @@
+"""Registry of the paper's algorithms, keyed for lookup by benches/CLI."""
+
+from __future__ import annotations
+
+from repro.algorithms.base import MatmulAlgorithm
+from repro.errors import AlgorithmError
+
+__all__ = ["ALGORITHMS", "get_algorithm", "list_algorithms", "register"]
+
+ALGORITHMS: dict[str, MatmulAlgorithm] = {}
+
+
+def register(algo: MatmulAlgorithm) -> MatmulAlgorithm:
+    """Add an algorithm instance to the registry (key must be unique)."""
+    if not algo.key:
+        raise AlgorithmError(f"algorithm {algo!r} has no key")
+    if algo.key in ALGORITHMS:
+        raise AlgorithmError(f"duplicate algorithm key {algo.key!r}")
+    ALGORITHMS[algo.key] = algo
+    return algo
+
+
+def get_algorithm(key: str) -> MatmulAlgorithm:
+    """Look an algorithm up by key; raises AlgorithmError for unknown keys."""
+    try:
+        return ALGORITHMS[key]
+    except KeyError:
+        raise AlgorithmError(
+            f"unknown algorithm {key!r}; available: {sorted(ALGORITHMS)}"
+        ) from None
+
+
+def list_algorithms() -> list[str]:
+    """All registered algorithm keys, sorted."""
+    return sorted(ALGORITHMS)
+
+
+def _populate() -> None:
+    from repro.algorithms.simple import SimpleAlgorithm
+    from repro.algorithms.cannon import CannonAlgorithm
+    from repro.algorithms.hje import HJEAlgorithm
+    from repro.algorithms.berntsen import BerntsenAlgorithm
+    from repro.algorithms.dns import DNSAlgorithm
+    from repro.algorithms.diagonal2d import Diagonal2DAlgorithm
+    from repro.algorithms.diagonal3d import Diagonal3DAlgorithm
+    from repro.algorithms.all_trans import AllTransAlgorithm
+    from repro.algorithms.all3d import All3DAlgorithm
+    from repro.algorithms.dns_cannon import DNSCannonAlgorithm
+    from repro.algorithms.diag3d_cannon import Diag3DCannonAlgorithm
+    from repro.algorithms.all3d_rect import All3DRectAlgorithm
+    from repro.algorithms.fox import FoxAlgorithm
+
+    register(SimpleAlgorithm())
+    register(FoxAlgorithm())
+    register(DNSCannonAlgorithm())
+    register(Diag3DCannonAlgorithm())
+    register(All3DRectAlgorithm())
+    register(CannonAlgorithm())
+    register(HJEAlgorithm())
+    register(BerntsenAlgorithm())
+    register(DNSAlgorithm())
+    register(Diagonal2DAlgorithm())
+    register(Diagonal3DAlgorithm())
+    register(AllTransAlgorithm())
+    register(All3DAlgorithm())
+
+
+_populate()

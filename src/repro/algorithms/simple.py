@@ -1,0 +1,81 @@
+"""Algorithm Simple (§3.1): row/column all-to-all broadcasts.
+
+``A`` and ``B`` are block partitioned ``√p × √p`` (Fig. 1) with ``A_{ij}``
+and ``B_{ij}`` on ``p_{ij}``.  Every row performs an all-to-all broadcast of
+its ``A`` blocks and every column an all-to-all broadcast of its ``B``
+blocks; afterwards ``p_{ij}`` holds row ``i`` of ``A``-blocks and column
+``j`` of ``B``-blocks and computes ``C_{ij} = Σ_k A_{ik} B_{kj}`` locally.
+
+The two phases are issued concurrently: a one-port machine serializes them
+(Table 2's ``(log p, 2·(n²/√p)(1-1/√p))``) while a multi-port machine
+overlaps them and uses rotated-tree allgathers
+(``(½·log p, (n²/(√p·log√p))(1-1/√p))``).  The price is space: ``2n²/√p``
+words per processor (Table 3).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.algorithms.base import MatmulAlgorithm
+from repro.algorithms.common import GridView2D, TAG_A, TAG_B, require_square_grid
+from repro.blocks.partition import BlockPartition2D
+from repro.collectives import allgather
+from repro.topology.embedding import Grid2DEmbedding
+from repro.topology.hypercube import Hypercube
+
+__all__ = ["SimpleAlgorithm"]
+
+
+class SimpleAlgorithm(MatmulAlgorithm):
+    """Algorithm Simple: row/column all-to-all broadcasts (see module doc)."""
+
+    key = "simple"
+    name = "Simple"
+    paper_section = "3.1"
+
+    def check_applicable(self, n: int, p: int) -> None:
+        require_square_grid(n, p, self.name)
+
+    def distribute_inputs(self, A, B, cube: Hypercube):
+        grid = Grid2DEmbedding.square(cube)
+        part = BlockPartition2D(A.shape[0], grid.rows)
+        out = {}
+        for i in range(grid.rows):
+            for j in range(grid.cols):
+                out[grid.node_at(i, j)] = {
+                    "A": part.extract(A, i, j),
+                    "B": part.extract(B, i, j),
+                }
+        return out
+
+    def program(self, ctx, n: int, local: dict[str, Any]):
+        view = GridView2D.create(ctx)
+        q = view.q
+        a_block, b_block = local["A"], local["B"]
+        block_words = a_block.size
+
+        ctx.phase("broadcasts")
+        a_row, b_col = yield from ctx.parallel(
+            allgather(view.row_comm, a_block, tag=TAG_A),
+            allgather(view.col_comm, b_block, tag=TAG_B),
+        )
+        # Resident: full A-row + full B-column + the C block being built.
+        ctx.note_memory(2 * q * block_words + block_words)
+
+        ctx.phase("compute")
+        c_block = None
+        for k in range(q):
+            c_block = yield from ctx.local_matmul(a_row[k], b_col[k], c_block)
+        return c_block
+
+    def collect_output(self, n: int, cube: Hypercube, results):
+        grid = Grid2DEmbedding.square(cube)
+        part = BlockPartition2D(n, grid.rows)
+        return part.assemble(
+            {
+                (i, j): results[grid.node_at(i, j)]
+                for i in range(grid.rows)
+                for j in range(grid.cols)
+            }
+        )

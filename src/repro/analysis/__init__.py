@@ -1,0 +1,46 @@
+"""The paper's Section 5 analysis: region maps and claim checks."""
+
+from repro.analysis.regions import (
+    FIGURE_ALGORITHMS,
+    RegionMap,
+    best_algorithm,
+    candidates,
+    region_map,
+)
+from repro.analysis.figures import (
+    PANELS,
+    figure13,
+    figure14,
+    render_ascii,
+)
+from repro.analysis.measure import (
+    extract_coefficients,
+    measure_comm_time,
+    measured_vs_model,
+)
+from repro.analysis.scalability import (
+    efficiency,
+    isoefficiency_curve,
+    isoefficiency_n,
+)
+from repro.analysis.sweep import crossover, sweep
+
+__all__ = [
+    "FIGURE_ALGORITHMS",
+    "RegionMap",
+    "best_algorithm",
+    "candidates",
+    "region_map",
+    "PANELS",
+    "figure13",
+    "figure14",
+    "render_ascii",
+    "extract_coefficients",
+    "measure_comm_time",
+    "measured_vs_model",
+    "efficiency",
+    "isoefficiency_curve",
+    "isoefficiency_n",
+    "crossover",
+    "sweep",
+]

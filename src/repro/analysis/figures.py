@@ -1,0 +1,81 @@
+"""Figures 13 and 14: best-algorithm region maps, four panels each.
+
+The paper presents region maps "for three different sets of values of t_s
+and t_w", naming ``t_s = 150, t_w = 3`` (panel layouts (a)-(d)).  Only that
+pair is printed in the text, so the remaining panels here bracket the
+start-up-to-bandwidth ratio from iPSC/860-like (50:1) down to essentially
+free start-ups — the regime in which the paper says Cannon overtakes 3DD in
+``n^{3/2} < p ≤ n²``.  EXPERIMENTS.md records the reconstruction.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.regions import RegionMap, region_map
+from repro.sim.machine import PortModel
+
+__all__ = ["PANELS", "figure13", "figure14", "render_ascii", "SYMBOLS"]
+
+#: (t_s, t_w) per panel.  (a) is the paper's explicit iPSC/860-class pair;
+#: (b)-(d) scan the ratio downward ("very small values of t_s").
+PANELS: dict[str, tuple[float, float]] = {
+    "a": (150.0, 3.0),
+    "b": (30.0, 3.0),
+    "c": (5.0, 3.0),
+    "d": (0.5, 3.0),
+}
+
+SYMBOLS: dict[str, str] = {
+    "cannon": "C",
+    "hje": "H",
+    "berntsen": "B",
+    "3dd": "D",
+    "3d_all": "A",
+    "dns": "N",
+    "3d_all_trans": "T",
+    "simple": "S",
+}
+
+
+def figure13(**kwargs) -> dict[str, RegionMap]:
+    """One-port region maps (Figure 13 (a)-(d))."""
+    return {
+        panel: region_map(PortModel.ONE_PORT, t_s, t_w, **kwargs)
+        for panel, (t_s, t_w) in PANELS.items()
+    }
+
+
+def figure14(**kwargs) -> dict[str, RegionMap]:
+    """Multi-port region maps (Figure 14 (a)-(d))."""
+    return {
+        panel: region_map(PortModel.MULTI_PORT, t_s, t_w, **kwargs)
+        for panel, (t_s, t_w) in PANELS.items()
+    }
+
+
+def render_ascii(rm: RegionMap, title: str = "") -> str:
+    """Render a region map as ASCII art (rows = log₂ p desc, cols = log₂ n).
+
+    The paper draws ``p`` on the vertical axis and ``n`` on the horizontal;
+    '.' marks points where no algorithm applies (``p > n³``).
+    """
+    lines = []
+    header = title or (
+        f"{rm.port.value} hypercube, t_s={rm.t_s:g}, t_w={rm.t_w:g}"
+    )
+    lines.append(header)
+    lines.append("log2(p)")
+    for j in reversed(range(len(rm.log2_p))):
+        row = "".join(
+            SYMBOLS.get(rm.winners[i][j], "?") if rm.winners[i][j] else "."
+            for i in range(len(rm.log2_n))
+        )
+        lines.append(f"{int(rm.log2_p[j]):5d} |{row}")
+    lines.append("      +" + "-" * len(rm.log2_n))
+    axis = "       "
+    for ln in rm.log2_n:
+        axis += str(int(ln) % 10)
+    lines.append(axis + "   log2(n)")
+    used = sorted(rm.counts())
+    legend = "  ".join(f"{SYMBOLS[k]}={k}" for k in used)
+    lines.append(f"legend: {legend}  .=none applicable")
+    return "\n".join(lines)

@@ -1,0 +1,148 @@
+"""Best-algorithm regions over the (n, p) parameter space.
+
+This reimplements the "computer program" of Section 5: for every lattice
+point of the (log₂ n, log₂ p) plane, evaluate the Table 2 communication
+overheads of the candidate algorithms and record the minimizer.  Figures 13
+and 14 of the paper are exactly such maps for a handful of ``(t_s, t_w)``
+settings.
+
+Following §5, the candidate set is Cannon, Ho-Johnsson-Edelman (multi-port
+machines only — Table 2 has no one-port entry for it), Berntsen, 3DD and
+3D All; Algorithm Simple is excluded for its space cost, DNS and 3D
+All_Trans because 3DD / 3D All dominate them everywhere (we verify that
+domination in the claims benchmark rather than assuming it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ModelError
+from repro.models.table2 import communication_overhead
+from repro.sim.machine import PortModel
+
+__all__ = [
+    "FIGURE_ALGORITHMS",
+    "candidates",
+    "best_algorithm",
+    "region_map",
+    "RegionMap",
+]
+
+FIGURE_ALGORITHMS: tuple[str, ...] = ("cannon", "hje", "berntsen", "3dd", "3d_all")
+
+
+def candidates(port: PortModel) -> tuple[str, ...]:
+    """The §5 comparison set for a port model (drops HJE on one-port)."""
+    if port is PortModel.ONE_PORT:
+        return tuple(k for k in FIGURE_ALGORITHMS if k != "hje")
+    return FIGURE_ALGORITHMS
+
+
+def best_algorithm(
+    n: float,
+    p: float,
+    port: PortModel,
+    t_s: float,
+    t_w: float,
+    algorithms: tuple[str, ...] | None = None,
+) -> tuple[str, float] | None:
+    """The least-communication-overhead algorithm at ``(n, p)``.
+
+    Returns ``(key, modelled_time)`` or ``None`` if no candidate is
+    applicable (e.g. ``p > n³``).
+    """
+    algos = algorithms if algorithms is not None else candidates(port)
+    best: tuple[str, float] | None = None
+    for key in algos:
+        t = communication_overhead(key, n, p, port, t_s, t_w)
+        if t is None:
+            continue
+        if best is None or t < best[1]:
+            best = (key, t)
+    return best
+
+
+@dataclass
+class RegionMap:
+    """Best-algorithm map over a (log₂ n, log₂ p) lattice.
+
+    ``winners[i][j]`` is the winning key (or ``None``) for
+    ``n = 2**log2_n[i]`` and ``p = 2**log2_p[j]``.
+    """
+
+    port: PortModel
+    t_s: float
+    t_w: float
+    log2_n: list[float]
+    log2_p: list[float]
+    winners: list[list[str | None]] = field(default_factory=list)
+    times: list[list[float]] = field(default_factory=list)
+
+    def counts(self) -> dict[str, int]:
+        """How many lattice points each algorithm wins."""
+        out: dict[str, int] = {}
+        for row in self.winners:
+            for w in row:
+                if w is not None:
+                    out[w] = out.get(w, 0) + 1
+        return out
+
+    def winner_at(self, log2n: float, log2p: float) -> str | None:
+        i = self.log2_n.index(log2n)
+        j = self.log2_p.index(log2p)
+        return self.winners[i][j]
+
+    def fraction_won(self, key: str, *, where=None) -> float:
+        """Fraction of applicable lattice points won by ``key``.
+
+        ``where(n, p)`` optionally restricts the region.
+        """
+        total = 0
+        won = 0
+        for i, ln in enumerate(self.log2_n):
+            for j, lp in enumerate(self.log2_p):
+                w = self.winners[i][j]
+                if w is None:
+                    continue
+                if where is not None and not where(2.0 ** ln, 2.0 ** lp):
+                    continue
+                total += 1
+                won += w == key
+        return won / total if total else 0.0
+
+
+def region_map(
+    port: PortModel,
+    t_s: float,
+    t_w: float,
+    *,
+    log2_n_max: int = 13,
+    log2_p_max: int = 20,
+    log2_n_min: int = 1,
+    log2_p_min: int = 2,
+    algorithms: tuple[str, ...] | None = None,
+) -> RegionMap:
+    """Compute the best-algorithm map on an integer log₂ lattice.
+
+    Defaults cover ``n`` up to ``2¹³ = 8192`` and ``p`` up to ``2²⁰ ≈ 10⁶``
+    (the paper's figures use similar log-log axes; points with ``p > n³``
+    have no applicable algorithm and map to ``None``).
+    """
+    if log2_n_min > log2_n_max or log2_p_min > log2_p_max:
+        raise ModelError("empty lattice for region map")
+    log2_n = [float(v) for v in range(log2_n_min, log2_n_max + 1)]
+    log2_p = [float(v) for v in range(log2_p_min, log2_p_max + 1)]
+    rm = RegionMap(port=port, t_s=t_s, t_w=t_w, log2_n=log2_n, log2_p=log2_p)
+    for ln in log2_n:
+        n = 2.0 ** ln
+        row_w: list[str | None] = []
+        row_t: list[float] = []
+        for lp in log2_p:
+            p = 2.0 ** lp
+            best = best_algorithm(n, p, port, t_s, t_w, algorithms)
+            row_w.append(best[0] if best else None)
+            row_t.append(best[1] if best else float("nan"))
+        rm.winners.append(row_w)
+        rm.times.append(row_t)
+    return rm

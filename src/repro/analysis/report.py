@@ -1,0 +1,211 @@
+"""One-call reproduction report: every table, figure and claim.
+
+:func:`full_report` regenerates the paper's evaluation programmatically —
+Table 1 (measured vs model), Table 2 coefficients, Table 3 space, the
+Figure 13/14 region maps, and the §5 claims — and returns it as one text
+document.  ``hypercube-mm report`` prints it; the benchmark suite produces
+the same artefacts with timing data under ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import io
+
+import numpy as np
+
+from repro.algorithms import ALGORITHMS, get_algorithm
+from repro.analysis.figures import PANELS, render_ascii
+from repro.analysis.measure import extract_coefficients, measure_comm_time
+from repro.analysis.regions import region_map
+from repro.collectives import (
+    CollectiveCosts,
+    allgather,
+    alltoall,
+    broadcast,
+    gather,
+    reduce,
+    reduce_scatter,
+    scatter,
+)
+from repro.models.table2 import overhead_coefficients
+from repro.models.table3 import SPACE_MODELS, overall_space
+from repro.mpi import Comm
+from repro.sim import MachineConfig, PortModel, run_spmd
+
+__all__ = ["full_report", "table1_section", "table2_section", "table3_section"]
+
+_TABLE2_KEYS = [
+    "simple", "cannon", "hje", "berntsen", "dns",
+    "3dd", "3d_all_trans", "3d_all",
+]
+
+
+def _fmt_row(cells: list[str], widths: list[int]) -> str:
+    return "  ".join(c.ljust(w) for c, w in zip(cells, widths))
+
+
+def _render(headers: list[str], rows: list[list[str]]) -> str:
+    widths = [
+        max(len(h), *(len(r[i]) for r in rows)) if rows else len(h)
+        for i, h in enumerate(headers)
+    ]
+    out = [_fmt_row(headers, widths), _fmt_row(["-" * w for w in widths], widths)]
+    out += [_fmt_row(r, widths) for r in rows]
+    return "\n".join(out)
+
+
+def table1_section(N: int = 16, M: int = 32) -> str:
+    """Measured vs Table 1 for every collective and port model."""
+    ops = {
+        "one-to-all broadcast": (
+            lambda comm: broadcast(
+                comm, np.ones(M) if comm.rank == 0 else None, root=0
+            ),
+            CollectiveCosts.broadcast,
+        ),
+        "one-to-all personalized": (
+            lambda comm: scatter(
+                comm, [np.ones(M)] * comm.size if comm.rank == 0 else None, root=0
+            ),
+            CollectiveCosts.scatter,
+        ),
+        "all-to-all broadcast": (
+            lambda comm: allgather(comm, np.ones(M)),
+            CollectiveCosts.allgather,
+        ),
+        "all-to-all personalized": (
+            lambda comm: alltoall(comm, [np.ones(M)] * comm.size),
+            CollectiveCosts.alltoall,
+        ),
+        "all-to-one reduction": (
+            lambda comm: reduce(comm, np.ones(M), root=0),
+            CollectiveCosts.reduce,
+        ),
+        "all-to-all reduction": (
+            lambda comm: reduce_scatter(comm, [np.ones(M)] * comm.size),
+            CollectiveCosts.reduce_scatter,
+        ),
+    }
+    rows = []
+    for label, (body, cost_fn) in ops.items():
+        for port in PortModel:
+            def prog(ctx, body=body):
+                comm = Comm(ctx, list(range(N)))
+                yield from body(comm)
+                return ctx.now
+
+            a = run_spmd(
+                MachineConfig.create(N, t_s=1, t_w=0, port_model=port), prog
+            ).total_time
+            b = run_spmd(
+                MachineConfig.create(N, t_s=0, t_w=1, port_model=port), prog
+            ).total_time
+            ma, mb = cost_fn(N, M, port)
+            rows.append(
+                [label, str(port), f"({a:g}, {b:g})", f"({ma:g}, {mb:g})"]
+            )
+    return (
+        f"TABLE 1 — collectives on an N={N} cube, M={M} words; "
+        "(t_s-term, t_w-term)\n"
+        + _render(["communication", "port", "measured", "model"], rows)
+    )
+
+
+def table2_section(n: int = 64, p: int = 64) -> str:
+    """Measured vs Table 2 coefficients for every applicable algorithm/port."""
+    rows = []
+    for key in _TABLE2_KEYS:
+        if not ALGORITHMS[key].applicable(n, p):
+            continue
+        for port in PortModel:
+            meas = extract_coefficients(key, n, p, port)
+            model = overhead_coefficients(key, n, p, port)
+            rows.append(
+                [
+                    ALGORITHMS[key].name,
+                    str(port),
+                    f"({meas[0]:g}, {meas[1]:g})",
+                    f"({model[0]:g}, {model[1]:.4g})" if model else "-",
+                ]
+            )
+    return (
+        f"TABLE 2 — communication overhead (a, b) at n={n}, p={p}; "
+        "time = a*t_s + b*t_w\n"
+        + _render(["algorithm", "port", "measured", "model"], rows)
+    )
+
+
+def table3_section(n: int = 32) -> str:
+    """Measured vs Table 3 space for every algorithm."""
+    cases = {
+        "simple": 16, "cannon": 16, "hje": 16, "berntsen": 8,
+        "dns": 8, "3dd": 8, "3d_all_trans": 8, "3d_all": 8,
+    }
+    rng = np.random.default_rng(0)
+    A = rng.standard_normal((n, n))
+    B = rng.standard_normal((n, n))
+    rows = []
+    for key, p in cases.items():
+        run = get_algorithm(key).run(A, B, MachineConfig.create(p))
+        measured = run.result.total_peak_memory_words()
+        model = overall_space(key, n, p)
+        rows.append(
+            [
+                ALGORITHMS[key].name,
+                SPACE_MODELS[key].formula,
+                f"{model:.0f}",
+                str(measured),
+            ]
+        )
+    return (
+        f"TABLE 3 — overall space (words, sum of per-node peaks) at n={n}\n"
+        + _render(["algorithm", "formula", "model", "measured"], rows)
+    )
+
+
+def claims_section() -> str:
+    lines = ["HEADLINE CLAIMS (simulated, t_s=150, t_w=3)"]
+    for port in PortModel:
+        t_all = measure_comm_time("3d_all", 64, 64, port, 150, 3)
+        rivals = {
+            k: measure_comm_time(k, 64, 64, port, 150, 3)
+            for k in ("cannon", "berntsen", "3dd", "dns", "3d_all_trans")
+        }
+        ok = all(t_all <= t for t in rivals.values())
+        lines.append(
+            f"  3D All least overhead at n=64, p=64 ({port}): "
+            f"{'HOLDS' if ok else 'VIOLATED'} ({t_all:.0f} vs "
+            + ", ".join(f"{k}={v:.0f}" for k, v in rivals.items())
+            + ")"
+        )
+    hje = measure_comm_time("hje", 64, 64, PortModel.MULTI_PORT, 150, 3)
+    cannon = measure_comm_time("cannon", 64, 64, PortModel.MULTI_PORT, 150, 3)
+    lines.append(
+        f"  HJE < Cannon on multi-port: "
+        f"{'HOLDS' if hje < cannon else 'VIOLATED'} ({hje:.0f} vs {cannon:.0f})"
+    )
+    return "\n".join(lines)
+
+
+def full_report(*, figures: bool = True) -> str:
+    """The complete reproduction: tables, claims, and region maps."""
+    out = io.StringIO()
+    out.write("REPRODUCTION REPORT — Gupta & Sadayappan, SPAA 1994\n")
+    out.write("=" * 66 + "\n\n")
+    out.write(table1_section() + "\n\n")
+    out.write(table2_section() + "\n\n")
+    out.write(table3_section() + "\n\n")
+    out.write(claims_section() + "\n")
+    if figures:
+        for fig, port in ((13, PortModel.ONE_PORT), (14, PortModel.MULTI_PORT)):
+            for panel, (t_s, t_w) in PANELS.items():
+                rm = region_map(port, t_s, t_w, log2_n_max=12, log2_p_max=18)
+                out.write(
+                    "\n"
+                    + render_ascii(
+                        rm,
+                        f"FIGURE {fig}({panel}) — {port}, t_s={t_s:g}, t_w={t_w:g}",
+                    )
+                    + "\n"
+                )
+    return out.getvalue()

@@ -1,0 +1,112 @@
+"""Parameter sweeps and crossover finding over the analytic models.
+
+Utilities behind the "where does algorithm X overtake Y?" questions the
+paper answers with its region figures: 1-D sweeps along ``n``, ``p`` or
+``t_s`` with bisection for the crossover location.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from repro.errors import ModelError
+from repro.models.table2 import communication_overhead
+from repro.sim.machine import PortModel
+
+__all__ = ["sweep", "crossover", "SweepPoint"]
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One sample of a sweep: the variable value and per-algorithm times."""
+
+    value: float
+    times: dict[str, float | None]
+
+    def best(self) -> str | None:
+        valid = {k: v for k, v in self.times.items() if v is not None}
+        if not valid:
+            return None
+        return min(valid, key=valid.get)
+
+
+def sweep(
+    algorithms: tuple[str, ...],
+    variable: str,
+    values: list[float],
+    *,
+    n: float = 256,
+    p: float = 64,
+    port: PortModel = PortModel.ONE_PORT,
+    t_s: float = 150.0,
+    t_w: float = 3.0,
+) -> list[SweepPoint]:
+    """Evaluate the Table 2 overheads along one axis.
+
+    ``variable`` is ``"n"``, ``"p"``, ``"t_s"`` or ``"t_w"``; the other
+    parameters stay fixed at the keyword values.
+    """
+    if variable not in ("n", "p", "t_s", "t_w"):
+        raise ModelError(f"unknown sweep variable {variable!r}")
+    out = []
+    for value in values:
+        kwargs = {"n": n, "p": p, "t_s": t_s, "t_w": t_w}
+        kwargs[variable] = value
+        times = {
+            key: communication_overhead(
+                key, kwargs["n"], kwargs["p"], port, kwargs["t_s"], kwargs["t_w"]
+            )
+            for key in algorithms
+        }
+        out.append(SweepPoint(value=value, times=times))
+    return out
+
+
+def crossover(
+    key_a: str,
+    key_b: str,
+    variable: str,
+    lo: float,
+    hi: float,
+    *,
+    n: float = 256,
+    p: float = 64,
+    port: PortModel = PortModel.ONE_PORT,
+    t_s: float = 150.0,
+    t_w: float = 3.0,
+    iterations: int = 60,
+) -> float | None:
+    """The ``variable`` value where algorithms A and B trade places.
+
+    Bisects ``[lo, hi]``; returns ``None`` when the sign of
+    ``time_A - time_B`` does not change over the interval (no crossover)
+    or either model is inapplicable at an endpoint.
+    """
+
+    def diff(value: float) -> float | None:
+        kwargs = {"n": n, "p": p, "t_s": t_s, "t_w": t_w}
+        kwargs[variable] = value
+        ta = communication_overhead(
+            key_a, kwargs["n"], kwargs["p"], port, kwargs["t_s"], kwargs["t_w"]
+        )
+        tb = communication_overhead(
+            key_b, kwargs["n"], kwargs["p"], port, kwargs["t_s"], kwargs["t_w"]
+        )
+        if ta is None or tb is None:
+            return None
+        return ta - tb
+
+    d_lo, d_hi = diff(lo), diff(hi)
+    if d_lo is None or d_hi is None or d_lo * d_hi > 0:
+        return None
+    for _ in range(iterations):
+        mid = (lo + hi) / 2
+        d_mid = diff(mid)
+        if d_mid is None:
+            return None
+        if d_lo * d_mid <= 0:
+            hi = mid
+            d_hi = d_mid
+        else:
+            lo = mid
+            d_lo = d_mid
+    return (lo + hi) / 2

@@ -1,0 +1,19 @@
+"""Matrix block partitions used by the paper's data distributions."""
+
+from repro.blocks.partition import (
+    BlockPartition2D,
+    ColumnGroups,
+    RowGroups,
+    PartitionFig8,
+    PartitionFig9,
+    f_index,
+)
+
+__all__ = [
+    "BlockPartition2D",
+    "ColumnGroups",
+    "RowGroups",
+    "PartitionFig8",
+    "PartitionFig9",
+    "f_index",
+]

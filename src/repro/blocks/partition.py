@@ -1,0 +1,216 @@
+"""Matrix partitions from the paper's figures.
+
+* :class:`BlockPartition2D` — Figure 1: an ``n × n`` matrix cut into
+  ``q × q`` square blocks ``M_{ij}``.
+* :class:`ColumnGroups` / :class:`RowGroups` — Berntsen's and the 2-D
+  Diagonal algorithm's splits of ``A`` by columns and ``B`` by rows into
+  ``q`` groups.
+* :class:`PartitionFig8` — Figure 8: the 3D All family's partition of ``A``
+  into ``∛p × p^{2/3}`` blocks ``A_{k, f(i,j)}`` with ``f(i,j) = i·∛p + j``.
+* :class:`PartitionFig9` — Figure 9: the transposed layout for ``B``
+  (``p^{2/3} × ∛p`` blocks ``B_{f(i,j), k}``).
+
+Extraction methods return *copies* (C-contiguous) so simulator payloads are
+independent of the source matrix; assembly methods rebuild full matrices
+from per-block dictionaries and are the inverse of extraction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import DistributionError
+
+__all__ = [
+    "BlockPartition2D",
+    "ColumnGroups",
+    "RowGroups",
+    "PartitionFig8",
+    "PartitionFig9",
+    "f_index",
+]
+
+
+def f_index(i: int, j: int, q: int) -> int:
+    """The paper's ``f(i, j) = i·∛p + j`` column-group index (Fig. 8/9)."""
+    return i * q + j
+
+
+def _check_divisible(n: int, q: int, what: str) -> int:
+    if q <= 0:
+        raise DistributionError(f"{what}: group count must be positive, got {q}")
+    if n % q:
+        raise DistributionError(
+            f"{what}: matrix size {n} not divisible into {q} groups"
+        )
+    return n // q
+
+
+class BlockPartition2D:
+    """Figure 1: ``q × q`` square blocks of an ``n × n`` matrix."""
+
+    def __init__(self, n: int, q: int):
+        self.n = n
+        self.q = q
+        self.block = _check_divisible(n, q, "2-D block partition")
+
+    @property
+    def block_shape(self) -> tuple[int, int]:
+        return (self.block, self.block)
+
+    def extract(self, matrix: np.ndarray, i: int, j: int) -> np.ndarray:
+        """Block ``M_{ij}`` (row block ``i``, column block ``j``)."""
+        self._check_index(i, j)
+        b = self.block
+        return np.ascontiguousarray(matrix[i * b:(i + 1) * b, j * b:(j + 1) * b])
+
+    def assemble(self, blocks: dict[tuple[int, int], np.ndarray]) -> np.ndarray:
+        """Rebuild the full matrix from ``{(i, j): block}``."""
+        out = np.zeros((self.n, self.n))
+        b = self.block
+        for (i, j), blk in blocks.items():
+            self._check_index(i, j)
+            if blk.shape != (b, b):
+                raise DistributionError(
+                    f"block ({i},{j}) has shape {blk.shape}, expected {(b, b)}"
+                )
+            out[i * b:(i + 1) * b, j * b:(j + 1) * b] = blk
+        return out
+
+    def _check_index(self, i: int, j: int) -> None:
+        if not (0 <= i < self.q and 0 <= j < self.q):
+            raise DistributionError(
+                f"block index ({i},{j}) out of range for {self.q}x{self.q} blocks"
+            )
+
+
+class ColumnGroups:
+    """``q`` groups of consecutive columns (``n × n/q`` slabs)."""
+
+    def __init__(self, n: int, q: int):
+        self.n = n
+        self.q = q
+        self.width = _check_divisible(n, q, "column groups")
+
+    def extract(self, matrix: np.ndarray, j: int) -> np.ndarray:
+        self._check_index(j)
+        w = self.width
+        return np.ascontiguousarray(matrix[:, j * w:(j + 1) * w])
+
+    def assemble(self, groups: dict[int, np.ndarray]) -> np.ndarray:
+        out = np.zeros((self.n, self.n))
+        w = self.width
+        for j, g in groups.items():
+            self._check_index(j)
+            out[:, j * w:(j + 1) * w] = g
+        return out
+
+    def _check_index(self, j: int) -> None:
+        if not 0 <= j < self.q:
+            raise DistributionError(f"column group {j} out of range for q={self.q}")
+
+
+class RowGroups:
+    """``q`` groups of consecutive rows (``n/q × n`` slabs)."""
+
+    def __init__(self, n: int, q: int):
+        self.n = n
+        self.q = q
+        self.height = _check_divisible(n, q, "row groups")
+
+    def extract(self, matrix: np.ndarray, i: int) -> np.ndarray:
+        self._check_index(i)
+        h = self.height
+        return np.ascontiguousarray(matrix[i * h:(i + 1) * h, :])
+
+    def assemble(self, groups: dict[int, np.ndarray]) -> np.ndarray:
+        out = np.zeros((self.n, self.n))
+        h = self.height
+        for i, g in groups.items():
+            self._check_index(i)
+            out[i * h:(i + 1) * h, :] = g
+        return out
+
+    def _check_index(self, i: int) -> None:
+        if not 0 <= i < self.q:
+            raise DistributionError(f"row group {i} out of range for q={self.q}")
+
+
+class PartitionFig8:
+    """Figure 8: ``A`` cut into ``q`` row blocks × ``q²`` column blocks.
+
+    Block ``A_{k, c}`` has shape ``(n/q, n/q²)``; processor ``p_{i,j,k}``
+    initially holds ``A_{k, f(i,j)}``.
+    """
+
+    def __init__(self, n: int, q: int):
+        self.n = n
+        self.q = q
+        self.row_block = _check_divisible(n, q, "Fig. 8 rows")
+        self.col_block = _check_divisible(n, q * q, "Fig. 8 columns")
+
+    @property
+    def block_shape(self) -> tuple[int, int]:
+        return (self.row_block, self.col_block)
+
+    def extract(self, matrix: np.ndarray, k: int, c: int) -> np.ndarray:
+        """Block ``A_{k, c}`` with ``0 <= k < q`` and ``0 <= c < q²``."""
+        self._check_index(k, c)
+        rb, cb = self.row_block, self.col_block
+        return np.ascontiguousarray(
+            matrix[k * rb:(k + 1) * rb, c * cb:(c + 1) * cb]
+        )
+
+    def assemble(self, blocks: dict[tuple[int, int], np.ndarray]) -> np.ndarray:
+        out = np.zeros((self.n, self.n))
+        rb, cb = self.row_block, self.col_block
+        for (k, c), blk in blocks.items():
+            self._check_index(k, c)
+            out[k * rb:(k + 1) * rb, c * cb:(c + 1) * cb] = blk
+        return out
+
+    def _check_index(self, k: int, c: int) -> None:
+        if not (0 <= k < self.q and 0 <= c < self.q * self.q):
+            raise DistributionError(
+                f"Fig. 8 block ({k},{c}) out of range for q={self.q}"
+            )
+
+
+class PartitionFig9:
+    """Figure 9: ``B`` cut into ``q²`` row blocks × ``q`` column blocks.
+
+    Block ``B_{r, k}`` has shape ``(n/q², n/q)``; in the 3D All_Trans
+    algorithm processor ``p_{i,j,k}`` initially holds ``B_{f(i,j), k}``.
+    """
+
+    def __init__(self, n: int, q: int):
+        self.n = n
+        self.q = q
+        self.row_block = _check_divisible(n, q * q, "Fig. 9 rows")
+        self.col_block = _check_divisible(n, q, "Fig. 9 columns")
+
+    @property
+    def block_shape(self) -> tuple[int, int]:
+        return (self.row_block, self.col_block)
+
+    def extract(self, matrix: np.ndarray, r: int, k: int) -> np.ndarray:
+        """Block ``B_{r, k}`` with ``0 <= r < q²`` and ``0 <= k < q``."""
+        self._check_index(r, k)
+        rb, cb = self.row_block, self.col_block
+        return np.ascontiguousarray(
+            matrix[r * rb:(r + 1) * rb, k * cb:(k + 1) * cb]
+        )
+
+    def assemble(self, blocks: dict[tuple[int, int], np.ndarray]) -> np.ndarray:
+        out = np.zeros((self.n, self.n))
+        rb, cb = self.row_block, self.col_block
+        for (r, k), blk in blocks.items():
+            self._check_index(r, k)
+            out[r * rb:(r + 1) * rb, k * cb:(k + 1) * cb] = blk
+        return out
+
+    def _check_index(self, r: int, k: int) -> None:
+        if not (0 <= r < self.q * self.q and 0 <= k < self.q):
+            raise DistributionError(
+                f"Fig. 9 block ({r},{k}) out of range for q={self.q}"
+            )

@@ -1,0 +1,297 @@
+"""Command-line interface: ``hypercube-mm`` (or ``python -m repro``).
+
+Subcommands
+-----------
+``run``          simulate one algorithm and report timing/volume/correctness
+``compare``      tabulate all applicable algorithms at one (n, p) point
+``figure``       render a Figure 13/14 region-map panel as ASCII
+``table2``       measured vs modelled (a, b) coefficients for one point
+``trace``        run one algorithm and draw an ASCII Gantt chart
+``scalability``  isoefficiency curves (n required to hold efficiency E)
+``report``       regenerate the paper's full evaluation in one run
+``list``         list the available algorithms
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro import ALGORITHMS, MachineConfig, PortModel, get_algorithm
+from repro.analysis.figures import PANELS, render_ascii
+from repro.analysis.measure import measured_vs_model
+from repro.analysis.regions import region_map
+from repro.analysis.scalability import isoefficiency_curve
+from repro.errors import NotApplicableError, ReproError
+from repro.models.table2 import overhead_coefficients
+from repro.sim import RoutingMode
+from repro.sim.gantt import render_gantt
+
+__all__ = ["main"]
+
+
+def _port(value: str) -> PortModel:
+    return PortModel.MULTI_PORT if value == "multi" else PortModel.ONE_PORT
+
+
+def _routing(value: str) -> RoutingMode:
+    return (
+        RoutingMode.CUT_THROUGH if value == "ct" else RoutingMode.STORE_AND_FORWARD
+    )
+
+
+def _machine(args) -> MachineConfig:
+    return MachineConfig.create(
+        args.p,
+        t_s=args.ts,
+        t_w=args.tw,
+        t_c=getattr(args, "tc", 0.0),
+        port_model=_port(args.port),
+        routing=_routing(getattr(args, "routing", "sf")),
+    )
+
+
+def _add_machine_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--ts", type=float, default=150.0, help="start-up cost t_s")
+    p.add_argument("--tw", type=float, default=3.0, help="per-word cost t_w")
+    p.add_argument("--tc", type=float, default=0.0, help="per-flop cost t_c")
+    p.add_argument(
+        "--port", choices=["one", "multi"], default="one",
+        help="port model (one-port or multi-port nodes)",
+    )
+    p.add_argument(
+        "--routing", choices=["sf", "ct"], default="sf",
+        help="multi-hop routing: store-and-forward (sf) or cut-through (ct)",
+    )
+
+
+def _cmd_list(_args) -> int:
+    for key, algo in sorted(ALGORITHMS.items()):
+        print(f"{key:14s} {algo.name:22s} (paper §{algo.paper_section})")
+    return 0
+
+
+def _cmd_run(args) -> int:
+    rng = np.random.default_rng(args.seed)
+    A = rng.standard_normal((args.n, args.n))
+    B = rng.standard_normal((args.n, args.n))
+    config = _machine(args)
+    algo = get_algorithm(args.algorithm)
+    run = algo.run(A, B, config, verify=True)
+    print(f"algorithm       : {algo.name} (§{algo.paper_section})")
+    print(f"machine         : p={args.p} {config.port_model.value} "
+          f"t_s={args.ts:g} t_w={args.tw:g} t_c={args.tc:g}")
+    print(f"matrix          : n={args.n}")
+    print(f"simulated time  : {run.total_time:.2f}")
+    print(f"comm time       : {run.comm_time:.2f}")
+    print(f"messages        : {run.result.total_messages()}")
+    print(f"words sent      : {run.result.total_words_sent()}")
+    print(f"peak words/node : {run.result.max_peak_memory_words()}")
+    coeffs = overhead_coefficients(args.algorithm, args.n, args.p, config.port_model)
+    if coeffs is not None:
+        a, b = coeffs
+        print(f"Table 2 model   : {a * args.ts + b * args.tw:.2f} "
+              f"(a={a:g}, b={b:g})")
+    print("verified        : C == A @ B")
+    for name, (start, end) in sorted(
+        run.result.phase_times.items(), key=lambda kv: kv[1][0]
+    ):
+        print(f"  phase {name:14s} [{start:10.2f}, {end:10.2f}]")
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    rng = np.random.default_rng(args.seed)
+    A = rng.standard_normal((args.n, args.n))
+    B = rng.standard_normal((args.n, args.n))
+    port = _port(args.port)
+    config = _machine(args)
+    print(f"n={args.n} p={args.p} {port.value} t_s={args.ts:g} t_w={args.tw:g}")
+    print(f"{'algorithm':22s} {'simulated':>12s} {'Table 2':>12s}")
+    rows = []
+    for key, algo in sorted(ALGORITHMS.items()):
+        try:
+            run = algo.run(A, B, config, verify=True)
+        except NotApplicableError as exc:
+            print(f"{algo.name:22s} {'n/a':>12s}  ({exc})")
+            continue
+        coeffs = overhead_coefficients(key, args.n, args.p, port)
+        model = (
+            f"{coeffs[0] * args.ts + coeffs[1] * args.tw:12.2f}"
+            if coeffs is not None
+            else f"{'-':>12s}"
+        )
+        rows.append((run.total_time, algo.name, model))
+        print(f"{algo.name:22s} {run.total_time:12.2f} {model}")
+    if rows:
+        best = min(rows)
+        print(f"best: {best[1]} ({best[0]:.2f})")
+    return 0
+
+
+def _cmd_figure(args) -> int:
+    port = PortModel.ONE_PORT if args.figure == 13 else PortModel.MULTI_PORT
+    t_s, t_w = PANELS[args.panel]
+    rm = region_map(
+        port, t_s, t_w, log2_n_max=args.log2n, log2_p_max=args.log2p
+    )
+    title = (
+        f"Figure {args.figure}({args.panel}): {port.value}, "
+        f"t_s={t_s:g}, t_w={t_w:g}"
+    )
+    print(render_ascii(rm, title))
+    return 0
+
+
+def _cmd_table2(args) -> int:
+    port = _port(args.port)
+    print(f"n={args.n} p={args.p} {port.value}")
+    print(f"{'algorithm':22s} {'measured (a, b)':>24s} {'Table 2 (a, b)':>24s}")
+    for key in sorted(ALGORITHMS):
+        algo = ALGORITHMS[key]
+        if not algo.applicable(args.n, args.p):
+            continue
+        cmp = measured_vs_model(key, args.n, args.p, port)
+        ma, mb = cmp.measured
+        model = (
+            f"({cmp.model[0]:9.1f}, {cmp.model[1]:9.1f})"
+            if cmp.model
+            else f"{'-':>22s}"
+        )
+        print(f"{algo.name:22s}  ({ma:9.1f}, {mb:9.1f})  {model}")
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    rng = np.random.default_rng(args.seed)
+    A = rng.standard_normal((args.n, args.n))
+    B = rng.standard_normal((args.n, args.n))
+    config = _machine(args)
+    algo = get_algorithm(args.algorithm)
+    run = algo.run(A, B, config, verify=True, trace=True)
+    print(
+        f"{algo.name}: n={args.n}, p={args.p}, {config.port_model.value}, "
+        f"{config.routing.value}, total={run.total_time:g}"
+    )
+    ranks = list(range(min(args.p, args.lanes)))
+    print(render_gantt(run.result, width=args.width, ranks=ranks))
+    return 0
+
+
+def _cmd_scalability(args) -> int:
+    port = _port(args.port)
+    ps = [float(2 ** k) for k in range(3, args.log2p_max + 1)]
+    print(
+        f"n required to hold efficiency E={args.efficiency:g} "
+        f"({port.value}, t_s={args.ts:g}, t_w={args.tw:g}, t_c={args.tc_flops:g})"
+    )
+    keys = args.algorithms or ["cannon", "berntsen", "3dd", "3d_all"]
+    header = f"{'p':>10s}" + "".join(f"{k:>14s}" for k in keys)
+    print(header)
+    for p in ps:
+        row = f"{int(p):10d}"
+        for key in keys:
+            n = isoefficiency_curve(
+                key, [p], args.efficiency, port, args.ts, args.tw, args.tc_flops
+            )[0].n_required
+            row += f"{n:14.0f}" if n is not None else f"{'-':>14s}"
+        print(row)
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from repro.analysis.report import full_report
+
+    text = full_report(figures=not args.no_figures)
+    if args.output:
+        with open(args.output, "w") as fh:
+            fh.write(text)
+        print(f"report written to {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="hypercube-mm",
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list algorithms").set_defaults(func=_cmd_list)
+
+    p_run = sub.add_parser("run", help="simulate one algorithm")
+    p_run.add_argument("algorithm", choices=sorted(ALGORITHMS))
+    p_run.add_argument("-n", type=int, default=64, help="matrix size")
+    p_run.add_argument("-p", type=int, default=64, help="processor count")
+    p_run.add_argument("--seed", type=int, default=0)
+    _add_machine_args(p_run)
+    p_run.set_defaults(func=_cmd_run)
+
+    p_cmp = sub.add_parser("compare", help="compare all applicable algorithms")
+    p_cmp.add_argument("-n", type=int, default=64)
+    p_cmp.add_argument("-p", type=int, default=64)
+    p_cmp.add_argument("--seed", type=int, default=0)
+    _add_machine_args(p_cmp)
+    p_cmp.set_defaults(func=_cmd_compare)
+
+    p_fig = sub.add_parser("figure", help="render a Figure 13/14 panel")
+    p_fig.add_argument("figure", type=int, choices=[13, 14])
+    p_fig.add_argument("panel", choices=sorted(PANELS))
+    p_fig.add_argument("--log2n", type=int, default=13)
+    p_fig.add_argument("--log2p", type=int, default=20)
+    p_fig.set_defaults(func=_cmd_figure)
+
+    p_t2 = sub.add_parser("table2", help="measured vs modelled coefficients")
+    p_t2.add_argument("-n", type=int, default=16)
+    p_t2.add_argument("-p", type=int, default=16)
+    _add_machine_args(p_t2)
+    p_t2.set_defaults(func=_cmd_table2)
+
+    p_tr = sub.add_parser("trace", help="draw an ASCII Gantt chart of a run")
+    p_tr.add_argument("algorithm", choices=sorted(ALGORITHMS))
+    p_tr.add_argument("-n", type=int, default=16)
+    p_tr.add_argument("-p", type=int, default=8)
+    p_tr.add_argument("--seed", type=int, default=0)
+    p_tr.add_argument("--width", type=int, default=72)
+    p_tr.add_argument("--lanes", type=int, default=16, help="max lanes shown")
+    _add_machine_args(p_tr)
+    p_tr.set_defaults(func=_cmd_trace)
+
+    p_sc = sub.add_parser("scalability", help="isoefficiency curves")
+    p_sc.add_argument("-E", "--efficiency", type=float, default=0.8)
+    p_sc.add_argument("--log2p-max", type=int, default=15)
+    p_sc.add_argument("--tc-flops", type=float, default=1.0,
+                      help="t_c per flop used for the efficiency model")
+    p_sc.add_argument("--algorithms", nargs="*", choices=sorted(ALGORITHMS))
+    _add_machine_args(p_sc)
+    p_sc.set_defaults(func=_cmd_scalability)
+
+    p_rep = sub.add_parser(
+        "report", help="regenerate the paper's full evaluation"
+    )
+    p_rep.add_argument("-o", "--output", help="write to a file instead of stdout")
+    p_rep.add_argument(
+        "--no-figures", action="store_true", help="skip the region maps"
+    )
+    p_rep.set_defaults(func=_cmd_report)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

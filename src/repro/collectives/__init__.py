@@ -1,0 +1,46 @@
+"""Collective communication on subcube communicators.
+
+Every operation comes in two executable schedules:
+
+* a **one-port-optimal** schedule — spanning-binomial-tree (SBT) or
+  recursive-doubling/dimension-exchange patterns achieving the one-port
+  column of the paper's Table 1, and
+* a **multi-port-optimal** schedule — the message is split into ``log N``
+  chunks driven down ``log N`` *rotated* (edge-disjoint) binomial trees or
+  rotated dimension-exchange schedules, achieving the ``log N``-fold
+  data-transmission improvement of the multi-port column (valid when
+  ``M >= log N``, as the paper notes).
+
+The top-level functions dispatch on the machine's port model; pass
+``schedule=`` explicitly for ablation studies (e.g. running the one-port
+schedule on a multi-port machine).
+
+All functions are generators: call them as
+``result = yield from allgather(comm, block)`` inside an SPMD program.
+"""
+
+from repro.collectives.api import (
+    Schedule,
+    allgather,
+    alltoall,
+    broadcast,
+    gather,
+    reduce,
+    reduce_scatter,
+    scatter,
+)
+from repro.collectives.allreduce import allreduce
+from repro.collectives.cost import CollectiveCosts
+
+__all__ = [
+    "Schedule",
+    "broadcast",
+    "scatter",
+    "gather",
+    "allgather",
+    "alltoall",
+    "reduce",
+    "reduce_scatter",
+    "allreduce",
+    "CollectiveCosts",
+]

@@ -1,0 +1,48 @@
+"""All-reduce: every rank ends with the full reduction.
+
+Composed the bandwidth-optimal way — reduce-scatter followed by allgather —
+so the ``t_w`` term is ``2(N-1)M/N`` per one-port step pattern instead of
+the naive reduce+broadcast's ``2M·log N``.  Not used by the paper's
+algorithms (their reductions are rooted or scattered), but part of any
+credible collective library and used by the examples.
+
+Cost (both phases from Table 1, with per-piece size ``M/N``):
+
+* one-port: ``2·t_s·log N + 2·t_w·(N-1)·M/N``
+* multi-port: ``2·t_s·log N + 2·t_w·(N-1)·M/(N·log N)``
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.collectives.allgather import allgather
+from repro.collectives.api import Schedule
+from repro.collectives.chunking import chunk_header, rebuild_from_header, split_chunks
+from repro.collectives.reduce_scatter import reduce_scatter
+from repro.mpi.communicator import Comm
+
+__all__ = ["allreduce"]
+
+
+def allreduce(
+    comm: Comm,
+    block: Any,
+    op: Callable = np.add,
+    tag: int = 8,
+    schedule: Schedule | None = None,
+):
+    """Reduce every rank's ``block`` with ``op``; all ranks get the result.
+
+    Generator — call with ``yield from``.
+    """
+    arr = np.asarray(block)
+    if comm.size == 1:
+        return arr
+    header = chunk_header(arr)
+    pieces = [np.asarray(c) for c in split_chunks(arr, comm.size)]
+    mine = yield from reduce_scatter(comm, pieces, op=op, tag=tag, schedule=schedule)
+    gathered = yield from allgather(comm, mine, tag=tag + 1, schedule=schedule)
+    return rebuild_from_header([np.asarray(g).ravel() for g in gathered], header)

@@ -1,0 +1,114 @@
+"""All-to-one collection (gather) — the inverse of scatter.
+
+One-port: combining binomial tree; a node forwards its accumulated blocks
+at the step of its first set relative bit.  Message volumes double towards
+the root, totalling ``t_s·log N + t_w·(N-1)·M``.
+
+Multi-port: chunked rotated combining trees, ``t_s·log N +
+t_w·(N-1)·M/log N``.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.collectives.api import Schedule, resolve_schedule, subtag
+from repro.collectives.chunking import chunk_header, rebuild_from_header, split_chunks
+from repro.collectives.sbt import (
+    combine_child,
+    combine_parent,
+    combine_send_step,
+    identity_order,
+    rotated_order,
+)
+from repro.mpi.communicator import Comm
+
+__all__ = ["gather"]
+
+
+def gather(
+    comm: Comm,
+    block: Any,
+    root: int = 0,
+    tag: int = 3,
+    schedule: Schedule | None = None,
+):
+    """Gather every rank's ``block`` to ``root``.
+
+    Returns the list of blocks indexed by comm rank on the root, ``None``
+    elsewhere.  Generator — call with ``yield from``.
+    """
+    if comm.size == 1:
+        return [block]
+    sched = resolve_schedule(comm, schedule)
+    if sched is Schedule.SBT:
+        return (yield from _gather_sbt(comm, block, root, tag))
+    return (yield from _gather_rotated(comm, block, root, tag))
+
+
+def _gather_sbt(comm: Comm, block: Any, root: int, tag: int):
+    d = comm.dimension
+    order = identity_order(d)
+    rel = comm.rel_index(comm.rank, root)
+    holding = {rel: block}
+    my_step = combine_send_step(rel, order)
+
+    for t in range(d):
+        if t == my_step:
+            parent = comm.from_rel(combine_parent(rel, order), root)
+            yield from comm.send(parent, holding, subtag(tag, t))
+            return None
+        child_rel = combine_child(rel, order, t)
+        if child_rel is not None:
+            child = comm.from_rel(child_rel, root)
+            got = yield from comm.recv(child, subtag(tag, t))
+            holding.update(got)
+
+    # Only the root reaches here.
+    return [holding[comm.rel_index(cr, root)] for cr in range(comm.size)]
+
+
+def _gather_rotated(comm: Comm, block: Any, root: int, tag: int):
+    arr = np.asarray(block)
+    d = comm.dimension
+    rel = comm.rel_index(comm.rank, root)
+    orders = [rotated_order(d, j) for j in range(d)]
+    header = chunk_header(arr)
+    have = [{rel: (chunk, header)} for chunk in split_chunks(arr, d)]
+    send_steps = [combine_send_step(rel, orders[j]) for j in range(d)]
+
+    for t in range(d):
+        handles = []
+        arrivals = []
+        for j in range(d):
+            if send_steps[j] == t:
+                parent = comm.from_rel(combine_parent(rel, orders[j]), root)
+                h = yield from comm.isend(parent, have[j], subtag(tag, j))
+                have[j] = None
+                handles.append(h)
+            elif send_steps[j] is None or send_steps[j] > t:
+                child_rel = combine_child(rel, orders[j], t)
+                if child_rel is not None:
+                    child = comm.from_rel(child_rel, root)
+                    h = yield from comm.irecv(child, subtag(tag, j))
+                    arrivals.append((j, h))
+                    handles.append(h)
+        if handles:
+            yield from comm.ctx.waitall(handles)
+        for j, h in arrivals:
+            have[j].update(h.value)
+
+    if rel != 0:
+        return None
+    out = []
+    for cr in range(comm.size):
+        r = comm.rel_index(cr, root)
+        chunks = []
+        hdr = None
+        for j in range(d):
+            chunk, hdr = have[j][r]
+            chunks.append(chunk)
+        out.append(rebuild_from_header(chunks, hdr))
+    return out

@@ -1,0 +1,139 @@
+"""Spanning-binomial-tree combinatorics (plain and rotated).
+
+All functions work on *relative* subcube indices: the root of an operation
+is relative index 0 and every other participant is its subcube index XORed
+with the root's (see :meth:`repro.mpi.communicator.Comm.rel_index`).
+
+A tree is described by its **dimension order** ``order = (a_0, …, a_{d-1})``:
+the subcube dimension processed at each step.  The plain SBT uses the
+identity order; the ``log N`` *rotated* trees use orders shifted by
+``j = 0 … d-1``.  Two rotated trees never use the same dimension at the
+same step, which is what makes the multi-port schedules edge-disjoint and
+buys the ``log N``-fold bandwidth of Table 1.
+
+Distribution trees (broadcast, scatter) grow the holder set from the root:
+at step ``t`` every node whose relative bits lie within ``order[:t]`` sends
+across dimension ``order[t]``.  Combining trees (reduce, gather) are the
+mirror image: a node sends its accumulated data at the step of its first
+set bit (in ``order`` position), to the parent obtained by clearing it.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SimulationError
+
+__all__ = [
+    "identity_order",
+    "rotated_order",
+    "dims_mask",
+    "distribute_child",
+    "distribute_recv_step",
+    "distribute_parent",
+    "combine_send_step",
+    "combine_parent",
+    "combine_child",
+    "subtree_members",
+]
+
+
+def identity_order(d: int) -> tuple[int, ...]:
+    """The plain SBT dimension order ``(0, 1, …, d-1)``."""
+    return tuple(range(d))
+
+
+def rotated_order(d: int, j: int) -> tuple[int, ...]:
+    """Dimension order of rotated tree ``j``: ``(j, j+1, …) mod d``."""
+    if not 0 <= j < d:
+        raise SimulationError(f"rotation {j} out of range for {d} dimensions")
+    return tuple((j + t) % d for t in range(d))
+
+
+def dims_mask(order: tuple[int, ...], t: int) -> int:
+    """Bitmask of the first ``t`` dimensions of ``order``."""
+    mask = 0
+    for a in order[:t]:
+        mask |= 1 << a
+    return mask
+
+
+# -- distribution trees (broadcast / scatter) -------------------------------
+
+
+def distribute_child(rel: int, order: tuple[int, ...], t: int) -> int | None:
+    """Relative index this node sends to at step ``t``, or ``None``.
+
+    A node participates as a sender at step ``t`` iff it already holds the
+    data, i.e. its relative bits lie within ``order[:t]``.
+    """
+    if rel & ~dims_mask(order, t):
+        return None
+    return rel | (1 << order[t])
+
+
+def distribute_recv_step(rel: int, order: tuple[int, ...]) -> int | None:
+    """Step at which this node receives, or ``None`` for the root."""
+    if rel == 0:
+        return None
+    last = -1
+    for t, a in enumerate(order):
+        if (rel >> a) & 1:
+            last = t
+    if last < 0:
+        raise SimulationError(f"relative index {rel} has bits outside order {order}")
+    return last
+
+
+def distribute_parent(rel: int, order: tuple[int, ...]) -> int:
+    """The node this one receives from (clear the last-processed bit)."""
+    t = distribute_recv_step(rel, order)
+    if t is None:
+        raise SimulationError("the root has no parent")
+    return rel & ~(1 << order[t])
+
+
+# -- combining trees (reduce / gather) --------------------------------------
+
+
+def combine_send_step(rel: int, order: tuple[int, ...]) -> int | None:
+    """Step at which this node sends its accumulation (first set bit), or
+    ``None`` for the root (which never sends)."""
+    if rel == 0:
+        return None
+    for t, a in enumerate(order):
+        if (rel >> a) & 1:
+            return t
+    raise SimulationError(f"relative index {rel} has bits outside order {order}")
+
+
+def combine_parent(rel: int, order: tuple[int, ...]) -> int:
+    """The node this one sends its accumulation to (first set bit cleared)."""
+    t = combine_send_step(rel, order)
+    if t is None:
+        raise SimulationError("the root has no parent")
+    return rel & ~(1 << order[t])
+
+
+def combine_child(rel: int, order: tuple[int, ...], t: int) -> int | None:
+    """Relative index that sends to this node at step ``t``, or ``None``.
+
+    Node ``rel`` receives at step ``t`` iff its bits over ``order[:t+1]``
+    are all clear; the child is ``rel | 1 << order[t]``.
+    """
+    if rel & dims_mask(order, t + 1):
+        return None
+    return rel | (1 << order[t])
+
+
+def subtree_members(rel: int, order: tuple[int, ...], t: int) -> list[int]:
+    """Relative indices whose data node ``rel`` is responsible for after
+    step ``t`` of a scatter (they agree with ``rel`` on ``order[:t]``)."""
+    fixed = dims_mask(order, t)
+    free = [a for a in order[t:]]
+    out = []
+    for combo in range(1 << len(free)):
+        node = rel & fixed
+        for k, a in enumerate(free):
+            if (combo >> k) & 1:
+                node |= 1 << a
+        out.append(node)
+    return out

@@ -1,0 +1,144 @@
+"""One-to-all personalized broadcast (scatter).
+
+One-port schedule: spanning binomial tree.  At step ``t`` each holder
+forwards the half of its remaining destination blocks that belong to the
+subtree across dimension ``order[t]``; message volumes halve every step, so
+the total is ``t_s·log N + t_w·(N-1)·M`` (Table 1).
+
+Multi-port schedule: every destination block is split into ``log N`` chunks
+and chunk ``j`` of *all* blocks flows down rotated tree ``j``; the trees are
+edge-disjoint per step, giving ``t_s·log N + t_w·(N-1)·M/log N``.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.collectives.api import Schedule, resolve_schedule, subtag
+from repro.collectives.chunking import chunk_header, rebuild_from_header, split_chunks
+from repro.collectives.sbt import (
+    distribute_child,
+    distribute_parent,
+    distribute_recv_step,
+    identity_order,
+    rotated_order,
+)
+from repro.errors import SimulationError
+from repro.mpi.communicator import Comm
+
+__all__ = ["scatter"]
+
+
+def scatter(
+    comm: Comm,
+    blocks: Sequence | None,
+    root: int = 0,
+    tag: int = 2,
+    schedule: Schedule | None = None,
+):
+    """Scatter ``blocks[i]`` from ``root`` to comm rank ``i``; returns mine.
+
+    ``blocks`` (indexed by comm rank) is only read on the root; other ranks
+    should pass ``None``.  Generator — call with ``yield from``.
+    """
+    if comm.rank == root:
+        if blocks is None or len(blocks) != comm.size:
+            raise SimulationError(
+                f"root must supply {comm.size} blocks, got "
+                f"{'None' if blocks is None else len(blocks)}"
+            )
+    if comm.size == 1:
+        return blocks[0]
+    sched = resolve_schedule(comm, schedule)
+    if sched is Schedule.SBT:
+        return (yield from _scatter_sbt(comm, blocks, root, tag))
+    return (yield from _scatter_rotated(comm, blocks, root, tag))
+
+
+def _scatter_sbt(comm: Comm, blocks, root: int, tag: int):
+    d = comm.dimension
+    order = identity_order(d)
+    rel = comm.rel_index(comm.rank, root)
+
+    if rel == 0:
+        holding = {
+            comm.rel_index(cr, root): blocks[cr] for cr in range(comm.size)
+        }
+        start = 0
+    else:
+        t_recv = distribute_recv_step(rel, order)
+        parent = comm.from_rel(distribute_parent(rel, order), root)
+        holding = yield from comm.recv(parent, subtag(tag, t_recv))
+        start = t_recv + 1
+
+    for t in range(start, d):
+        child = comm.from_rel(distribute_child(rel, order, t), root)
+        moving = {
+            r: holding.pop(r)
+            for r in list(holding)
+            if (r >> order[t]) & 1
+        }
+        yield from comm.send(child, moving, subtag(tag, t))
+
+    if set(holding) != {rel}:
+        raise SimulationError(f"scatter invariant broken at rel {rel}: {set(holding)}")
+    return holding[rel]
+
+
+def _scatter_rotated(comm: Comm, blocks, root: int, tag: int):
+    d = comm.dimension
+    rel = comm.rel_index(comm.rank, root)
+    orders = [rotated_order(d, j) for j in range(d)]
+
+    if rel == 0:
+        have = []
+        for j in range(d):
+            tree = {}
+            for cr in range(comm.size):
+                arr = np.asarray(blocks[cr])
+                tree[comm.rel_index(cr, root)] = (
+                    split_chunks(arr, d)[j],
+                    chunk_header(arr),
+                )
+            have.append(tree)
+        recv_steps = [None] * d
+    else:
+        have = [{} for _ in range(d)]
+        recv_steps = [distribute_recv_step(rel, orders[j]) for j in range(d)]
+
+    for t in range(d):
+        handles = []
+        arrivals = []
+        for j in range(d):
+            if rel == 0 or recv_steps[j] < t:
+                dim = orders[j][t]
+                child = comm.from_rel(distribute_child(rel, orders[j], t), root)
+                moving = {
+                    r: have[j].pop(r)
+                    for r in list(have[j])
+                    if (r >> dim) & 1
+                }
+                h = yield from comm.isend(child, moving, subtag(tag, j))
+                handles.append(h)
+            elif recv_steps[j] == t:
+                parent = comm.from_rel(distribute_parent(rel, orders[j]), root)
+                h = yield from comm.irecv(parent, subtag(tag, j))
+                arrivals.append((j, h))
+                handles.append(h)
+        if handles:
+            yield from comm.ctx.waitall(handles)
+        for j, h in arrivals:
+            have[j].update(h.value)
+
+    chunks = []
+    header = None
+    for j in range(d):
+        if set(have[j]) != {rel}:
+            raise SimulationError(
+                f"rotated scatter invariant broken at rel {rel}, tree {j}"
+            )
+        chunk, header = have[j][rel]
+        chunks.append(chunk)
+    return rebuild_from_header(chunks, header)

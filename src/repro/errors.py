@@ -1,0 +1,70 @@
+"""Exception hierarchy for the repro package.
+
+Everything raised deliberately by this library derives from
+:class:`ReproError` so callers can catch library failures without also
+swallowing programming errors.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "TopologyError",
+    "SimulationError",
+    "DeadlockError",
+    "CommunicatorError",
+    "DistributionError",
+    "AlgorithmError",
+    "NotApplicableError",
+    "ModelError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class TopologyError(ReproError):
+    """Invalid hypercube/grid construction or addressing."""
+
+
+class SimulationError(ReproError):
+    """Errors in the discrete-event engine (bad ops, misuse of handles)."""
+
+
+class DeadlockError(SimulationError):
+    """All ranks are blocked and no events remain: the SPMD program hung.
+
+    Carries the set of blocked ranks and what each is waiting on, which is
+    usually enough to spot a mismatched send/recv pair.
+    """
+
+    def __init__(self, blocked: dict[int, str]):
+        self.blocked = dict(blocked)
+        detail = ", ".join(f"rank {r}: {w}" for r, w in sorted(blocked.items())[:16])
+        more = "" if len(blocked) <= 16 else f" (+{len(blocked) - 16} more)"
+        super().__init__(f"deadlock: {len(blocked)} rank(s) blocked — {detail}{more}")
+
+
+class CommunicatorError(ReproError):
+    """Misuse of a communicator (rank out of range, self-send, etc.)."""
+
+
+class DistributionError(ReproError):
+    """A matrix distribution does not fit the grid or matrix shape."""
+
+
+class AlgorithmError(ReproError):
+    """Algorithm-level failures (bad configuration, internal invariant)."""
+
+
+class NotApplicableError(AlgorithmError):
+    """The algorithm's applicability condition (Table 3) is not met.
+
+    For example Cannon requires ``p <= n**2`` and the 3D algorithms require
+    ``p`` to be a power of eight with ``p <= n**(3/2)``.
+    """
+
+
+class ModelError(ReproError):
+    """Analytic cost-model misuse (e.g. evaluating outside a model's domain)."""

@@ -1,0 +1,30 @@
+"""Closed-form cost/space models: the paper's Tables 1-3."""
+
+from repro.models.extensions import (
+    diag3d_cannon_one_port,
+    dns_cannon_one_port,
+    fox_one_port,
+)
+from repro.models.params import evaluate
+from repro.models.table2 import (
+    OVERHEAD_MODELS,
+    OverheadModel,
+    communication_overhead,
+    overhead_coefficients,
+)
+from repro.models.table3 import SPACE_MODELS, SpaceModel, overall_space, processor_limit
+
+__all__ = [
+    "evaluate",
+    "diag3d_cannon_one_port",
+    "dns_cannon_one_port",
+    "fox_one_port",
+    "OVERHEAD_MODELS",
+    "OverheadModel",
+    "communication_overhead",
+    "overhead_coefficients",
+    "SPACE_MODELS",
+    "SpaceModel",
+    "overall_space",
+    "processor_limit",
+]

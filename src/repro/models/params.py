@@ -1,0 +1,28 @@
+"""Small helpers shared by the analytic models."""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import ModelError
+
+__all__ = ["lg", "evaluate", "check_np"]
+
+
+def lg(x: float) -> float:
+    """Base-2 logarithm (the paper's ``log``)."""
+    if x <= 0:
+        raise ModelError(f"log of non-positive value {x}")
+    return math.log2(x)
+
+
+def check_np(n: float, p: float) -> None:
+    """Validate the model domain (n, p >= 1)."""
+    if n < 1 or p < 1:
+        raise ModelError(f"need n >= 1 and p >= 1, got n={n}, p={p}")
+
+
+def evaluate(coeffs: tuple[float, float], t_s: float, t_w: float) -> float:
+    """Total communication time ``a·t_s + b·t_w`` from an ``(a, b)`` pair."""
+    a, b = coeffs
+    return a * t_s + b * t_w

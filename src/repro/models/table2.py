@@ -1,0 +1,296 @@
+"""Table 2: per-algorithm communication overheads.
+
+Every entry is an ``(a, b)`` coefficient pair — communication time is
+``a·t_s + b·t_w`` — as a function of matrix size ``n`` and processor count
+``p``.  These are the exact closed forms printed in Table 2 of the paper
+and are what the paper's own analysis program (and therefore Figures 13 and
+14) evaluates.
+
+Formulas are continuous in ``n`` and ``p``; applicability *conditions*
+(the ``p ≤ n^k`` structural limits of Table 3 and the minimum message sizes
+for multi-port bandwidth in Table 2's last column) are modelled separately
+and consulted by :func:`overhead_coefficients`.
+
+Multi-port fallback: where a Table 2 multi-port entry carries a message-
+size condition (e.g. 3D All needs ``n² ≥ p^{4/3} log ∛p`` to split phase-1
+messages across all links), we fall back to the paper's stated degraded
+variant when available (3D All's second multi-port row) and otherwise to
+the one-port coefficients, since rotated-tree chunking buys nothing once
+messages are shorter than the link count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.models.params import check_np, lg
+from repro.sim.machine import PortModel
+
+__all__ = [
+    "OverheadModel",
+    "OVERHEAD_MODELS",
+    "overhead_coefficients",
+    "communication_overhead",
+    "structurally_applicable",
+]
+
+Coeffs = tuple[float, float]
+
+
+# ---------------------------------------------------------------------------
+# one-port entries
+# ---------------------------------------------------------------------------
+
+
+def _simple_one(n: float, p: float) -> Coeffs:
+    sq = p ** 0.5
+    return (lg(p), 2 * n * n / sq * (1 - 1 / sq))
+
+
+def _cannon_one(n: float, p: float) -> Coeffs:
+    sq = p ** 0.5
+    return (
+        2 * (sq - 1) + lg(p),
+        n * n / sq * (2 - 2 / sq + lg(p) / sq),
+    )
+
+
+def _berntsen_one(n: float, p: float) -> Coeffs:
+    cb = p ** (1 / 3)
+    return (
+        2 * (cb - 1) + lg(p),
+        n * n / p ** (2 / 3) * (3 * (1 - 1 / cb) + 2 * lg(p) / (3 * cb)),
+    )
+
+
+def _dns_one(n: float, p: float) -> Coeffs:
+    return (5 / 3 * lg(p), n * n / p ** (2 / 3) * (5 / 3) * lg(p))
+
+
+def _3dd_one(n: float, p: float) -> Coeffs:
+    return (4 / 3 * lg(p), n * n / p ** (2 / 3) * (4 / 3) * lg(p))
+
+
+def _all_trans_one(n: float, p: float) -> Coeffs:
+    cb = p ** (1 / 3)
+    return (
+        4 / 3 * lg(p),
+        n * n / p ** (2 / 3) * (3 * (1 - 1 / cb) + lg(p) / 3),
+    )
+
+
+def _3d_all_one(n: float, p: float) -> Coeffs:
+    cb = p ** (1 / 3)
+    return (
+        4 / 3 * lg(p),
+        n * n / p ** (2 / 3) * (3 * (1 - 1 / cb) + lg(p) / (6 * cb)),
+    )
+
+
+# ---------------------------------------------------------------------------
+# multi-port entries
+# ---------------------------------------------------------------------------
+
+
+def _simple_multi(n: float, p: float) -> Coeffs:
+    sq = p ** 0.5
+    return (lg(p) / 2, n * n / (sq * lg(sq)) * (1 - 1 / sq))
+
+
+def _cannon_multi(n: float, p: float) -> Coeffs:
+    sq = p ** 0.5
+    return (
+        sq - 1 + lg(p) / 2,
+        n * n / sq * (1 - 1 / sq + lg(p) / (2 * sq)),
+    )
+
+
+def _hje_multi(n: float, p: float) -> Coeffs:
+    sq = p ** 0.5
+    return (
+        sq - 1 + lg(p) / 2,
+        n * n / sq * (2 / lg(p) - 2 / (sq * lg(p)) + lg(p) / (2 * sq)),
+    )
+
+
+def _berntsen_multi(n: float, p: float) -> Coeffs:
+    cb = p ** (1 / 3)
+    return (
+        cb - 1 + 2 / 3 * lg(p),
+        n * n / p ** (2 / 3)
+        * ((1 + 3 / lg(p)) * (1 - 1 / cb) + lg(p) / (3 * cb)),
+    )
+
+
+def _dns_multi(n: float, p: float) -> Coeffs:
+    return (4 / 3 * lg(p), 4 * n * n / p ** (2 / 3))
+
+
+def _3dd_multi(n: float, p: float) -> Coeffs:
+    return (lg(p), 3 * n * n / p ** (2 / 3))
+
+
+def _all_trans_multi(n: float, p: float) -> Coeffs:
+    cb = p ** (1 / 3)
+    return (
+        lg(p),
+        n * n / p ** (2 / 3) * (6 / lg(p) * (1 - 1 / cb) + 1),
+    )
+
+
+def _3d_all_multi_full(n: float, p: float) -> Coeffs:
+    cb = p ** (1 / 3)
+    return (
+        lg(p),
+        n * n / p ** (2 / 3) * (6 / lg(p) * (1 - 1 / cb) + 1 / (2 * cb)),
+    )
+
+
+def _3d_all_multi_partial(n: float, p: float) -> Coeffs:
+    # Multi-port usable only for phases 2/3; phase 1 keeps its one-port
+    # t_w term log p/(6·∛p) — the second 3D All row of Table 2.
+    cb = p ** (1 / 3)
+    return (
+        lg(p),
+        n * n / p ** (2 / 3) * (6 / lg(p) * (1 - 1 / cb) + lg(p) / (6 * cb)),
+    )
+
+
+# ---------------------------------------------------------------------------
+# conditions (Table 2 last column: minimum sizes for multi-port bandwidth)
+# ---------------------------------------------------------------------------
+
+
+def _cond_simple(n: float, p: float) -> bool:
+    return n * n >= p * lg(p ** 0.5)
+
+
+def _cond_hje(n: float, p: float) -> bool:
+    sq = p ** 0.5
+    return n >= sq * lg(sq)
+
+
+def _cond_p_logcb(n: float, p: float) -> bool:
+    return n * n >= p * lg(p ** (1 / 3))
+
+
+def _cond_p23_logcb(n: float, p: float) -> bool:
+    return n * n >= p ** (2 / 3) * lg(p ** (1 / 3))
+
+
+def _cond_3d_all_full(n: float, p: float) -> bool:
+    return n * n >= p ** (4 / 3) * lg(p ** (1 / 3))
+
+
+@dataclass(frozen=True)
+class OverheadModel:
+    """Table 2 row for one algorithm.
+
+    ``one_port`` is ``None`` for Ho-Johnsson-Edelman, which Table 2 lists
+    for multi-port machines only (one-port it degenerates to Cannon with
+    extra start-ups).  ``multi_port_condition`` is the Table 2 "Conditions"
+    entry — when it fails, ``multi_port_fallback`` (if any) is used, then
+    the one-port coefficients.
+    """
+
+    key: str
+    one_port: Callable[[float, float], Coeffs] | None
+    multi_port: Callable[[float, float], Coeffs] | None
+    multi_port_condition: Callable[[float, float], bool] | None = None
+    multi_port_fallback: Callable[[float, float], Coeffs] | None = None
+    fallback_condition: Callable[[float, float], bool] | None = None
+    #: Table 3 structural limit: p <= n**p_limit_exponent
+    p_limit_exponent: float = 2.0
+    #: smallest processor count forming the algorithm's grid
+    min_p: int = 4
+
+
+OVERHEAD_MODELS: dict[str, OverheadModel] = {
+    m.key: m
+    for m in [
+        OverheadModel(
+            "simple", _simple_one, _simple_multi, _cond_simple,
+            p_limit_exponent=2.0, min_p=4,
+        ),
+        OverheadModel(
+            "cannon", _cannon_one, _cannon_multi, None,
+            p_limit_exponent=2.0, min_p=4,
+        ),
+        OverheadModel(
+            "hje", None, _hje_multi, _cond_hje,
+            p_limit_exponent=2.0, min_p=4,
+        ),
+        OverheadModel(
+            "berntsen", _berntsen_one, _berntsen_multi, _cond_p_logcb,
+            p_limit_exponent=1.5, min_p=8,
+        ),
+        OverheadModel(
+            "dns", _dns_one, _dns_multi, _cond_p23_logcb,
+            p_limit_exponent=3.0, min_p=8,
+        ),
+        OverheadModel(
+            "3dd", _3dd_one, _3dd_multi, _cond_p23_logcb,
+            p_limit_exponent=3.0, min_p=8,
+        ),
+        OverheadModel(
+            "3d_all_trans", _all_trans_one, _all_trans_multi, _cond_p_logcb,
+            p_limit_exponent=1.5, min_p=8,
+        ),
+        OverheadModel(
+            "3d_all", _3d_all_one, _3d_all_multi_full, _cond_3d_all_full,
+            multi_port_fallback=_3d_all_multi_partial,
+            fallback_condition=_cond_p_logcb,
+            p_limit_exponent=1.5, min_p=8,
+        ),
+    ]
+}
+
+
+def structurally_applicable(key: str, n: float, p: float) -> bool:
+    """Table 3's ``p ≤ n^k`` limit plus the minimum grid size."""
+    model = OVERHEAD_MODELS.get(key)
+    if model is None:
+        return False
+    return p >= model.min_p and p <= n ** model.p_limit_exponent
+
+
+def overhead_coefficients(
+    key: str, n: float, p: float, port: PortModel
+) -> Coeffs | None:
+    """The Table 2 ``(a, b)`` pair, or ``None`` when not applicable.
+
+    ``None`` is returned when the algorithm cannot run at all at this
+    ``(n, p)`` (structural limit) or has no entry for the port model (HJE
+    one-port).  Multi-port message-size conditions trigger the documented
+    fallbacks rather than ``None``.
+    """
+    check_np(n, p)
+    model = OVERHEAD_MODELS.get(key)
+    if model is None:
+        # The 2-D Diagonal stepping stone has no Table 2 row.
+        return None
+    if not structurally_applicable(key, n, p):
+        return None
+    if port is PortModel.ONE_PORT:
+        return model.one_port(n, p) if model.one_port else None
+    if model.multi_port is None:  # pragma: no cover - no such row today
+        return None
+    if model.multi_port_condition is None or model.multi_port_condition(n, p):
+        return model.multi_port(n, p)
+    if model.multi_port_fallback is not None and (
+        model.fallback_condition is None or model.fallback_condition(n, p)
+    ):
+        return model.multi_port_fallback(n, p)
+    return model.one_port(n, p) if model.one_port else model.multi_port(n, p)
+
+
+def communication_overhead(
+    key: str, n: float, p: float, port: PortModel, t_s: float, t_w: float
+) -> float | None:
+    """Total modelled communication time, or ``None`` if not applicable."""
+    coeffs = overhead_coefficients(key, n, p, port)
+    if coeffs is None:
+        return None
+    a, b = coeffs
+    return a * t_s + b * t_w

@@ -1,0 +1,68 @@
+"""Table 3: architecture-independent characteristics.
+
+Overall space (words, summed over all processors) and the structural
+processor-count limit for each algorithm.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.errors import ModelError
+from repro.models.params import check_np
+
+__all__ = ["SpaceModel", "SPACE_MODELS", "overall_space", "processor_limit"]
+
+
+@dataclass(frozen=True)
+class SpaceModel:
+    """One Table 3 row."""
+
+    key: str
+    #: p <= n**limit_exponent
+    limit_exponent: float
+    #: overall space in words as f(n, p)
+    space: Callable[[float, float], float]
+    #: display form of the space expression
+    formula: str
+
+
+SPACE_MODELS: dict[str, SpaceModel] = {
+    m.key: m
+    for m in [
+        SpaceModel("simple", 2.0, lambda n, p: 2 * n * n * p ** 0.5, "2·n²·√p"),
+        SpaceModel("cannon", 2.0, lambda n, p: 3 * n * n, "3·n²"),
+        SpaceModel("hje", 2.0, lambda n, p: 3 * n * n, "3·n²"),
+        SpaceModel(
+            "berntsen", 1.5,
+            lambda n, p: 2 * n * n + n * n * p ** (1 / 3), "2·n² + n²·∛p",
+        ),
+        SpaceModel("dns", 3.0, lambda n, p: 2 * n * n * p ** (1 / 3), "2·n²·∛p"),
+        SpaceModel("3dd", 3.0, lambda n, p: 2 * n * n * p ** (1 / 3), "2·n²·∛p"),
+        SpaceModel(
+            "3d_all_trans", 1.5,
+            lambda n, p: 2 * n * n * p ** (1 / 3), "2·n²·∛p",
+        ),
+        SpaceModel("3d_all", 1.5, lambda n, p: 2 * n * n * p ** (1 / 3), "2·n²·∛p"),
+    ]
+}
+
+
+def overall_space(key: str, n: float, p: float) -> float:
+    """Table 3's overall space (words over all processors)."""
+    check_np(n, p)
+    try:
+        model = SPACE_MODELS[key]
+    except KeyError:
+        raise ModelError(f"no Table 3 row for algorithm {key!r}") from None
+    return model.space(n, p)
+
+
+def processor_limit(key: str, n: float) -> float:
+    """Largest ``p`` the algorithm admits for matrices of size ``n``."""
+    try:
+        model = SPACE_MODELS[key]
+    except KeyError:
+        raise ModelError(f"no Table 3 row for algorithm {key!r}") from None
+    return n ** model.limit_exponent

@@ -1,0 +1,5 @@
+"""MPI-flavoured communicator layer over hypercube subcubes."""
+
+from repro.mpi.communicator import Comm
+
+__all__ = ["Comm"]

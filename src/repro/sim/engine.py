@@ -1,0 +1,490 @@
+"""The discrete-event engine driving SPMD generator programs.
+
+Design
+------
+Each rank's program is a Python generator.  The engine keeps a global event
+heap ordered by ``(time, sequence)``; sequence numbers make ties — and
+therefore FIFO resource reservation and the whole simulation — fully
+deterministic.  When a task is runnable the engine steps its generator,
+interpreting the yielded :mod:`~repro.sim.ops` objects, until the task
+blocks (on handles, an elapse, a barrier, or sub-tasks) or finishes.
+
+A *task* is either a rank's main program (task id = the rank number) or a
+sub-generator spawned with ``ctx.parallel`` (task id = ``(rank, k)``).
+Sub-tasks share their rank's node, so their transfers contend for the same
+ports and links: on a one-port machine "parallel" communication phases
+serialize automatically; on a multi-port machine they genuinely overlap.
+
+Message transport is store-and-forward over the e-cube route.  Every hop of
+an ``m``-word message takes ``t_s + t_w·m`` and holds, for its duration, the
+hop's directional channel plus (one-port model) the endpoints' send/recv
+engagements — see :class:`~repro.sim.ports.ContentionTracker`.  A blocking
+send returns when the *first* hop completes (the sender's port is free);
+delivery happens when the last hop completes.  Receives are eagerly
+buffered: a message may arrive before its receive is posted.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Generator
+
+import numpy as np
+
+from repro.errors import DeadlockError, SimulationError
+from repro.sim.machine import MachineConfig, RoutingMode
+from repro.sim.message import Message
+from repro.sim.ops import (
+    BarrierOp,
+    ElapseOp,
+    Handle,
+    ParallelOp,
+    RecvOp,
+    SendOp,
+    WaitOp,
+)
+from repro.sim.ports import ContentionTracker
+from repro.sim.process import ANY_SOURCE, ANY_TAG, ProcessContext
+from repro.sim.tracing import NetworkStats, RankStats, RunResult, TraceRecord
+
+__all__ = ["Engine", "run_spmd"]
+
+ProgramFactory = Callable[[ProcessContext], Generator]
+
+Task = Any  # int (main program of a rank) or tuple (rank, k) for sub-tasks
+
+
+def task_rank(task: Task) -> int:
+    return task[0] if isinstance(task, tuple) else task
+
+
+def _copy_payload(data: Any) -> Any:
+    """Deep-copy array payloads so senders can reuse their buffers."""
+    if isinstance(data, np.ndarray):
+        return data.copy()
+    if isinstance(data, list):
+        return [_copy_payload(item) for item in data]
+    if isinstance(data, tuple):
+        return tuple(_copy_payload(item) for item in data)
+    if isinstance(data, dict):
+        return {k: _copy_payload(v) for k, v in data.items()}
+    return data
+
+
+class _Waiter:
+    """A blocked task: which handles it needs and how to build the resume value."""
+
+    __slots__ = ("handles", "mode")
+
+    def __init__(self, handles: list[Handle], mode: str):
+        self.handles = handles
+        self.mode = mode  # "wait" | "recv" | "send"
+
+    def ready(self) -> bool:
+        return all(h.done for h in self.handles)
+
+    def resume_value(self) -> Any:
+        if self.mode == "wait":
+            return [h.value for h in self.handles]
+        if self.mode == "recv":
+            return self.handles[0].value
+        return None  # blocking send
+
+    def describe(self) -> str:
+        kinds = ", ".join(
+            f"{h.kind}#{h.handle_id}" for h in self.handles if not h.done
+        )
+        return f"waiting on {kinds or 'nothing?'}"
+
+
+class _ParallelWait:
+    """A parent task waiting for its spawned sub-tasks."""
+
+    __slots__ = ("remaining", "values", "latest")
+
+    def __init__(self, children: list[Task]):
+        self.remaining = set(children)
+        self.values: dict[Task, Any] = {}
+        self.latest = 0.0
+
+
+class Engine:
+    """One simulation run over a fixed machine configuration."""
+
+    def __init__(self, config: MachineConfig, *, trace: bool = False):
+        self.config = config
+        self.tracker = ContentionTracker(config)
+        self.trace_enabled = trace
+        self.trace: list[TraceRecord] = []
+
+        n = config.num_nodes
+        self.stats: dict[int, RankStats] = {r: RankStats(r) for r in range(n)}
+        self.results: dict[int, Any] = {}
+        self.done: set[int] = set()
+
+        self._task_time: dict[Task, float] = {r: 0.0 for r in range(n)}
+        self._gens: dict[Task, Generator] = {}
+        self._blocked: dict[Task, _Waiter] = {}
+        self._parallel: dict[Task, _ParallelWait] = {}
+        self._parent_of: dict[Task, tuple[Task, int]] = {}  # child -> (parent, slot)
+        self._child_seq = itertools.count(1)
+        self._active_task: Task | None = None
+
+        self._mailbox: dict[int, list[tuple[float, Message]]] = {r: [] for r in range(n)}
+        self._pending_recvs: dict[int, list[tuple[int, int, Handle]]] = {
+            r: [] for r in range(n)
+        }
+        self._barrier_waiting: dict[int, float] = {}
+        self._phase_marks: dict[int, list[tuple[str, float]]] = {r: [] for r in range(n)}
+
+        self._events: list[tuple[float, int, str, tuple]] = []
+        self._seq = itertools.count()
+        self._ran = False
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+
+    def run(self, program: ProgramFactory) -> RunResult:
+        """Execute ``program`` on every rank and return the result."""
+        if self._ran:
+            raise SimulationError("an Engine can only run once; build a new one")
+        self._ran = True
+        for rank in range(self.config.num_nodes):
+            ctx = ProcessContext(rank, self)
+            gen = program(ctx)
+            if not hasattr(gen, "send"):
+                raise SimulationError(
+                    "program must be a generator function (did you forget yield?)"
+                )
+            self._gens[rank] = gen
+            self._schedule(0.0, "resume", (rank, None))
+
+        while self._events:
+            time, _, kind, payload = heapq.heappop(self._events)
+            if kind == "resume":
+                task, value = payload
+                self._step(task, time, value)
+            elif kind == "hop_ready":
+                (msg_pack, hop_index, handle) = payload
+                self._start_hop(msg_pack, hop_index, handle, time)
+            elif kind == "hop_done":
+                (msg_pack, hop_index, handle) = payload
+                self._finish_hop(msg_pack, hop_index, handle, time)
+            else:  # pragma: no cover - defensive
+                raise SimulationError(f"unknown event kind {kind!r}")
+
+        if len(self.done) != self.config.num_nodes:
+            blocked: dict[int, str] = {}
+            for task, waiter in self._blocked.items():
+                blocked[task_rank(task)] = f"task {task}: {waiter.describe()}"
+            for task, pw in self._parallel.items():
+                blocked.setdefault(
+                    task_rank(task),
+                    f"task {task}: waiting on sub-tasks {sorted(map(str, pw.remaining))}",
+                )
+            for rank, t in self._barrier_waiting.items():
+                blocked[rank] = f"waiting at barrier since t={t}"
+            for rank in range(self.config.num_nodes):
+                if rank not in self.done and rank not in blocked:
+                    blocked[rank] = "not scheduled (engine bug?)"
+            raise DeadlockError(blocked)
+
+        total = max(self.stats[r].finish_time for r in range(self.config.num_nodes))
+        return RunResult(
+            total_time=total,
+            results=dict(self.results),
+            stats=dict(self.stats),
+            phase_times=self._aggregate_phases(),
+            trace=list(self.trace),
+            network=NetworkStats(
+                channels_used=len(self.tracker.channel_utilization(1.0)),
+                total_channel_busy=self.tracker.total_channel_busy(),
+                max_channel_busy=self.tracker.max_channel_busy(),
+            ),
+        )
+
+    def mark_phase(self, rank: int, name: str) -> None:
+        when = self.time_of(rank)
+        self._phase_marks[rank].append((name, when))
+
+    def time_of(self, rank: int) -> float:
+        """Current virtual time as seen by the caller (active task aware)."""
+        task = self._active_task
+        if task is not None and task_rank(task) == rank:
+            return self._task_time[task]
+        return self._task_time[rank]
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+
+    def _schedule(self, time: float, kind: str, payload: tuple) -> None:
+        heapq.heappush(self._events, (time, next(self._seq), kind, payload))
+
+    def _step(self, task: Task, time: float, value: Any) -> None:
+        """Advance a task's generator from ``time``, feeding ``value`` in."""
+        self._task_time[task] = max(self._task_time.get(task, 0.0), time)
+        gen = self._gens[task]
+        rank = task_rank(task)
+        prev_active = self._active_task
+        self._active_task = task
+        try:
+            while True:
+                try:
+                    op = gen.send(value)
+                except StopIteration as stop:
+                    self._task_finished(task, stop.value)
+                    return
+                except Exception as exc:
+                    # Annotate program failures with the failing task so a
+                    # bug on one of hundreds of ranks is findable.
+                    exc.args = (
+                        f"[rank {rank}, task {task}, t={self._task_time[task]:g}] "
+                        + (str(exc.args[0]) if exc.args else ""),
+                    ) + tuple(exc.args[1:])
+                    raise
+                value = None
+                now = self._task_time[task]
+
+                if isinstance(op, SendOp):
+                    handle = self._issue_send(task, op, now)
+                    if op.blocking:
+                        if handle.done:
+                            value = None
+                            continue
+                        self._blocked[task] = _Waiter([handle], "send")
+                        return
+                    value = handle
+                    continue
+
+                if isinstance(op, RecvOp):
+                    handle = self._issue_recv(task, op, now)
+                    if op.blocking:
+                        if handle.done:
+                            value = handle.value
+                            continue
+                        self._blocked[task] = _Waiter([handle], "recv")
+                        return
+                    value = handle
+                    continue
+
+                if isinstance(op, WaitOp):
+                    waiter = _Waiter(op.handles, "wait")
+                    if waiter.ready():
+                        value = waiter.resume_value()
+                        continue
+                    self._blocked[task] = waiter
+                    return
+
+                if isinstance(op, ElapseOp):
+                    self.stats[rank].flops += op.flops
+                    self.stats[rank].compute_time += op.duration
+                    if op.duration > 0:
+                        if self.trace_enabled:
+                            self.trace.append(
+                                TraceRecord(
+                                    "compute", now, now + op.duration, rank,
+                                    {"flops": op.flops},
+                                )
+                            )
+                        self._schedule(now + op.duration, "resume", (task, None))
+                        return
+                    continue
+
+                if isinstance(op, ParallelOp):
+                    children = []
+                    for slot, sub in enumerate(op.generators):
+                        if not hasattr(sub, "send"):
+                            raise SimulationError(
+                                "ctx.parallel expects generators (call the "
+                                "generator functions when passing them)"
+                            )
+                        child: Task = (rank, next(self._child_seq))
+                        self._gens[child] = sub
+                        self._task_time[child] = now
+                        self._parent_of[child] = (task, slot)
+                        children.append(child)
+                    if not children:
+                        value = []
+                        continue
+                    self._parallel[task] = _ParallelWait(children)
+                    for child in children:
+                        self._schedule(now, "resume", (child, None))
+                    return
+
+                if isinstance(op, BarrierOp):
+                    if isinstance(task, tuple):
+                        raise SimulationError(
+                            "barrier may only be called from a rank's main program"
+                        )
+                    self._barrier_waiting[rank] = now
+                    n_active = self.config.num_nodes - len(self.done)
+                    if len(self._barrier_waiting) == n_active:
+                        release = max(self._barrier_waiting.values())
+                        for r in self._barrier_waiting:
+                            self._schedule(release, "resume", (r, None))
+                        self._barrier_waiting = {}
+                    return
+
+                raise SimulationError(
+                    f"task {task} yielded unsupported object {op!r}; programs "
+                    "must yield via ProcessContext helpers"
+                )
+        finally:
+            self._active_task = prev_active
+
+    def _task_finished(self, task: Task, value: Any) -> None:
+        finish = self._task_time[task]
+        del self._gens[task]
+        if isinstance(task, tuple):
+            parent, slot = self._parent_of.pop(task)
+            pw = self._parallel[parent]
+            pw.remaining.discard(task)
+            pw.values[slot] = value
+            pw.latest = max(pw.latest, finish)
+            if not pw.remaining:
+                del self._parallel[parent]
+                values = [pw.values[i] for i in range(len(pw.values))]
+                resume_at = max(self._task_time[parent], pw.latest)
+                self._schedule(resume_at, "resume", (parent, values))
+            return
+        self.results[task] = value
+        self.done.add(task)
+        self.stats[task].finish_time = finish
+
+    # -- sends -----------------------------------------------------------
+
+    def _issue_send(self, task: Task, op: SendOp, now: float) -> Handle:
+        rank = task_rank(task)
+        handle = Handle("send", task)
+        data = _copy_payload(op.data) if self.config.copy_on_send else op.data
+        msg = Message(
+            src=rank, dst=op.dst, tag=op.tag, data=data, nwords=op.nwords,
+            send_time=now,
+        )
+        st = self.stats[rank]
+        st.messages_sent += 1
+        st.words_sent += op.nwords
+
+        if op.dst == rank:
+            handle.complete(now)
+            self._deliver(msg, now)
+            return handle
+
+        hops = self.config.cube.route_hops(rank, op.dst)
+        self._schedule(now, "hop_ready", ((msg, hops), 0, handle))
+        return handle
+
+    def _start_hop(self, msg_pack, hop_index: int, handle: Handle, time: float) -> None:
+        msg, hops = msg_pack
+        u, v = hops[hop_index]
+        duration = self.config.params.hop_time(msg.nwords)
+        start = self.tracker.reserve_hop(u, v, time, duration)
+        if self.trace_enabled:
+            self.trace.append(
+                TraceRecord(
+                    "hop", start, start + duration, u,
+                    {"to": v, "msg": msg.msg_id, "words": msg.nwords,
+                     "src": msg.src, "dst": msg.dst},
+                )
+            )
+        if (
+            self.config.routing is RoutingMode.CUT_THROUGH
+            and hop_index < len(hops) - 1
+        ):
+            # Virtual cut-through: the next link sees the header t_s after
+            # this hop starts transmitting; the payload streams behind it.
+            self._schedule(
+                start + self.config.params.t_s,
+                "hop_ready",
+                ((msg, hops), hop_index + 1, handle),
+            )
+        self._schedule(start + duration, "hop_done", ((msg, hops), hop_index, handle))
+
+    def _finish_hop(self, msg_pack, hop_index: int, handle: Handle, time: float) -> None:
+        msg, hops = msg_pack
+        if hop_index == 0 and not handle.done:
+            handle.complete(time)
+            self._notify(handle.task)
+        if hop_index == len(hops) - 1:
+            self._deliver(msg, time)
+        elif self.config.routing is RoutingMode.STORE_AND_FORWARD:
+            self._schedule(time, "hop_ready", ((msg, hops), hop_index + 1, handle))
+
+    # -- receives ----------------------------------------------------------
+
+    def _issue_recv(self, task: Task, op: RecvOp, now: float) -> Handle:
+        rank = task_rank(task)
+        handle = Handle("recv", task)
+        box = self._mailbox[rank]
+        for i, (arrival, msg) in enumerate(box):
+            if self._matches(op.src, op.tag, msg):
+                box.pop(i)
+                self._count_receive(rank, msg)
+                handle.complete(max(now, arrival), msg.data)
+                return handle
+        self._pending_recvs[rank].append((op.src, op.tag, handle))
+        return handle
+
+    @staticmethod
+    def _matches(src_filter: int, tag_filter: int, msg: Message) -> bool:
+        return (src_filter == ANY_SOURCE or src_filter == msg.src) and (
+            tag_filter == ANY_TAG or tag_filter == msg.tag
+        )
+
+    def _count_receive(self, rank: int, msg: Message) -> None:
+        st = self.stats[rank]
+        st.messages_received += 1
+        st.words_received += msg.nwords
+
+    def _deliver(self, msg: Message, time: float) -> None:
+        pending = self._pending_recvs[msg.dst]
+        for i, (src_f, tag_f, handle) in enumerate(pending):
+            if self._matches(src_f, tag_f, msg):
+                pending.pop(i)
+                self._count_receive(msg.dst, msg)
+                handle.complete(time, msg.data)
+                self._notify(handle.task)
+                return
+        self._mailbox[msg.dst].append((time, msg))
+
+    # -- wake-ups ----------------------------------------------------------
+
+    def _notify(self, task: Task) -> None:
+        """A handle owned by ``task`` completed; resume the task if unblocked."""
+        waiter = self._blocked.get(task)
+        if waiter is None or not waiter.ready():
+            return
+        del self._blocked[task]
+        resume_at = max(
+            self._task_time[task],
+            max(h.completion_time for h in waiter.handles),
+        )
+        self._schedule(resume_at, "resume", (task, waiter.resume_value()))
+
+    # -- phases --------------------------------------------------------------
+
+    def _aggregate_phases(self) -> dict[str, tuple[float, float]]:
+        out: dict[str, tuple[float, float]] = {}
+        for rank, marks in self._phase_marks.items():
+            finish = self.stats[rank].finish_time
+            for i, (name, start) in enumerate(marks):
+                end = marks[i + 1][1] if i + 1 < len(marks) else finish
+                if name in out:
+                    lo, hi = out[name]
+                    out[name] = (min(lo, start), max(hi, end))
+                else:
+                    out[name] = (start, end)
+        return out
+
+
+def run_spmd(
+    config: MachineConfig,
+    program: ProgramFactory,
+    *,
+    trace: bool = False,
+) -> RunResult:
+    """Run the SPMD ``program`` (one generator per rank) on ``config``."""
+    return Engine(config, trace=trace).run(program)

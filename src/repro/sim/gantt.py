@@ -1,0 +1,97 @@
+"""ASCII Gantt rendering of simulation traces.
+
+Turn a traced :class:`~repro.sim.tracing.RunResult` into a per-node
+timeline showing link activity (``#`` for transmitting, ``-`` for
+forwarding someone else's message, ``.`` idle, ``=`` computing), which
+makes port serialization, phase overlap and pipelining visible at a
+glance::
+
+    t=0                                                          t=3120
+    node  0 |####----....########....=...####....|
+    node  1 |....####....####........=...####....|
+
+Use ``run_spmd(..., trace=True)`` (or ``MatmulAlgorithm.run(...,
+trace=True)``) to collect the trace.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SimulationError
+from repro.sim.tracing import RunResult, TraceRecord
+
+__all__ = ["render_gantt", "lane_activity"]
+
+
+def lane_activity(
+    trace: list[TraceRecord], rank: int, total: float, width: int
+) -> str:
+    """One node's activity lane as a ``width``-character string."""
+    if width < 1:
+        raise SimulationError(f"gantt width must be positive, got {width}")
+    if total <= 0:
+        return "." * width
+    lane = ["."] * width
+    scale = width / total
+
+    def span(start: float, end: float):
+        lo = min(width - 1, int(start * scale))
+        hi = min(width - 1, max(lo, int(end * scale - 1e-12)))
+        return range(lo, hi + 1)
+
+    for rec in trace:
+        if rec.kind == "compute" and rec.rank == rank:
+            for i in span(rec.start, rec.end):
+                if lane[i] == ".":
+                    lane[i] = "="
+        elif rec.kind == "hop" and rec.rank == rank:
+            mark = "#" if rec.info.get("src") == rank else "-"
+            for i in span(rec.start, rec.end):
+                if lane[i] in (".", "=", "-") and not (lane[i] == "#"):
+                    if mark == "#" or lane[i] == ".":
+                        lane[i] = mark
+    return "".join(lane)
+
+
+def render_gantt(
+    result: RunResult,
+    *,
+    width: int = 72,
+    ranks: list[int] | None = None,
+) -> str:
+    """Render the traced run as an ASCII Gantt chart.
+
+    ``#`` node transmitting its own message, ``-`` forwarding a transit
+    message, ``=`` computing, ``.`` idle.  ``ranks`` restricts the lanes
+    (defaults to every rank).
+    """
+    if not result.trace:
+        raise SimulationError(
+            "no trace recorded; run the simulation with trace=True"
+        )
+    total = result.total_time
+    show = ranks if ranks is not None else sorted(result.stats)
+    lines = [f"t=0{' ' * (width + 2)}t={total:g}"]
+    for rank in show:
+        lane = lane_activity(result.trace, rank, total, width)
+        lines.append(f"node {rank:3d} |{lane}|")
+    lines.append(
+        "legend: # sending own message   - forwarding   = computing   . idle"
+    )
+    if result.phase_times:
+        marks = [" "] * width
+        for name, (start, _end) in sorted(
+            result.phase_times.items(), key=lambda kv: kv[1][0]
+        ):
+            pos = min(width - 1, int(start / total * width)) if total else 0
+            marks[pos] = "^"
+        lines.append("phases:  " + "".join(marks))
+        lines.append(
+            "         "
+            + ", ".join(
+                f"{name}@{start:g}"
+                for name, (start, _) in sorted(
+                    result.phase_times.items(), key=lambda kv: kv[1][0]
+                )
+            )
+        )
+    return "\n".join(lines)

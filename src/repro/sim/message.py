@@ -1,0 +1,83 @@
+"""Message envelopes and payload word accounting.
+
+A *word* is one matrix element.  Payloads are numpy arrays (any shape) or
+``None`` for timing-only messages whose size is given explicitly.  Sizes are
+what drive the ``t_s + t_w·m`` hop cost, so they are computed once at send
+time and carried with the envelope.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.errors import SimulationError
+
+__all__ = ["Message", "payload_words"]
+
+_message_ids = itertools.count()
+
+
+def payload_words(data: Any, nwords: int | None = None) -> int:
+    """Word count of a payload.
+
+    numpy arrays count their elements; containers (lists/tuples/dicts) count
+    the sum over their array leaves.  Non-array leaves inside containers
+    (shape tuples, keys, dtypes) ride free, the way MPI datatype headers are
+    absorbed into the start-up cost — this keeps simulated word counts equal
+    to the paper's matrix-element counts.  A standalone scalar counts as one
+    word; ``None`` requires an explicit ``nwords``.
+    """
+    if nwords is not None:
+        if nwords < 0:
+            raise SimulationError(f"explicit nwords must be >= 0, got {nwords}")
+        return int(nwords)
+    if data is None:
+        raise SimulationError("timing-only message needs an explicit nwords")
+    if isinstance(data, np.ndarray):
+        return int(data.size)
+    if isinstance(data, (list, tuple, dict)):
+        return _container_words(data)
+    if np.isscalar(data):
+        return 1
+    raise SimulationError(
+        f"cannot infer word count for payload of type {type(data).__name__}; "
+        "pass nwords explicitly"
+    )
+
+
+def _container_words(data: Any) -> int:
+    """Array-element count of the leaves of a nested container."""
+    if isinstance(data, np.ndarray):
+        return int(data.size)
+    if isinstance(data, (list, tuple)):
+        return sum(_container_words(item) for item in data)
+    if isinstance(data, dict):
+        return sum(_container_words(v) for v in data.values())
+    return 0  # metadata leaf (int, str, shape tuple member, ...)
+
+
+@dataclass
+class Message:
+    """An in-flight message.
+
+    ``hops_left`` is the remaining e-cube path (list of (from, to) pairs);
+    the engine pops hops as the store-and-forward transfer progresses.
+    """
+
+    src: int
+    dst: int
+    tag: int
+    data: Any
+    nwords: int
+    send_time: float
+    msg_id: int = field(default_factory=lambda: next(_message_ids))
+
+    def __repr__(self) -> str:
+        return (
+            f"Message(#{self.msg_id} {self.src}->{self.dst} tag={self.tag} "
+            f"nwords={self.nwords})"
+        )

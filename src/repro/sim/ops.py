@@ -1,0 +1,110 @@
+"""Operation objects yielded by SPMD programs to the engine.
+
+User programs never build these directly — the :class:`~repro.sim.process.
+ProcessContext` helpers do — but they are the complete vocabulary the engine
+understands.  Every communication call in a program is ultimately a
+``yield`` of one of these.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["Handle", "SendOp", "RecvOp", "WaitOp", "ElapseOp", "BarrierOp", "ParallelOp"]
+
+_handle_ids = itertools.count()
+
+
+@dataclass
+class Handle:
+    """Completion handle for a non-blocking operation.
+
+    ``value`` is the received payload for receives and ``None`` for sends.
+    ``completion_time`` is the virtual time at which the operation finished.
+    ``task`` identifies the issuing coroutine: the plain rank number for a
+    rank's main program, or a ``(rank, k)`` tuple for a sub-task spawned via
+    ``ctx.parallel``.
+    """
+
+    kind: str
+    task: Any
+    handle_id: int = field(default_factory=lambda: next(_handle_ids))
+    done: bool = False
+    completion_time: float = 0.0
+    value: Any = None
+
+    @property
+    def rank(self) -> int:
+        return self.task[0] if isinstance(self.task, tuple) else self.task
+
+    def complete(self, time: float, value: Any = None) -> None:
+        self.done = True
+        self.completion_time = time
+        self.value = value
+
+    def __repr__(self) -> str:
+        state = "done" if self.done else "pending"
+        return f"Handle(#{self.handle_id} {self.kind} task={self.task} {state})"
+
+
+@dataclass
+class SendOp:
+    """Send ``data`` (``nwords`` words) to ``dst`` with ``tag``."""
+
+    dst: int
+    data: Any
+    tag: int
+    nwords: int
+    blocking: bool
+
+
+@dataclass
+class RecvOp:
+    """Receive a message from ``src`` (or ANY_SOURCE) with ``tag``."""
+
+    src: int
+    tag: int
+    blocking: bool
+
+
+@dataclass
+class WaitOp:
+    """Block until every handle in ``handles`` has completed."""
+
+    handles: list[Handle]
+
+
+@dataclass
+class ElapseOp:
+    """Advance this rank's clock by ``duration`` (local computation)."""
+
+    duration: float
+    flops: float = 0.0
+
+
+@dataclass
+class BarrierOp:
+    """Zero-cost global synchronisation (harness convenience only).
+
+    Algorithms under measurement never use this; it exists so test and
+    benchmark harnesses can separate phases without perturbing timings.
+    """
+
+
+@dataclass
+class ParallelOp:
+    """Run several sub-generators concurrently within this rank.
+
+    The engine schedules each sub-generator as an independent task sharing
+    the rank's node (and therefore its ports/links): on a multi-port
+    machine their transfers genuinely overlap; on a one-port machine the
+    port model serializes them — exactly the paper's "the two broadcasts
+    can occur in parallel on a multi-port hypercube" accounting.
+
+    The parent resumes, with the list of sub-generator return values, when
+    the last sub-task finishes.
+    """
+
+    generators: list

@@ -1,0 +1,127 @@
+"""FIFO communication resources: node ports and directional links.
+
+Each resource is a single-server queue tracked only by its *next-free time*;
+requests arriving (in event order) at time ``t`` start at
+``max(t, next_free)``.  A hop needs several resources at once (the sender's
+port, the channel, the receiver's port); :class:`ResourceSet` reserves them
+jointly: the start time is the max of all next-free times and the request
+time, and every resource is then held until ``start + duration``.
+
+Because the engine processes events in non-decreasing time order with a
+deterministic tie-break, reservations are FIFO and runs are reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SimulationError
+from repro.sim.machine import MachineConfig, PortModel
+
+__all__ = ["Resource", "ResourceSet", "ContentionTracker"]
+
+
+@dataclass
+class Resource:
+    """A single-server FIFO resource."""
+
+    name: str
+    next_free: float = 0.0
+    busy_time: float = 0.0
+    reservations: int = 0
+
+    def earliest_start(self, ready: float) -> float:
+        return max(ready, self.next_free)
+
+    def hold(self, start: float, duration: float) -> None:
+        if duration < 0:
+            raise SimulationError(f"negative hold duration on {self.name}")
+        if start + 1e-12 < self.next_free:
+            raise SimulationError(
+                f"resource {self.name} double-booked: start {start} < free "
+                f"{self.next_free}"
+            )
+        self.next_free = start + duration
+        self.busy_time += duration
+        self.reservations += 1
+
+
+class ResourceSet:
+    """Joint reservation over several resources."""
+
+    @staticmethod
+    def reserve(resources: list[Resource], ready: float, duration: float) -> float:
+        """Reserve all ``resources`` for ``duration`` starting no earlier than
+        ``ready``; returns the start time."""
+        start = ready
+        for r in resources:
+            start = r.earliest_start(start)
+        for r in resources:
+            r.hold(start, duration)
+        return start
+
+
+class ContentionTracker:
+    """Owns every port/link resource of a simulated machine.
+
+    One-port machines have a per-node ``send`` engagement resource: a node
+    injects (or forwards) at most one transfer at a time.  The receive side
+    of a transfer is assumed concurrently engaged — the node is full duplex,
+    sending one message while receiving one.  Serializing only the sender
+    side avoids convoy artefacts (a sender idling its port while waiting for
+    a busy receiver) and reproduces the paper's lockstep accounting, where
+    every one-port schedule has each node receive at most as many messages
+    per step as it sends.
+
+    Multi-port machines are constrained per directional channel only: every
+    (link, direction) carries one transfer at a time, and a node may drive
+    all its links at once.  Channels are tracked in both models so link
+    utilization statistics are always available.
+    """
+
+    def __init__(self, config: MachineConfig):
+        self.config = config
+        self._send_port: dict[int, Resource] = {}
+        self._channel: dict[tuple[int, int], Resource] = {}
+        if config.port_model is PortModel.ONE_PORT:
+            for node in config.cube.nodes():
+                self._send_port[node] = Resource(f"send_port[{node}]")
+
+    def _channel_resource(self, u: int, v: int) -> Resource:
+        key = (u, v)
+        res = self._channel.get(key)
+        if res is None:
+            res = Resource(f"channel[{u}->{v}]")
+            self._channel[key] = res
+        return res
+
+    def hop_resources(self, u: int, v: int) -> list[Resource]:
+        """Resources a hop ``u -> v`` must hold for its duration."""
+        if not self.config.cube.are_neighbors(u, v):
+            raise SimulationError(f"hop {u}->{v} is not a hypercube link")
+        resources = [self._channel_resource(u, v)]
+        if self.config.port_model is PortModel.ONE_PORT:
+            resources.append(self._send_port[u])
+        return resources
+
+    def reserve_hop(self, u: int, v: int, ready: float, duration: float) -> float:
+        """Reserve the hop ``u -> v``; returns its start time."""
+        return ResourceSet.reserve(self.hop_resources(u, v), ready, duration)
+
+    # -- statistics ----------------------------------------------------
+
+    def channel_utilization(self, horizon: float) -> dict[tuple[int, int], float]:
+        """Fraction of ``[0, horizon]`` each used directional channel was busy."""
+        if horizon <= 0:
+            return {k: 0.0 for k in self._channel}
+        return {k: r.busy_time / horizon for k, r in self._channel.items()}
+
+    def max_channel_busy(self) -> float:
+        """Longest cumulative busy time over all channels (a lower bound on
+        any schedule's completion time)."""
+        if not self._channel:
+            return 0.0
+        return max(r.busy_time for r in self._channel.values())
+
+    def total_channel_busy(self) -> float:
+        return sum(r.busy_time for r in self._channel.values())

@@ -1,0 +1,215 @@
+"""Per-rank programming interface for SPMD simulator programs.
+
+A program is a generator function taking a :class:`ProcessContext`.  All
+communication helpers are themselves generators and must be delegated to
+with ``yield from``::
+
+    def program(ctx):
+        if ctx.rank == 0:
+            yield from ctx.send(1, np.ones(4))
+        elif ctx.rank == 1:
+            data = yield from ctx.recv(0)
+            ...
+
+Blocking semantics
+------------------
+``send`` returns once the message has been injected into the network (the
+sender's port is free again); the payload is copied first, so the caller may
+immediately reuse its buffer.  ``recv`` returns when the message has fully
+arrived.  ``isend``/``irecv`` return :class:`~repro.sim.ops.Handle` objects
+for :meth:`ProcessContext.waitall`, which is how full-duplex exchanges
+(``sendrecv``) and multi-port concurrent transfers are expressed.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Iterable
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.sim.message import payload_words
+from repro.sim.ops import (
+    BarrierOp,
+    ElapseOp,
+    Handle,
+    ParallelOp,
+    RecvOp,
+    SendOp,
+    WaitOp,
+)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import Engine
+
+__all__ = ["ProcessContext", "ANY_SOURCE", "ANY_TAG"]
+
+ANY_SOURCE = -1
+ANY_TAG = -1
+
+
+class ProcessContext:
+    """Handle through which a rank's program talks to the engine."""
+
+    __slots__ = ("rank", "engine", "config")
+
+    def __init__(self, rank: int, engine: "Engine"):
+        self.rank = rank
+        self.engine = engine
+        self.config = engine.config
+
+    # -- introspection ---------------------------------------------------
+
+    @property
+    def num_ranks(self) -> int:
+        return self.config.num_nodes
+
+    @property
+    def now(self) -> float:
+        """The current task's virtual time (sub-task aware)."""
+        return self.engine.time_of(self.rank)
+
+    @property
+    def stats(self):
+        return self.engine.stats[self.rank]
+
+    def _check_peer(self, peer: int) -> None:
+        if not 0 <= peer < self.num_ranks:
+            raise SimulationError(
+                f"rank {peer} out of range on a {self.num_ranks}-node machine"
+            )
+
+    # -- point to point ----------------------------------------------------
+
+    def send(self, dst: int, data: Any, tag: int = 0, nwords: int | None = None):
+        """Blocking send (generator; use ``yield from``)."""
+        self._check_peer(dst)
+        yield SendOp(dst, data, tag, payload_words(data, nwords), blocking=True)
+
+    def isend(self, dst: int, data: Any, tag: int = 0, nwords: int | None = None):
+        """Non-blocking send; returns a :class:`Handle`."""
+        self._check_peer(dst)
+        handle = yield SendOp(dst, data, tag, payload_words(data, nwords), blocking=False)
+        return handle
+
+    def recv(self, src: int = ANY_SOURCE, tag: int = ANY_TAG):
+        """Blocking receive; returns the payload."""
+        if src != ANY_SOURCE:
+            self._check_peer(src)
+        data = yield RecvOp(src, tag, blocking=True)
+        return data
+
+    def irecv(self, src: int = ANY_SOURCE, tag: int = ANY_TAG):
+        """Non-blocking receive; returns a :class:`Handle`."""
+        if src != ANY_SOURCE:
+            self._check_peer(src)
+        handle = yield RecvOp(src, tag, blocking=False)
+        return handle
+
+    def waitall(self, handles: Iterable[Handle]):
+        """Wait for every handle; returns their values in order."""
+        handles = list(handles)
+        for h in handles:
+            if not isinstance(h, Handle):
+                raise SimulationError(f"waitall expects Handles, got {type(h).__name__}")
+            if h.rank != self.rank:
+                raise SimulationError(
+                    f"rank {self.rank} cannot wait on rank {h.rank}'s handle"
+                )
+        values = yield WaitOp(handles)
+        return values
+
+    def wait(self, handle: Handle):
+        """Wait for one handle; returns its value."""
+        values = yield from self.waitall([handle])
+        return values[0]
+
+    def sendrecv(
+        self,
+        dst: int,
+        data: Any,
+        src: int = ANY_SOURCE,
+        send_tag: int = 0,
+        recv_tag: int = ANY_TAG,
+        nwords: int | None = None,
+    ):
+        """Concurrent send+receive (full duplex); returns the received payload."""
+        hs = yield from self.isend(dst, data, send_tag, nwords)
+        hr = yield from self.irecv(src, recv_tag)
+        values = yield from self.waitall([hs, hr])
+        return values[1]
+
+    def exchange(self, peer: int, data: Any, tag: int = 0, nwords: int | None = None):
+        """Pairwise exchange with ``peer``: send ``data``, return theirs."""
+        return (
+            yield from self.sendrecv(peer, data, src=peer, send_tag=tag, recv_tag=tag, nwords=nwords)
+        )
+
+    # -- computation -------------------------------------------------------
+
+    def elapse(self, duration: float):
+        """Advance this rank's clock by ``duration`` time units."""
+        if duration < 0:
+            raise SimulationError(f"cannot elapse negative time {duration}")
+        yield ElapseOp(duration)
+
+    def compute(self, flops: float):
+        """Charge ``flops`` floating-point operations (``t_c`` each)."""
+        yield ElapseOp(self.config.params.flops_time(flops), flops)
+
+    def local_matmul(self, A: np.ndarray, B: np.ndarray, C: np.ndarray | None = None):
+        """Local block multiply ``A @ B`` (optionally accumulated into ``C``),
+        charging ``2·m·k·n`` flops; returns the product (or updated ``C``)."""
+        if A.ndim != 2 or B.ndim != 2 or A.shape[1] != B.shape[0]:
+            raise SimulationError(
+                f"local_matmul shape mismatch: {A.shape} @ {B.shape}"
+            )
+        m, k = A.shape
+        n = B.shape[1]
+        flops = 2.0 * m * k * n
+        if C is None:
+            out = A @ B
+        else:
+            if C.shape != (m, n):
+                raise SimulationError(
+                    f"accumulator shape {C.shape} != product shape {(m, n)}"
+                )
+            C += A @ B
+            out = C
+        yield ElapseOp(self.config.params.flops_time(flops), flops)
+        return out
+
+    # -- intra-rank concurrency ----------------------------------------------
+
+    def parallel(self, *generators):
+        """Run sub-generators concurrently on this node; returns their values.
+
+        Each argument is an already-constructed generator (e.g. a collective
+        call).  Their communication overlaps subject to the port model: a
+        multi-port node drives them simultaneously, a one-port node
+        serializes their transfers through its single engagement — which is
+        exactly how the paper accounts for "phases occurring in parallel".
+
+        ::
+
+            a_list, b_val = yield from ctx.parallel(
+                allgather(row_comm, a_block, tag=1),
+                broadcast(col_comm, b_block, root=0, tag=2),
+            )
+        """
+        values = yield ParallelOp(list(generators))
+        return values
+
+    # -- synchronisation and bookkeeping ------------------------------------
+
+    def barrier(self):
+        """Zero-cost global barrier (harness use only; see :class:`BarrierOp`)."""
+        yield BarrierOp()
+
+    def phase(self, name: str) -> None:
+        """Mark the start of a named phase at this rank's current time."""
+        self.engine.mark_phase(self.rank, name)
+
+    def note_memory(self, resident_words: int) -> None:
+        """Record this rank's current resident words for peak-memory stats."""
+        self.engine.stats[self.rank].note_memory(resident_words)

@@ -1,0 +1,116 @@
+"""Run statistics, traces, and the result object returned by ``run_spmd``."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["TraceRecord", "RankStats", "RunResult", "NetworkStats"]
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One traced activity interval.
+
+    ``kind`` is ``"hop"`` (fields: src, dst of the hop, message id, words)
+    or ``"compute"`` (fields: rank, flops).
+    """
+
+    kind: str
+    start: float
+    end: float
+    rank: int
+    info: dict = field(default_factory=dict)
+
+
+@dataclass
+class RankStats:
+    """Per-rank communication/computation counters."""
+
+    rank: int
+    messages_sent: int = 0
+    words_sent: int = 0
+    messages_received: int = 0
+    words_received: int = 0
+    flops: float = 0.0
+    compute_time: float = 0.0
+    peak_memory_words: int = 0
+    finish_time: float = 0.0
+
+    def note_memory(self, resident_words: int) -> None:
+        if resident_words > self.peak_memory_words:
+            self.peak_memory_words = int(resident_words)
+
+
+@dataclass(frozen=True)
+class NetworkStats:
+    """Aggregate link-level statistics of a run.
+
+    ``total_channel_busy`` sums the busy time of every directional channel
+    — with store-and-forward routing this equals
+    ``Σ_messages hops · (t_s + t_w·words)``, a conservation law the test
+    suite checks.  ``max_channel_busy`` is the most-loaded channel's busy
+    time: a lower bound on any schedule's completion time.
+    """
+
+    channels_used: int
+    total_channel_busy: float
+    max_channel_busy: float
+
+    def mean_utilization(self, total_time: float) -> float:
+        """Average busy fraction of the channels that were used at all."""
+        if self.channels_used == 0 or total_time <= 0:
+            return 0.0
+        return self.total_channel_busy / (self.channels_used * total_time)
+
+
+@dataclass
+class RunResult:
+    """Outcome of one SPMD simulation.
+
+    Attributes
+    ----------
+    total_time:
+        Virtual time at which the last rank finished (the parallel runtime).
+    results:
+        Per-rank return values of the programs (``{rank: value}``).
+    stats:
+        Per-rank :class:`RankStats`.
+    phase_times:
+        ``{phase_name: (start, end)}`` where start/end are the min entry and
+        max exit times over ranks, from ``ctx.phase(...)`` markers.
+    trace:
+        Optional list of :class:`TraceRecord` (when tracing was enabled).
+    network:
+        Aggregate :class:`NetworkStats` over all directional channels.
+    """
+
+    total_time: float
+    results: dict[int, Any]
+    stats: dict[int, RankStats]
+    phase_times: dict[str, tuple[float, float]] = field(default_factory=dict)
+    trace: list[TraceRecord] = field(default_factory=list)
+    network: NetworkStats = field(
+        default_factory=lambda: NetworkStats(0, 0.0, 0.0)
+    )
+
+    @property
+    def num_ranks(self) -> int:
+        return len(self.stats)
+
+    def total_words_sent(self) -> int:
+        return sum(s.words_sent for s in self.stats.values())
+
+    def total_messages(self) -> int:
+        return sum(s.messages_sent for s in self.stats.values())
+
+    def max_peak_memory_words(self) -> int:
+        return max((s.peak_memory_words for s in self.stats.values()), default=0)
+
+    def total_peak_memory_words(self) -> int:
+        """Sum of per-rank peaks: the paper's 'overall space used' metric."""
+        return sum(s.peak_memory_words for s in self.stats.values())
+
+    def phase_duration(self, name: str) -> float:
+        start, end = self.phase_times[name]
+        return end - start

@@ -1,0 +1,15 @@
+"""Hypercube topology: addressing, subcubes, grid embeddings, routing."""
+
+from repro.topology.hypercube import Hypercube, Subcube
+from repro.topology.embedding import Grid2DEmbedding, Grid3DEmbedding, RingEmbedding
+from repro.topology.routing import ecube_path, ecube_next_hop
+
+__all__ = [
+    "Hypercube",
+    "Subcube",
+    "RingEmbedding",
+    "Grid2DEmbedding",
+    "Grid3DEmbedding",
+    "ecube_path",
+    "ecube_next_hop",
+]

@@ -1,0 +1,234 @@
+"""The 2-ary n-cube (binary hypercube) and its subcubes.
+
+A *d*-dimensional hypercube has ``2**d`` nodes addressed ``0 .. 2**d - 1``;
+two nodes are neighbours iff their addresses differ in exactly one bit.  A
+*subcube* is the set of nodes obtained by fixing some address bits and
+letting the remaining ``k`` bits range freely — itself a k-cube.  The
+algorithms in the paper rely on the fact that every row, column, or line of
+a Gray-code-embedded grid is such a subcube, so collective operations within
+a row/column/line enjoy full hypercube connectivity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.errors import TopologyError
+from repro.util.bits import hamming_distance, ilog2, is_power_of_two
+
+__all__ = ["Hypercube", "Subcube"]
+
+
+class Hypercube:
+    """A binary hypercube of ``2**dimension`` nodes.
+
+    Parameters
+    ----------
+    dimension:
+        Number of cube dimensions (``log2`` of the node count).  ``0`` is
+        allowed and denotes the single-node "cube".
+    """
+
+    __slots__ = ("_dimension",)
+
+    def __init__(self, dimension: int):
+        if dimension < 0:
+            raise TopologyError(f"hypercube dimension must be >= 0, got {dimension}")
+        self._dimension = int(dimension)
+
+    @classmethod
+    def with_nodes(cls, num_nodes: int) -> "Hypercube":
+        """Build the hypercube with exactly ``num_nodes`` (a power of two)."""
+        if not is_power_of_two(num_nodes):
+            raise TopologyError(
+                f"hypercube node count must be a power of two, got {num_nodes}"
+            )
+        return cls(ilog2(num_nodes))
+
+    @property
+    def dimension(self) -> int:
+        """Number of dimensions (links per node)."""
+        return self._dimension
+
+    @property
+    def num_nodes(self) -> int:
+        return 1 << self._dimension
+
+    @property
+    def num_links(self) -> int:
+        """Number of undirected links: ``d * 2**(d-1)``."""
+        return self._dimension << (self._dimension - 1) if self._dimension else 0
+
+    def nodes(self) -> range:
+        """Iterable over all node addresses."""
+        return range(self.num_nodes)
+
+    def contains(self, node: int) -> bool:
+        """True iff ``node`` is a valid address in this cube."""
+        return 0 <= node < self.num_nodes
+
+    def _check_node(self, node: int) -> None:
+        if not self.contains(node):
+            raise TopologyError(
+                f"node {node} outside {self.num_nodes}-node hypercube"
+            )
+
+    def neighbor(self, node: int, dim: int) -> int:
+        """The neighbour of ``node`` across dimension ``dim``."""
+        self._check_node(node)
+        if not 0 <= dim < self._dimension:
+            raise TopologyError(
+                f"dimension {dim} out of range for a {self._dimension}-cube"
+            )
+        return node ^ (1 << dim)
+
+    def neighbors(self, node: int) -> list[int]:
+        """All ``dimension`` neighbours of ``node``."""
+        self._check_node(node)
+        return [node ^ (1 << d) for d in range(self._dimension)]
+
+    def are_neighbors(self, a: int, b: int) -> bool:
+        """True iff ``a`` and ``b`` share a hypercube link."""
+        self._check_node(a)
+        self._check_node(b)
+        return hamming_distance(a, b) == 1
+
+    def distance(self, a: int, b: int) -> int:
+        """Shortest-path (Hamming) distance between two nodes."""
+        self._check_node(a)
+        self._check_node(b)
+        return hamming_distance(a, b)
+
+    def link_dimension(self, a: int, b: int) -> int:
+        """The dimension of the link joining neighbours ``a`` and ``b``."""
+        if not self.are_neighbors(a, b):
+            raise TopologyError(f"nodes {a} and {b} are not hypercube neighbours")
+        return ilog2(a ^ b)
+
+    def route_hops(self, src: int, dst: int) -> list[tuple[int, int]]:
+        """Store-and-forward route between any two nodes: the e-cube path.
+
+        Part of the duck-typed topology surface the simulator engine uses
+        (shared with :class:`repro.topology.torus.Torus2D`).
+        """
+        self._check_node(src)
+        self._check_node(dst)
+        from repro.topology.routing import ecube_hops
+
+        return ecube_hops(src, dst)
+
+    def subcube(self, free_dims: tuple[int, ...] | list[int], anchor: int) -> "Subcube":
+        """The subcube spanned by ``free_dims`` through node ``anchor``."""
+        return Subcube(self, tuple(free_dims), anchor)
+
+    def split(self, split_dims: tuple[int, ...] | list[int]) -> list["Subcube"]:
+        """Partition the cube into ``2**len(split_dims)`` disjoint subcubes.
+
+        The returned subcubes have the *other* dimensions free; subcube ``i``
+        fixes the split dimensions to the bits of ``i``.
+        """
+        split_dims = tuple(split_dims)
+        for d in split_dims:
+            if not 0 <= d < self._dimension:
+                raise TopologyError(f"split dimension {d} out of range")
+        if len(set(split_dims)) != len(split_dims):
+            raise TopologyError(f"duplicate split dimensions in {split_dims}")
+        free = tuple(d for d in range(self._dimension) if d not in split_dims)
+        cubes = []
+        for i in range(1 << len(split_dims)):
+            anchor = 0
+            for k, d in enumerate(split_dims):
+                if (i >> k) & 1:
+                    anchor |= 1 << d
+            cubes.append(Subcube(self, free, anchor))
+        return cubes
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Hypercube) and other._dimension == self._dimension
+
+    def __hash__(self) -> int:
+        return hash(("Hypercube", self._dimension))
+
+    def __repr__(self) -> str:
+        return f"Hypercube(dimension={self._dimension})"
+
+
+@dataclass(frozen=True)
+class Subcube:
+    """A subcube of a parent hypercube.
+
+    ``free_dims`` are the dimensions allowed to vary; all other address bits
+    are frozen to the corresponding bits of ``anchor``.  Members are ordered
+    by the integer formed by their free-dimension bits, which makes a
+    subcube usable as a little hypercube in its own right (member index ⇄
+    node address conversions are :meth:`member` and :meth:`index_of`).
+    """
+
+    parent: Hypercube
+    free_dims: tuple[int, ...]
+    anchor: int
+
+    def __post_init__(self):
+        d = self.parent.dimension
+        seen = set()
+        for dim in self.free_dims:
+            if not 0 <= dim < d:
+                raise TopologyError(f"free dimension {dim} out of range for {d}-cube")
+            if dim in seen:
+                raise TopologyError(f"duplicate free dimension {dim}")
+            seen.add(dim)
+        self.parent._check_node(self.anchor)
+        # Normalize the anchor: clear the free bits so equal subcubes compare equal.
+        mask = 0
+        for dim in self.free_dims:
+            mask |= 1 << dim
+        object.__setattr__(self, "anchor", self.anchor & ~mask)
+
+    @property
+    def dimension(self) -> int:
+        return len(self.free_dims)
+
+    @property
+    def num_nodes(self) -> int:
+        return 1 << len(self.free_dims)
+
+    def member(self, index: int) -> int:
+        """Parent-node address of the ``index``-th member."""
+        if not 0 <= index < self.num_nodes:
+            raise TopologyError(
+                f"member index {index} out of range for {self.num_nodes}-node subcube"
+            )
+        node = self.anchor
+        for k, dim in enumerate(self.free_dims):
+            if (index >> k) & 1:
+                node |= 1 << dim
+        return node
+
+    def index_of(self, node: int) -> int:
+        """Member index of a parent node (raises if not a member)."""
+        if not self.contains(node):
+            raise TopologyError(f"node {node} not in subcube {self}")
+        idx = 0
+        for k, dim in enumerate(self.free_dims):
+            if (node >> dim) & 1:
+                idx |= 1 << k
+        return idx
+
+    def contains(self, node: int) -> bool:
+        if not self.parent.contains(node):
+            return False
+        mask = 0
+        for dim in self.free_dims:
+            mask |= 1 << dim
+        return (node & ~mask) == self.anchor
+
+    def members(self) -> Iterator[int]:
+        for i in range(self.num_nodes):
+            yield self.member(i)
+
+    def __repr__(self) -> str:
+        return (
+            f"Subcube(free_dims={self.free_dims}, anchor={self.anchor:#b}, "
+            f"parent_dim={self.parent.dimension})"
+        )

@@ -1,0 +1,51 @@
+"""Dimension-ordered (e-cube) routing on the hypercube.
+
+Messages between non-neighbouring nodes are forwarded store-and-forward
+along the e-cube path: correct the differing address bits in ascending
+dimension order.  The path length equals the Hamming distance, so a
+point-to-point transfer of ``m`` words over distance ``h`` costs
+``h * (t_s + t_w * m)`` — exactly the store-and-forward accounting the paper
+uses (e.g. the ``log ∛p (t_s + t_w n²/p^{2/3})`` first phase of 3DD).
+
+E-cube routing is deterministic and deadlock-free; determinism matters here
+because the simulator must produce identical timings on every run.
+"""
+
+from __future__ import annotations
+
+from repro.errors import TopologyError
+from repro.util.bits import set_bits
+
+__all__ = ["ecube_path", "ecube_next_hop", "ecube_hops"]
+
+
+def ecube_next_hop(current: int, dest: int) -> int:
+    """The next node on the e-cube path from ``current`` to ``dest``."""
+    diff = current ^ dest
+    if diff == 0:
+        raise TopologyError(f"no next hop: already at destination {dest}")
+    lowest = diff & -diff
+    return current ^ lowest
+
+
+def ecube_path(src: int, dest: int) -> list[int]:
+    """All nodes on the e-cube path from ``src`` to ``dest``, inclusive."""
+    if src < 0 or dest < 0:
+        raise TopologyError("node addresses must be non-negative")
+    path = [src]
+    cur = src
+    while cur != dest:
+        cur = ecube_next_hop(cur, dest)
+        path.append(cur)
+    return path
+
+
+def ecube_hops(src: int, dest: int) -> list[tuple[int, int]]:
+    """The (from, to) hop pairs of the e-cube path; empty for ``src == dest``."""
+    nodes = ecube_path(src, dest)
+    return list(zip(nodes[:-1], nodes[1:]))
+
+
+def ecube_dimensions(src: int, dest: int) -> tuple[int, ...]:
+    """Dimensions crossed by the e-cube route, in traversal order."""
+    return set_bits(src ^ dest)

@@ -1,0 +1,120 @@
+"""2-D torus topology — the machine Cannon's algorithm was designed for.
+
+The paper remarks (§3.3) that the shift-multiply phase of Cannon's
+algorithm performs the same on 2-D tori and hypercubes; only the initial
+alignment (arbitrary-distance shifts) and the richer collectives
+distinguish the cube.  This substrate lets the simulator check that claim
+directly: a ``rows × cols`` wrap-around mesh whose nodes are numbered
+row-major, with unit Grid links only (no Gray-code shortcuts).
+
+A :class:`Torus2D` exposes the same duck-typed surface the engine needs
+from :class:`~repro.topology.hypercube.Hypercube`: ``num_nodes``,
+``nodes()``, ``are_neighbors``, ``_check_node`` and ``route_hops`` —
+dimension-ordered routing taking the shorter way around each ring.
+"""
+
+from __future__ import annotations
+
+from repro.errors import TopologyError
+
+__all__ = ["Torus2D"]
+
+
+class Torus2D:
+    """A ``rows × cols`` wrap-around mesh, nodes numbered row-major."""
+
+    __slots__ = ("rows", "cols")
+
+    def __init__(self, rows: int, cols: int):
+        if rows < 1 or cols < 1:
+            raise TopologyError(f"torus sides must be positive, got {rows}x{cols}")
+        self.rows = rows
+        self.cols = cols
+
+    @property
+    def num_nodes(self) -> int:
+        return self.rows * self.cols
+
+    def nodes(self) -> range:
+        return range(self.num_nodes)
+
+    def contains(self, node: int) -> bool:
+        return 0 <= node < self.num_nodes
+
+    def _check_node(self, node: int) -> None:
+        if not self.contains(node):
+            raise TopologyError(
+                f"node {node} outside {self.rows}x{self.cols} torus"
+            )
+
+    # -- coordinates ---------------------------------------------------------
+
+    def node_at(self, r: int, c: int) -> int:
+        """Node at (row, col); coordinates wrap."""
+        return (r % self.rows) * self.cols + (c % self.cols)
+
+    def coords_of(self, node: int) -> tuple[int, int]:
+        self._check_node(node)
+        return divmod(node, self.cols)
+
+    # -- adjacency -------------------------------------------------------------
+
+    def neighbors(self, node: int) -> list[int]:
+        r, c = self.coords_of(node)
+        out = []
+        for rr, cc in ((r - 1, c), (r + 1, c), (r, c - 1), (r, c + 1)):
+            nb = self.node_at(rr, cc)
+            if nb != node and nb not in out:
+                out.append(nb)
+        return out
+
+    def are_neighbors(self, a: int, b: int) -> bool:
+        self._check_node(a)
+        self._check_node(b)
+        return b in self.neighbors(a)
+
+    @staticmethod
+    def _ring_steps(frm: int, to: int, size: int) -> list[int]:
+        """Coordinates visited going the shorter way around a ring."""
+        forward = (to - frm) % size
+        backward = (frm - to) % size
+        steps = []
+        cur = frm
+        if forward <= backward:
+            for _ in range(forward):
+                cur = (cur + 1) % size
+                steps.append(cur)
+        else:
+            for _ in range(backward):
+                cur = (cur - 1) % size
+                steps.append(cur)
+        return steps
+
+    def distance(self, a: int, b: int) -> int:
+        ra, ca = self.coords_of(a)
+        rb, cb = self.coords_of(b)
+        dr = min((rb - ra) % self.rows, (ra - rb) % self.rows)
+        dc = min((cb - ca) % self.cols, (ca - cb) % self.cols)
+        return dr + dc
+
+    # -- routing -----------------------------------------------------------------
+
+    def route_hops(self, src: int, dst: int) -> list[tuple[int, int]]:
+        """Dimension-ordered route: correct the column, then the row, each
+        the shorter way around its ring.  Deterministic and deadlock-free
+        under the simulator's FIFO links."""
+        self._check_node(src)
+        self._check_node(dst)
+        if src == dst:
+            return []
+        r0, c0 = self.coords_of(src)
+        r1, c1 = self.coords_of(dst)
+        path = [src]
+        for c in self._ring_steps(c0, c1, self.cols):
+            path.append(self.node_at(r0, c))
+        for r in self._ring_steps(r0, r1, self.rows):
+            path.append(self.node_at(r, c1))
+        return list(zip(path[:-1], path[1:]))
+
+    def __repr__(self) -> str:
+        return f"Torus2D({self.rows}x{self.cols})"

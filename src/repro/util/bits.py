@@ -1,0 +1,123 @@
+"""Bit-manipulation primitives used throughout the hypercube machinery.
+
+Hypercube node addresses are plain non-negative integers whose binary
+representation selects a corner of the 2-ary n-cube.  Everything in this
+module is exact integer arithmetic; no floating point is involved so the
+results are safe to use as array indices and rank numbers.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "popcount",
+    "bit",
+    "set_bits",
+    "hamming_distance",
+    "is_power_of_two",
+    "is_power_of_eight",
+    "is_perfect_square_pow2",
+    "is_perfect_cube_pow2",
+    "ilog2",
+    "isqrt_pow2",
+    "icbrt_pow2",
+    "gray_code",
+    "gray_code_inverse",
+]
+
+
+def popcount(x: int) -> int:
+    """Number of set bits in ``x`` (``x >= 0``)."""
+    if x < 0:
+        raise ValueError(f"popcount requires a non-negative integer, got {x}")
+    return x.bit_count()
+
+
+def bit(x: int, k: int) -> int:
+    """The ``k``-th bit (0 = least significant) of ``x``, as 0 or 1."""
+    if k < 0:
+        raise ValueError(f"bit index must be non-negative, got {k}")
+    return (x >> k) & 1
+
+
+def set_bits(x: int) -> tuple[int, ...]:
+    """Indices of the set bits of ``x``, ascending."""
+    out = []
+    k = 0
+    while x:
+        if x & 1:
+            out.append(k)
+        x >>= 1
+        k += 1
+    return tuple(out)
+
+
+def hamming_distance(a: int, b: int) -> int:
+    """Number of bit positions in which ``a`` and ``b`` differ.
+
+    On a hypercube this is the length of the shortest path between nodes
+    ``a`` and ``b``.
+    """
+    return popcount(a ^ b)
+
+
+def is_power_of_two(x: int) -> bool:
+    """True iff ``x`` is a positive power of two (including ``1``)."""
+    return x > 0 and (x & (x - 1)) == 0
+
+
+def ilog2(x: int) -> int:
+    """Exact base-2 logarithm of a power of two."""
+    if not is_power_of_two(x):
+        raise ValueError(f"ilog2 requires a positive power of two, got {x}")
+    return x.bit_length() - 1
+
+
+def is_perfect_square_pow2(x: int) -> bool:
+    """True iff ``x = 4**k`` for some ``k >= 0`` (an even power of two)."""
+    return is_power_of_two(x) and ilog2(x) % 2 == 0
+
+
+def is_power_of_eight(x: int) -> bool:
+    """True iff ``x = 8**k`` for some ``k >= 0``."""
+    return is_power_of_two(x) and ilog2(x) % 3 == 0
+
+
+# The paper lays 3-D grids of size ∛p × ∛p × ∛p onto p-processor cubes, so
+# ``p`` must be a power of eight there; 2-D grids need a power of four.
+is_perfect_cube_pow2 = is_power_of_eight
+
+
+def isqrt_pow2(x: int) -> int:
+    """Exact square root of an even power of two."""
+    if not is_perfect_square_pow2(x):
+        raise ValueError(f"isqrt_pow2 requires 4**k, got {x}")
+    return 1 << (ilog2(x) // 2)
+
+
+def icbrt_pow2(x: int) -> int:
+    """Exact cube root of a power of eight."""
+    if not is_power_of_eight(x):
+        raise ValueError(f"icbrt_pow2 requires 8**k, got {x}")
+    return 1 << (ilog2(x) // 3)
+
+
+def gray_code(i: int) -> int:
+    """The ``i``-th binary-reflected Gray code.
+
+    Consecutive Gray codes differ in exactly one bit, which is what embeds
+    rings and grids into hypercubes with dilation 1.
+    """
+    if i < 0:
+        raise ValueError(f"gray_code requires a non-negative index, got {i}")
+    return i ^ (i >> 1)
+
+
+def gray_code_inverse(g: int) -> int:
+    """Index ``i`` such that ``gray_code(i) == g``."""
+    if g < 0:
+        raise ValueError(f"gray_code_inverse requires non-negative input, got {g}")
+    i = 0
+    while g:
+        i ^= g
+        g >>= 1
+    return i

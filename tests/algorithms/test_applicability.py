@@ -1,0 +1,101 @@
+"""Applicability conditions (grid shapes, divisibility, p ≤ n^k limits)."""
+
+import pytest
+
+from repro.algorithms import ALGORITHMS, get_algorithm
+from repro.errors import NotApplicableError
+
+SQUARE_GRID = ["simple", "cannon", "hje", "diagonal2d"]
+CUBIC_GRID = ["berntsen", "dns", "3dd", "3d_all_trans", "3d_all"]
+
+
+@pytest.mark.parametrize("key", SQUARE_GRID)
+class TestSquareGridConditions:
+    def test_rejects_non_square_grid_p(self, key):
+        algo = get_algorithm(key)
+        with pytest.raises(NotApplicableError):
+            algo.check_applicable(16, 8)  # 8 is not 4^k
+
+    def test_rejects_p_too_small(self, key):
+        with pytest.raises(NotApplicableError):
+            get_algorithm(key).check_applicable(16, 1)
+
+    def test_rejects_indivisible_n(self, key):
+        with pytest.raises(NotApplicableError):
+            get_algorithm(key).check_applicable(10, 16)  # 10 % 4 != 0
+
+    def test_accepts_valid(self, key):
+        get_algorithm(key).check_applicable(16, 16)
+        assert get_algorithm(key).applicable(16, 16)
+
+
+@pytest.mark.parametrize("key", CUBIC_GRID)
+class TestCubicGridConditions:
+    def test_rejects_non_cubic_p(self, key):
+        with pytest.raises(NotApplicableError):
+            get_algorithm(key).check_applicable(16, 16)  # 16 is not 8^k
+
+    def test_rejects_indivisible_n(self, key):
+        with pytest.raises(NotApplicableError):
+            get_algorithm(key).check_applicable(9, 8)
+
+    def test_accepts_valid(self, key):
+        get_algorithm(key).check_applicable(16, 8)
+
+
+class TestStructuralLimits:
+    def test_cannon_requires_p_le_n_squared(self):
+        with pytest.raises(NotApplicableError):
+            get_algorithm("cannon").check_applicable(4, 64)  # 64 > 16
+
+    def test_berntsen_requires_p_le_n_1p5(self):
+        # p = 512 > 64^1.5/... pick n=32: n^1.5 ≈ 181 < 512
+        with pytest.raises(NotApplicableError):
+            get_algorithm("berntsen").check_applicable(32, 512)
+
+    def test_3d_all_requires_p_le_n_1p5(self):
+        with pytest.raises(NotApplicableError):
+            get_algorithm("3d_all").check_applicable(32, 512)
+
+    def test_3dd_allows_p_up_to_n_cubed(self):
+        # n=8, p=64: p > n^1.5 (22.6) but <= n^3 (512): only 3D algorithms
+        get_algorithm("3dd").check_applicable(8, 64)
+        get_algorithm("dns").check_applicable(8, 64)
+        with pytest.raises(NotApplicableError):
+            get_algorithm("3d_all").check_applicable(8, 64)
+
+    def test_hje_needs_enough_columns(self):
+        # n/sqrt(p) must be >= log sqrt(p): n=8, p=64 -> 1 < 3
+        with pytest.raises(NotApplicableError):
+            get_algorithm("hje").check_applicable(8, 64)
+        get_algorithm("hje").check_applicable(64, 64)
+
+    def test_3d_all_needs_q_squared_divisibility(self):
+        # n=12 divisible by q=2 but not q^2=4? 12 % 4 == 0, use n=10
+        with pytest.raises(NotApplicableError):
+            get_algorithm("3d_all").check_applicable(10, 8)
+
+
+class TestRegistry:
+    def test_all_algorithms_registered(self):
+        assert sorted(ALGORITHMS) == [
+            "3d_all",
+            "3d_all_rect",
+            "3d_all_trans",
+            "3dd",
+            "3dd_cannon",
+            "berntsen",
+            "cannon",
+            "diagonal2d",
+            "dns",
+            "dns_cannon",
+            "fox",
+            "hje",
+            "simple",
+        ]
+
+    def test_metadata_present(self):
+        for algo in ALGORITHMS.values():
+            assert algo.key
+            assert algo.name
+            assert algo.paper_section

@@ -1,0 +1,97 @@
+"""Tests for the supernode combination algorithms and the paper's claim
+that a new-algorithm × Cannon combination beats DNS × Cannon."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import get_algorithm
+from repro.errors import NotApplicableError
+from repro.sim import MachineConfig, PortModel
+
+
+class TestDiag3DCannonCorrectness:
+    @pytest.mark.parametrize("n,p", [(16, 32), (32, 32), (32, 128), (32, 256)])
+    def test_product(self, n, p):
+        rng = np.random.default_rng(n + p)
+        A = rng.standard_normal((n, n))
+        B = rng.standard_normal((n, n))
+        run = get_algorithm("3dd_cannon").run(
+            A, B, MachineConfig.create(p, t_s=5, t_w=1), verify=True
+        )
+        assert np.allclose(run.C, A @ B)
+
+    @pytest.mark.parametrize("port", list(PortModel), ids=str)
+    def test_both_port_models(self, port):
+        rng = np.random.default_rng(0)
+        A = rng.standard_normal((16, 16))
+        B = rng.standard_normal((16, 16))
+        cfg = MachineConfig.create(32, t_s=5, t_w=1, port_model=port)
+        run = get_algorithm("3dd_cannon").run(A, B, cfg, verify=True)
+        assert np.allclose(run.C, A @ B)
+
+    def test_rejects_p64(self):
+        with pytest.raises(NotApplicableError):
+            get_algorithm("3dd_cannon").check_applicable(32, 64)
+
+    def test_structured_inputs(self):
+        n, p = 32, 32
+        A = np.arange(float(n * n)).reshape(n, n) / n
+        B = (np.arange(float(n * n)).reshape(n, n).T + 1.0) / n
+        run = get_algorithm("3dd_cannon").run(
+            A, B, MachineConfig.create(p, t_s=1, t_w=1)
+        )
+        assert np.allclose(run.C, A @ B)
+
+
+class TestPaperCombinationClaim:
+    """§3.5: combining the new algorithms with Cannon beats DNS × Cannon
+    'in terms of the number of message start-ups as well as the data
+    transmission time'."""
+
+    @staticmethod
+    def _coeffs(key, n, p, port):
+        rng = np.random.default_rng(4)
+        A = rng.standard_normal((n, n))
+        B = rng.standard_normal((n, n))
+
+        def t(ts, tw):
+            cfg = MachineConfig.create(p, t_s=ts, t_w=tw, port_model=port)
+            return get_algorithm(key).run(A, B, cfg).total_time
+
+        return t(1, 0), t(0, 1)
+
+    @pytest.mark.parametrize("port", list(PortModel), ids=str)
+    @pytest.mark.parametrize("n,p", [(32, 32), (32, 256)])
+    def test_3dd_cannon_beats_dns_cannon(self, n, p, port):
+        a_new, b_new = self._coeffs("3dd_cannon", n, p, port)
+        a_dns, b_dns = self._coeffs("dns_cannon", n, p, port)
+        assert a_new <= a_dns
+        assert b_new <= b_dns
+        assert a_new + b_new < a_dns + b_dns  # strictly better overall
+
+    def test_same_space_as_dns_cannon(self):
+        n, p = 32, 32
+        rng = np.random.default_rng(5)
+        A = rng.standard_normal((n, n))
+        B = rng.standard_normal((n, n))
+        cfg = MachineConfig.create(p, t_s=1, t_w=1)
+        new = get_algorithm("3dd_cannon").run(A, B, cfg)
+        dns = get_algorithm("dns_cannon").run(A, B, cfg)
+        assert (
+            new.result.total_peak_memory_words()
+            <= dns.result.total_peak_memory_words()
+        )
+
+    def test_combination_saves_space_vs_plain_3dd(self):
+        """The whole point of combining with Cannon (where both apply)."""
+        n, p = 64, 512
+        rng = np.random.default_rng(6)
+        A = rng.standard_normal((n, n))
+        B = rng.standard_normal((n, n))
+        cfg = MachineConfig.create(p, t_s=150, t_w=3)
+        combo = get_algorithm("3dd_cannon").run(A, B, cfg, verify=True)
+        plain = get_algorithm("3dd").run(A, B, cfg, verify=True)
+        assert (
+            combo.result.total_peak_memory_words()
+            < plain.result.total_peak_memory_words()
+        )

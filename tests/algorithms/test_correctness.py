@@ -1,0 +1,133 @@
+"""End-to-end correctness of all nine algorithms against numpy matmul."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import ALGORITHMS, get_algorithm
+from repro.errors import AlgorithmError, NotApplicableError
+from repro.sim import MachineConfig, PortModel
+
+# (algorithm, feasible (n, p) pairs) — chosen to exercise several grid
+# sizes while staying fast.
+CASES = {
+    "simple": [(8, 4), (16, 16), (32, 16), (24, 4)],
+    "cannon": [(8, 4), (16, 16), (32, 16), (24, 4)],
+    "hje": [(16, 16), (32, 16), (16, 4)],
+    "berntsen": [(8, 8), (16, 8), (32, 64), (64, 64)],
+    "dns": [(8, 8), (16, 8), (32, 64)],
+    "diagonal2d": [(8, 4), (16, 16), (32, 16)],
+    "3dd": [(8, 8), (16, 8), (32, 64)],
+    "3d_all_trans": [(8, 8), (16, 8), (32, 64), (64, 64)],
+    "3d_all": [(8, 8), (16, 8), (32, 64), (64, 64)],
+    "dns_cannon": [(16, 32), (32, 32), (32, 256)],
+    "3dd_cannon": [(16, 32), (32, 32), (32, 256)],
+    "3d_all_rect": [(16, 16), (16, 8), (32, 64), (32, 256)],
+    "fox": [(8, 4), (16, 16), (32, 16)],
+}
+
+ALL_CASES = [
+    (key, n, p) for key, pairs in CASES.items() for (n, p) in pairs
+]
+
+
+@pytest.mark.parametrize("key,n,p", ALL_CASES)
+def test_produces_exact_product_one_port(key, n, p):
+    rng = np.random.default_rng(hash((key, n, p)) % 2**32)
+    A = rng.standard_normal((n, n))
+    B = rng.standard_normal((n, n))
+    cfg = MachineConfig.create(p, t_s=5, t_w=0.5, port_model=PortModel.ONE_PORT)
+    run = get_algorithm(key).run(A, B, cfg)
+    assert np.allclose(run.C, A @ B)
+
+
+@pytest.mark.parametrize("key,n,p", ALL_CASES)
+def test_produces_exact_product_multi_port(key, n, p):
+    rng = np.random.default_rng(hash((key, n, p, "m")) % 2**32)
+    A = rng.standard_normal((n, n))
+    B = rng.standard_normal((n, n))
+    cfg = MachineConfig.create(p, t_s=5, t_w=0.5, port_model=PortModel.MULTI_PORT)
+    run = get_algorithm(key).run(A, B, cfg)
+    assert np.allclose(run.C, A @ B)
+
+
+@pytest.mark.parametrize("key", sorted(ALGORITHMS))
+def test_identity_times_identity(key):
+    n, p = CASES[key][0]
+    cfg = MachineConfig.create(p, t_s=1, t_w=1)
+    run = get_algorithm(key).run(np.eye(n), np.eye(n), cfg, verify=True)
+    assert np.allclose(run.C, np.eye(n))
+
+@pytest.mark.parametrize("key", sorted(ALGORITHMS))
+def test_non_symmetric_inputs(key):
+    """Catch transposition bugs: A@B != B@A for these inputs."""
+    n, p = CASES[key][0]
+    rng = np.random.default_rng(3)
+    A = np.triu(rng.standard_normal((n, n)))
+    B = rng.standard_normal((n, n))
+    cfg = MachineConfig.create(p, t_s=1, t_w=1)
+    run = get_algorithm(key).run(A, B, cfg)
+    assert np.allclose(run.C, A @ B)
+    assert not np.allclose(run.C, B @ A)
+
+
+@pytest.mark.parametrize("key", sorted(ALGORITHMS))
+def test_structured_values_place_blocks_correctly(key):
+    """Use position-dependent values so misplaced blocks are detected."""
+    n, p = CASES[key][1] if len(CASES[key]) > 1 else CASES[key][0]
+    A = np.arange(float(n * n)).reshape(n, n) / n
+    B = (np.arange(float(n * n)).reshape(n, n).T + 1.0) / n
+    cfg = MachineConfig.create(p, t_s=1, t_w=1)
+    run = get_algorithm(key).run(A, B, cfg)
+    assert np.allclose(run.C, A @ B)
+
+
+@pytest.mark.parametrize("key", sorted(ALGORITHMS))
+def test_deterministic_timing(key):
+    n, p = CASES[key][0]
+    rng = np.random.default_rng(0)
+    A = rng.standard_normal((n, n))
+    B = rng.standard_normal((n, n))
+    cfg = MachineConfig.create(p, t_s=7, t_w=2)
+    t1 = get_algorithm(key).run(A, B, cfg).total_time
+    t2 = get_algorithm(key).run(A, B, cfg).total_time
+    assert t1 == t2
+
+
+@pytest.mark.parametrize("key", sorted(ALGORITHMS))
+def test_timing_independent_of_values(key):
+    """Communication time depends on sizes, not matrix contents."""
+    n, p = CASES[key][0]
+    cfg = MachineConfig.create(p, t_s=7, t_w=2)
+    rng = np.random.default_rng(0)
+    t1 = get_algorithm(key).run(np.eye(n), np.eye(n), cfg).total_time
+    t2 = get_algorithm(key).run(
+        rng.standard_normal((n, n)), rng.standard_normal((n, n)), cfg
+    ).total_time
+    assert t1 == t2
+
+
+class TestHarnessValidation:
+    def test_rejects_non_square(self):
+        cfg = MachineConfig.create(4)
+        with pytest.raises(AlgorithmError):
+            get_algorithm("cannon").run(np.ones((4, 8)), np.ones((8, 4)), cfg)
+
+    def test_rejects_mismatched_shapes(self):
+        cfg = MachineConfig.create(4)
+        with pytest.raises(AlgorithmError):
+            get_algorithm("cannon").run(np.ones((4, 4)), np.ones((8, 8)), cfg)
+
+    def test_verify_flag_raises_on_internal_mismatch(self):
+        """verify=True passes for a correct run (smoke for the code path)."""
+        cfg = MachineConfig.create(4)
+        run = get_algorithm("cannon").run(np.eye(8), np.eye(8), cfg, verify=True)
+        assert np.allclose(run.C, np.eye(8))
+
+    def test_unknown_algorithm(self):
+        with pytest.raises(AlgorithmError):
+            get_algorithm("strassen")
+
+    def test_comm_time_excludes_compute(self):
+        cfg = MachineConfig.create(4, t_s=5, t_w=1, t_c=1.0)
+        run = get_algorithm("cannon").run(np.eye(8), np.eye(8), cfg)
+        assert run.comm_time < run.total_time

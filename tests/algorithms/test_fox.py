@@ -1,0 +1,73 @@
+"""Tests for the Fox-Otto-Hey baseline (reference [4])."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import get_algorithm
+from repro.errors import NotApplicableError
+from repro.sim import MachineConfig, PortModel
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("n,p", [(8, 4), (16, 16), (32, 16), (32, 64)])
+    def test_product(self, n, p):
+        rng = np.random.default_rng(n + p)
+        A = rng.standard_normal((n, n))
+        B = rng.standard_normal((n, n))
+        run = get_algorithm("fox").run(
+            A, B, MachineConfig.create(p, t_s=5, t_w=1), verify=True
+        )
+        assert np.allclose(run.C, A @ B)
+
+    @pytest.mark.parametrize("port", list(PortModel), ids=str)
+    def test_both_ports(self, port):
+        rng = np.random.default_rng(1)
+        A = rng.standard_normal((16, 16))
+        B = rng.standard_normal((16, 16))
+        cfg = MachineConfig.create(16, t_s=5, t_w=1, port_model=port)
+        run = get_algorithm("fox").run(A, B, cfg, verify=True)
+        assert np.allclose(run.C, A @ B)
+
+    def test_needs_square_grid(self):
+        with pytest.raises(NotApplicableError):
+            get_algorithm("fox").check_applicable(16, 8)
+
+    def test_structured_inputs(self):
+        n = 16
+        A = np.triu(np.arange(float(n * n)).reshape(n, n))
+        B = np.tril(np.ones((n, n)))
+        run = get_algorithm("fox").run(
+            A, B, MachineConfig.create(16, t_s=1, t_w=1)
+        )
+        assert np.allclose(run.C, A @ B)
+
+
+class TestWhyThePaperSkipsIt:
+    """Fox pays O(√p·log √p) start-ups against Cannon's O(√p)."""
+
+    @staticmethod
+    def _startups(key, n, p):
+        rng = np.random.default_rng(2)
+        A = rng.standard_normal((n, n))
+        B = rng.standard_normal((n, n))
+        cfg = MachineConfig.create(p, t_s=1.0, t_w=0.0)
+        return get_algorithm(key).run(A, B, cfg).total_time
+
+    def test_more_startups_than_cannon(self):
+        for n, p in [(16, 16), (32, 64)]:
+            assert self._startups("fox", n, p) > self._startups("cannon", n, p)
+
+    def test_startup_gap_grows_with_p(self):
+        gap_small = self._startups("fox", 16, 16) / self._startups("cannon", 16, 16)
+        gap_big = self._startups("fox", 64, 256) / self._startups("cannon", 64, 256)
+        assert gap_big > gap_small * 0.9  # ratio approaches log sqrt(p) / 2
+
+    def test_slower_than_cannon_at_paper_params(self):
+        rng = np.random.default_rng(3)
+        n, p = 64, 64
+        A = rng.standard_normal((n, n))
+        B = rng.standard_normal((n, n))
+        cfg = MachineConfig.create(p, t_s=150, t_w=3)
+        t_fox = get_algorithm("fox").run(A, B, cfg).total_time
+        t_cannon = get_algorithm("cannon").run(A, B, cfg).total_time
+        assert t_cannon < t_fox

@@ -1,0 +1,101 @@
+"""Phase-by-phase timing: each phase of 3D All costs exactly what the
+paper attributes to its collective pattern (§4.2.2's accounting).
+
+The totals matching Table 2 could in principle hide compensating errors;
+these tests check the decomposition itself via the ``ctx.phase`` markers.
+"""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import get_algorithm
+from repro.collectives import CollectiveCosts
+from repro.sim import MachineConfig, PortModel
+
+TS, TW = 13.0, 0.7
+
+
+def run_phases(key, n, p, port):
+    rng = np.random.default_rng(0)
+    A = rng.standard_normal((n, n))
+    B = rng.standard_normal((n, n))
+    cfg = MachineConfig.create(p, t_s=TS, t_w=TW, port_model=port)
+    run = get_algorithm(key).run(A, B, cfg, verify=True)
+    return run.result.phase_times, run.total_time
+
+
+def cost(coeffs):
+    a, b = coeffs
+    return a * TS + b * TW
+
+
+class Test3DAllPhases:
+    """n=64, p=64: q = ∛p = 4, block = n²/p = 64 words."""
+
+    N, P = 64, 64
+    Q = 4
+
+    def phase_duration(self, phases, name):
+        start, end = phases[name]
+        return end - start
+
+    @pytest.mark.parametrize("port", list(PortModel), ids=str)
+    def test_phase1_is_an_alltoall(self, port):
+        phases, _ = run_phases("3d_all", self.N, self.P, port)
+        # all-to-all personalized among q procs, M = n^2/(p*q) words
+        M = self.N ** 2 // (self.P * self.Q)
+        expected = cost(CollectiveCosts.alltoall(self.Q, M, port))
+        assert self.phase_duration(phases, "alltoall-B") == pytest.approx(expected)
+
+    def test_phase2_is_two_serialized_allgathers_one_port(self):
+        phases, _ = run_phases("3d_all", self.N, self.P, PortModel.ONE_PORT)
+        M = self.N ** 2 // self.P
+        one = cost(CollectiveCosts.allgather(self.Q, M, PortModel.ONE_PORT))
+        assert self.phase_duration(phases, "broadcasts") == pytest.approx(2 * one)
+
+    def test_phase2_allgathers_overlap_multi_port(self):
+        phases, _ = run_phases("3d_all", self.N, self.P, PortModel.MULTI_PORT)
+        M = self.N ** 2 // self.P
+        one = cost(CollectiveCosts.allgather(self.Q, M, PortModel.MULTI_PORT))
+        assert self.phase_duration(phases, "broadcasts") == pytest.approx(one)
+
+    @pytest.mark.parametrize("port", list(PortModel), ids=str)
+    def test_phase3_is_a_reduce_scatter(self, port):
+        phases, _ = run_phases("3d_all", self.N, self.P, port)
+        M = self.N ** 2 // self.P  # per-destination piece
+        expected = cost(CollectiveCosts.reduce_scatter(self.Q, M, port))
+        assert self.phase_duration(phases, "reduce") == pytest.approx(expected)
+
+    @pytest.mark.parametrize("port", list(PortModel), ids=str)
+    def test_phases_sum_to_total(self, port):
+        phases, total = run_phases("3d_all", self.N, self.P, port)
+        durations = sum(end - start for start, end in phases.values())
+        assert durations == pytest.approx(total)
+
+    @pytest.mark.parametrize("port", list(PortModel), ids=str)
+    def test_compute_phase_free_without_tc(self, port):
+        phases, _ = run_phases("3d_all", self.N, self.P, port)
+        assert self.phase_duration(phases, "compute") == pytest.approx(0.0)
+
+
+class TestSimplePhases:
+    def test_oneport_broadcast_phase_is_double_allgather(self):
+        phases, total = run_phases("simple", 64, 64, PortModel.ONE_PORT)
+        q = 8
+        M = 64 ** 2 // 64
+        one = cost(CollectiveCosts.allgather(q, M, PortModel.ONE_PORT))
+        start, end = phases["broadcasts"]
+        assert end - start == pytest.approx(2 * one)
+        assert total == pytest.approx(2 * one)  # compute free
+
+
+class TestCannonPhases:
+    def test_total_is_alignment_plus_shift_steps(self):
+        n, p = 64, 64
+        q = 8
+        m = (n // q) ** 2
+        _, total = run_phases("cannon", n, p, PortModel.ONE_PORT)
+        shift = 2 * (q - 1) * (TS + TW * m)
+        align = total - shift
+        # paper's alignment bound: 2 log q (t_s + t_w m); contention-free
+        assert 0 < align <= 2 * (q.bit_length() - 1) * (TS + TW * m) + 1e-9

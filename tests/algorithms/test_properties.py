@@ -1,0 +1,146 @@
+"""Property-based tests across the algorithm stack.
+
+Random matrices (including adversarial structures), random machine
+parameters, and conservation/monotonicity invariants that should hold for
+any correct distributed matmul on this machine model.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms import ALGORITHMS, get_algorithm
+from repro.sim import MachineConfig, PortModel
+
+# algorithm -> a cheap feasible (n, p)
+SMALL_CASE = {
+    "simple": (8, 4),
+    "cannon": (8, 4),
+    "hje": (16, 16),
+    "berntsen": (16, 8),
+    "dns": (16, 8),
+    "diagonal2d": (8, 4),
+    "3dd": (16, 8),
+    "3d_all_trans": (16, 8),
+    "3d_all": (16, 8),
+    "dns_cannon": (16, 32),
+    "3dd_cannon": (16, 32),
+    "3d_all_rect": (16, 16),
+    "fox": (8, 4),
+}
+
+keys = st.sampled_from(sorted(SMALL_CASE))
+params = st.tuples(
+    st.floats(min_value=0.0, max_value=500.0),
+    st.floats(min_value=0.01, max_value=20.0),
+)
+
+
+@settings(max_examples=30)
+@given(keys, st.data())
+def test_random_matrices_multiply_correctly(key, data):
+    n, p = SMALL_CASE[key]
+    seed = data.draw(st.integers(0, 10_000))
+    rng = np.random.default_rng(seed)
+    scale = data.draw(st.floats(min_value=1e-3, max_value=1e3))
+    A = rng.standard_normal((n, n)) * scale
+    B = rng.standard_normal((n, n)) / scale
+    cfg = MachineConfig.create(p, t_s=1, t_w=1)
+    run = get_algorithm(key).run(A, B, cfg)
+    assert np.allclose(run.C, A @ B)
+
+
+@settings(max_examples=20)
+@given(keys, st.data())
+def test_adversarial_structures(key, data):
+    """Zero blocks, rank-1 matrices, permutations — shapes that expose
+    misrouted or dropped blocks."""
+    n, p = SMALL_CASE[key]
+    kind = data.draw(st.sampled_from(["zero", "rank1", "perm", "block"]))
+    rng = np.random.default_rng(data.draw(st.integers(0, 1000)))
+    if kind == "zero":
+        A = np.zeros((n, n))
+        B = rng.standard_normal((n, n))
+    elif kind == "rank1":
+        u = rng.standard_normal((n, 1))
+        A = u @ u.T
+        B = rng.standard_normal((n, n))
+    elif kind == "perm":
+        A = np.eye(n)[rng.permutation(n)]
+        B = np.eye(n)[rng.permutation(n)]
+    else:
+        A = np.zeros((n, n))
+        A[: n // 2, : n // 2] = rng.standard_normal((n // 2, n // 2))
+        B = np.zeros((n, n))
+        B[n // 2:, n // 2:] = rng.standard_normal((n // 2, n // 2))
+    cfg = MachineConfig.create(p, t_s=1, t_w=1)
+    run = get_algorithm(key).run(A, B, cfg)
+    assert np.allclose(run.C, A @ B)
+
+
+@settings(max_examples=20)
+@given(keys, params)
+def test_time_is_linear_in_machine_params(key, ts_tw):
+    """Communication time = a*t_s + b*t_w exactly, for any machine."""
+    t_s, t_w = ts_tw
+    n, p = SMALL_CASE[key]
+    rng = np.random.default_rng(0)
+    A = rng.standard_normal((n, n))
+    B = rng.standard_normal((n, n))
+
+    def time_at(ts, tw):
+        cfg = MachineConfig.create(p, t_s=ts, t_w=tw)
+        return get_algorithm(key).run(A, B, cfg).total_time
+
+    a = time_at(1.0, 0.0)
+    b = time_at(0.0, 1.0)
+    combined = time_at(t_s, t_w)
+    assert combined == pytest.approx(a * t_s + b * t_w, rel=1e-9, abs=1e-6)
+
+
+@settings(max_examples=15)
+@given(keys)
+def test_words_sent_conserved(key):
+    n, p = SMALL_CASE[key]
+    rng = np.random.default_rng(1)
+    A = rng.standard_normal((n, n))
+    B = rng.standard_normal((n, n))
+    cfg = MachineConfig.create(p, t_s=1, t_w=1)
+    run = get_algorithm(key).run(A, B, cfg)
+    sent = sum(s.words_sent for s in run.result.stats.values())
+    received = sum(s.words_received for s in run.result.stats.values())
+    assert sent == received
+
+
+@settings(max_examples=10)
+@given(keys, st.integers(0, 3))
+def test_traffic_independent_of_parameters(key, pset):
+    """Message/word counts depend only on (n, p), never on t_s/t_w."""
+    n, p = SMALL_CASE[key]
+    rng = np.random.default_rng(2)
+    A = rng.standard_normal((n, n))
+    B = rng.standard_normal((n, n))
+    t_s, t_w = [(1, 1), (150, 3), (0, 1), (7, 0.5)][pset]
+    cfg = MachineConfig.create(p, t_s=t_s, t_w=t_w)
+    ref_cfg = MachineConfig.create(p, t_s=1, t_w=1)
+    run = get_algorithm(key).run(A, B, cfg)
+    ref = get_algorithm(key).run(A, B, ref_cfg)
+    assert run.result.total_words_sent() == ref.result.total_words_sent()
+    assert run.result.total_messages() == ref.result.total_messages()
+
+
+@settings(max_examples=10)
+@given(keys)
+def test_multiport_never_slower_than_oneport(key):
+    n, p = SMALL_CASE[key]
+    rng = np.random.default_rng(3)
+    A = rng.standard_normal((n, n))
+    B = rng.standard_normal((n, n))
+    one = get_algorithm(key).run(
+        A, B, MachineConfig.create(p, t_s=9, t_w=2, port_model=PortModel.ONE_PORT)
+    )
+    multi = get_algorithm(key).run(
+        A, B, MachineConfig.create(p, t_s=9, t_w=2, port_model=PortModel.MULTI_PORT)
+    )
+    assert multi.total_time <= one.total_time + 1e-9

@@ -1,0 +1,171 @@
+"""The reproduction's central quantitative result: simulated communication
+costs match the paper's Table 2 closed forms.
+
+For most (algorithm, port-model) combinations the executable schedules hit
+the Table 2 coefficients *exactly*.  The documented exceptions:
+
+* **3DD / DNS one-port** — the simulator lets independent phases overlap
+  (e.g. 3DD's A-broadcast roots need nothing from phase 1 and start at
+  t=0), so measured cost is *at most* the paper's phase-sequential sum.
+* **3DD / DNS multi-port** — the paper charges a multi-hop point-to-point
+  transfer ``t_w·M`` once; store-and-forward charges it per hop.  Measured
+  ``b`` exceeds the model by exactly the extra-hop words and by strictly
+  less than one additional ``M·log∛p``.
+* **Chunked schedules** (Simple/HJE multi-port) are exact when the
+  message sizes divide by ``log N`` (chunk integrality); tests pick such
+  sizes.
+
+See EXPERIMENTS.md for the full accounting.
+"""
+
+import pytest
+
+from repro.analysis.measure import extract_coefficients
+from repro.models.table2 import overhead_coefficients
+from repro.sim.machine import PortModel
+
+ONE = PortModel.ONE_PORT
+MULTI = PortModel.MULTI_PORT
+
+# (key, n, p, port) combinations where measured == model exactly.
+EXACT = [
+    ("simple", 16, 16, ONE),
+    ("simple", 32, 16, ONE),
+    ("simple", 64, 64, ONE),
+    ("simple", 24, 16, MULTI),   # block words divisible by log sqrt(p)
+    ("simple", 48, 64, MULTI),
+    ("cannon", 16, 16, ONE),
+    ("cannon", 32, 16, ONE),
+    ("cannon", 64, 64, ONE),
+    ("cannon", 16, 16, MULTI),
+    ("cannon", 64, 64, MULTI),
+    ("hje", 32, 16, MULTI),      # block columns divisible by log sqrt(p)
+    ("hje", 48, 64, MULTI),
+    ("berntsen", 16, 8, ONE),
+    ("berntsen", 32, 64, ONE),
+    ("berntsen", 64, 64, ONE),
+    ("berntsen", 16, 8, MULTI),
+    ("berntsen", 64, 64, MULTI),
+    ("3d_all_trans", 16, 8, ONE),
+    ("3d_all_trans", 32, 64, ONE),
+    ("3d_all_trans", 64, 64, ONE),
+    ("3d_all_trans", 16, 8, MULTI),
+    ("3d_all_trans", 64, 64, MULTI),
+    ("3d_all", 16, 8, ONE),
+    ("3d_all", 32, 64, ONE),
+    ("3d_all", 64, 64, ONE),
+    ("3d_all", 16, 8, MULTI),
+    ("3d_all", 64, 64, MULTI),
+    ("3dd", 16, 8, MULTI),
+    ("dns", 16, 8, ONE),
+    ("dns", 16, 8, MULTI),
+]
+
+
+@pytest.mark.parametrize("key,n,p,port", EXACT, ids=lambda v: str(v))
+def test_exact_table2_match(key, n, p, port):
+    if not isinstance(key, str):
+        pytest.skip("parametrize plumbing")
+    measured = extract_coefficients(key, n, p, port)
+    model = overhead_coefficients(key, n, p, port)
+    assert model is not None
+    assert measured[0] == pytest.approx(model[0])
+    assert measured[1] == pytest.approx(model[1])
+
+
+# One-port runs where cross-phase overlap makes the simulator *beat* the
+# paper's phase-sequential accounting (never by more than ~35%).
+OVERLAP_BETTER = [
+    ("3dd", 32, 64, ONE),
+    ("3dd", 64, 64, ONE),
+    ("dns", 32, 64, ONE),
+    ("dns", 64, 64, ONE),
+]
+
+
+@pytest.mark.parametrize("key,n,p,port", OVERLAP_BETTER, ids=lambda v: str(v))
+def test_overlap_beats_sequential_model(key, n, p, port):
+    if not isinstance(key, str):
+        pytest.skip("parametrize plumbing")
+    measured = extract_coefficients(key, n, p, port)
+    model = overhead_coefficients(key, n, p, port)
+    for m, mod in zip(measured, model):
+        assert m <= mod + 1e-9
+        assert m >= 0.6 * mod
+
+
+# Multi-port runs where store-and-forward multi-hop point-to-point pays
+# t_w per hop while the paper charges it once: measured b in
+# (model_b, model_b + extra], extra < M * log cbrt(p) per p2p phase.
+SF_PENALTY = [
+    ("3dd", 32, 64, MULTI),
+    ("3dd", 64, 64, MULTI),
+    ("dns", 32, 64, MULTI),
+    ("dns", 64, 64, MULTI),
+]
+
+
+@pytest.mark.parametrize("key,n,p,port", SF_PENALTY, ids=lambda v: str(v))
+def test_store_and_forward_penalty_bounded(key, n, p, port):
+    if not isinstance(key, str):
+        pytest.skip("parametrize plumbing")
+    measured = extract_coefficients(key, n, p, port)
+    model = overhead_coefficients(key, n, p, port)
+    q = round(p ** (1 / 3))
+    block_words = n * n / p ** (2 / 3)
+    extra_allowance = block_words * (q.bit_length() - 1) * 2
+    assert measured[0] <= model[0] + 1e-9
+    assert model[1] - 1e-9 <= measured[1] <= model[1] + extra_allowance
+
+
+class TestRelativeOrdering:
+    """Qualitative Table 2 relations the paper's analysis relies on."""
+
+    def test_3dd_beats_dns_everywhere(self):
+        """§3.5/§4.1: 3DD is at least as good as DNS for both models."""
+        for port in (ONE, MULTI):
+            for n, p in [(16, 8), (32, 64), (64, 64)]:
+                t_3dd = _time("3dd", n, p, port)
+                t_dns = _time("dns", n, p, port)
+                assert t_3dd <= t_dns
+
+    def test_3d_all_beats_all_trans_everywhere(self):
+        """§4.2: 3D All has lower overhead than 3D All_Trans."""
+        for port in (ONE, MULTI):
+            for n, p in [(16, 8), (32, 64), (64, 64)]:
+                assert _time("3d_all", n, p, port) <= _time(
+                    "3d_all_trans", n, p, port
+                )
+
+    def test_3d_all_beats_berntsen_and_3dd(self):
+        """§5.1: 3D All best wherever applicable (p >= 8)."""
+        for port in (ONE, MULTI):
+            for n, p in [(16, 8), (32, 64), (64, 64)]:
+                t = _time("3d_all", n, p, port)
+                assert t <= _time("berntsen", n, p, port)
+                assert t <= _time("3dd", n, p, port)
+
+    def test_hje_beats_cannon_multiport(self):
+        """§5.2: HJE is better than Cannon on multi-port machines."""
+        for n, p in [(32, 16), (64, 64)]:
+            assert _time("hje", n, p, MULTI) < _time("cannon", n, p, MULTI)
+
+    def test_cannon_beats_hje_oneport(self):
+        """One-port, HJE's extra start-ups hurt (why Table 2 omits it)."""
+        for n, p in [(32, 16), (64, 64)]:
+            assert _time("cannon", n, p, ONE) <= _time("hje", n, p, ONE)
+
+    def test_multiport_never_slower(self):
+        for key, n, p in [
+            ("simple", 32, 16),
+            ("cannon", 32, 16),
+            ("berntsen", 32, 64),
+            ("3d_all", 32, 64),
+        ]:
+            assert _time(key, n, p, MULTI) <= _time(key, n, p, ONE)
+
+
+def _time(key, n, p, port, t_s=150.0, t_w=3.0):
+    from repro.analysis.measure import measure_comm_time
+
+    return measure_comm_time(key, n, p, port, t_s, t_w)

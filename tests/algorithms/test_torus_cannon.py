@@ -1,0 +1,87 @@
+"""Cannon on a real torus vs Cannon on the hypercube (§3.3's remark)."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import get_algorithm
+from repro.algorithms.torus_cannon import run_cannon_on_torus, torus_machine_like
+from repro.errors import AlgorithmError, NotApplicableError
+from repro.sim import MachineConfig, PortModel
+
+
+def inputs(n, seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.standard_normal((n, n)), rng.standard_normal((n, n))
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("n,q", [(8, 2), (16, 4), (32, 8), (24, 4)])
+    def test_product(self, n, q):
+        A, B = inputs(n, n * q)
+        cfg = MachineConfig.create_torus(q, q, t_s=5, t_w=1)
+        run = run_cannon_on_torus(A, B, cfg, verify=True)
+        assert np.allclose(run.C, A @ B)
+
+    def test_needs_square_torus(self):
+        A, B = inputs(8)
+        cfg = MachineConfig.create_torus(2, 4)
+        with pytest.raises(NotApplicableError):
+            run_cannon_on_torus(A, B, cfg)
+
+    def test_needs_torus_machine(self):
+        A, B = inputs(8)
+        with pytest.raises(AlgorithmError):
+            run_cannon_on_torus(A, B, MachineConfig.create(4))
+
+    def test_indivisible_n(self):
+        A, B = inputs(9)
+        with pytest.raises(NotApplicableError):
+            run_cannon_on_torus(A, B, MachineConfig.create_torus(2, 2))
+
+
+class TestPaperRemark:
+    """§3.3: 'The second phase of Cannon's algorithm has the same
+    performance on 2-D tori and hypercubes.'"""
+
+    @staticmethod
+    def _phase_times(n, q, t_s=10.0, t_w=1.0):
+        A, B = inputs(n, 7)
+        hyper_cfg = MachineConfig.create(q * q, t_s=t_s, t_w=t_w)
+        hyper = get_algorithm("cannon").run(A, B, hyper_cfg, verify=True)
+        torus_cfg = torus_machine_like(hyper_cfg, q)
+        torus = run_cannon_on_torus(A, B, torus_cfg, verify=True)
+        return hyper, torus
+
+    def test_same_results(self):
+        hyper, torus = self._phase_times(16, 4)
+        assert np.allclose(hyper.C, torus.C)
+
+    def test_shift_phase_cost_identical(self):
+        """Total time differs only by the alignment phase: subtracting the
+        known shift-phase cost 2(q-1)(t_s + t_w m) from both, the residual
+        alignment is what separates the machines."""
+        n, q, t_s, t_w = 32, 8, 10.0, 1.0
+        hyper, torus = self._phase_times(n, q, t_s, t_w)
+        m = (n // q) ** 2
+        shift_phase = 2 * (q - 1) * (t_s + t_w * m)
+        align_hyper = hyper.total_time - shift_phase
+        align_torus = torus.total_time - shift_phase
+        # both residuals are genuine alignment costs...
+        assert align_hyper > 0
+        assert align_torus > 0
+        # ...and the torus pays more (shift by i costs min(i, q-i) ring
+        # hops, up to q/2, versus <= log q e-cube hops).
+        assert align_torus > align_hyper
+
+    def test_hypercube_no_faster_per_unit_shift(self):
+        """With zero alignment (trivial skew at q=2), machines tie."""
+        n, q = 8, 2
+        hyper, torus = self._phase_times(n, q)
+        assert hyper.total_time == torus.total_time
+
+    def test_torus_gap_grows_with_q(self):
+        gaps = []
+        for n, q in [(16, 4), (32, 8)]:
+            hyper, torus = self._phase_times(n, q)
+            gaps.append(torus.total_time - hyper.total_time)
+        assert gaps[1] > gaps[0] >= 0

@@ -1,0 +1,75 @@
+"""Tests for the isoefficiency extension."""
+
+import pytest
+
+from repro.analysis.scalability import (
+    IsoPoint,
+    efficiency,
+    isoefficiency_curve,
+    isoefficiency_n,
+)
+from repro.errors import ModelError
+from repro.sim.machine import PortModel
+
+ONE = PortModel.ONE_PORT
+
+
+class TestEfficiency:
+    def test_bounds(self):
+        e = efficiency("3d_all", 256, 64, ONE, 150, 3, t_c=1.0)
+        assert 0 < e < 1
+
+    def test_monotone_in_n(self):
+        es = [
+            efficiency("cannon", n, 64, ONE, 150, 3, t_c=1.0)
+            for n in (64, 128, 256, 512)
+        ]
+        assert es == sorted(es)
+
+    def test_decreasing_in_p_at_fixed_n(self):
+        e_small = efficiency("3d_all", 512, 8, ONE, 150, 3, t_c=1.0)
+        e_big = efficiency("3d_all", 512, 512, ONE, 150, 3, t_c=1.0)
+        assert e_big < e_small
+
+    def test_needs_positive_tc(self):
+        with pytest.raises(ModelError):
+            efficiency("cannon", 64, 16, ONE, 150, 3, t_c=0.0)
+
+    def test_none_when_not_applicable(self):
+        assert efficiency("3d_all", 16, 1 << 20, ONE, 150, 3) is None
+
+
+class TestIsoefficiency:
+    def test_required_n_grows_with_p(self):
+        n8 = isoefficiency_n("3d_all", 8, 0.8, ONE, 150, 3)
+        n512 = isoefficiency_n("3d_all", 512, 0.8, ONE, 150, 3)
+        assert n8 is not None and n512 is not None
+        assert n512 > n8
+
+    def test_achieves_target(self):
+        n = isoefficiency_n("cannon", 64, 0.75, ONE, 150, 3)
+        e = efficiency("cannon", n, 64, ONE, 150, 3)
+        assert e == pytest.approx(0.75, rel=1e-6)
+
+    def test_3d_all_scales_better_than_cannon(self):
+        """Flatter isoefficiency: 3D All needs smaller n than Cannon at
+        large p to hold the same efficiency (Cannon's O(√p) start-ups)."""
+        p = 4096  # both applicable (4096 = 4^6 = 8^4)
+        n_cannon = isoefficiency_n("cannon", p, 0.8, ONE, 150, 3)
+        n_all = isoefficiency_n("3d_all", p, 0.8, ONE, 150, 3)
+        assert n_all < n_cannon
+
+    def test_bad_target_rejected(self):
+        with pytest.raises(ModelError):
+            isoefficiency_n("cannon", 64, 1.5, ONE, 150, 3)
+
+    def test_curve(self):
+        curve = isoefficiency_curve("3dd", [8, 64, 512], 0.7, ONE, 150, 3)
+        assert len(curve) == 3
+        assert all(isinstance(pt, IsoPoint) for pt in curve)
+        works = [pt.work for pt in curve]
+        assert works == sorted(works)
+
+    def test_unattainable_returns_none(self):
+        n = isoefficiency_n("cannon", 64, 0.8, ONE, 150, 3, n_max=4.0)
+        assert n is None

@@ -1,0 +1,57 @@
+"""Tests for the sweep/crossover utilities."""
+
+import pytest
+
+from repro.analysis.sweep import SweepPoint, crossover, sweep
+from repro.errors import ModelError
+from repro.sim.machine import PortModel
+
+ONE = PortModel.ONE_PORT
+
+
+class TestSweep:
+    def test_along_p(self):
+        points = sweep(("cannon", "3dd"), "p", [16.0, 64.0, 256.0], n=256)
+        assert len(points) == 3
+        assert all(isinstance(pt, SweepPoint) for pt in points)
+        assert all(pt.times["cannon"] is not None for pt in points)
+
+    def test_best_at_point(self):
+        # Large t_s, p = n^2 region: 3DD should beat Cannon.
+        pt = sweep(("cannon", "3dd"), "p", [4096.0], n=64, t_s=150, t_w=3)[0]
+        assert pt.best() == "3dd"
+
+    def test_none_when_inapplicable(self):
+        pt = sweep(("3d_all",), "p", [2.0 ** 20], n=16)[0]
+        assert pt.times["3d_all"] is None
+        assert pt.best() is None
+
+    def test_unknown_variable(self):
+        with pytest.raises(ModelError):
+            sweep(("cannon",), "q", [1.0])
+
+
+class TestCrossover:
+    def test_cannon_3dd_ts_crossover_exists(self):
+        """In n^1.5 < p <= n^2, Cannon wins for tiny t_s and 3DD for large
+        t_s — there must be a crossover t_s in between (§5.1)."""
+        x = crossover(
+            "cannon", "3dd", "t_s", 0.001, 500.0, n=64, p=4096, t_w=3.0
+        )
+        assert x is not None
+        assert 0.001 < x < 500.0
+        # sanity: Cannon better below, 3DD better above
+        from repro.models.table2 import communication_overhead as co
+
+        below = co("cannon", 64, 4096, ONE, x / 2, 3) < co("3dd", 64, 4096, ONE, x / 2, 3)
+        above = co("3dd", 64, 4096, ONE, x * 2, 3) < co("cannon", 64, 4096, ONE, x * 2, 3)
+        assert below and above
+
+    def test_no_crossover_when_dominated(self):
+        # 3D All beats 3DD across the whole t_s range where both apply.
+        x = crossover("3d_all", "3dd", "t_s", 0.001, 500.0, n=256, p=512)
+        assert x is None
+
+    def test_inapplicable_endpoint(self):
+        x = crossover("3d_all", "cannon", "p", 4.0, 2.0 ** 30, n=16)
+        assert x is None

@@ -1,0 +1,97 @@
+"""Tests for the allreduce composition (extension collective)."""
+
+import numpy as np
+import pytest
+
+from repro.collectives import CollectiveCosts, Schedule, allreduce
+from repro.mpi import Comm
+from repro.sim import MachineConfig, PortModel, run_spmd
+
+SIZES = [1, 2, 4, 8, 16]
+
+
+def run(p, prog, port=PortModel.ONE_PORT, t_s=10.0, t_w=1.0):
+    return run_spmd(
+        MachineConfig.create(p, t_s=t_s, t_w=t_w, port_model=port), prog
+    )
+
+
+@pytest.mark.parametrize("p", SIZES)
+@pytest.mark.parametrize(
+    "schedule", [Schedule.SBT, Schedule.ROTATED], ids=["sbt", "rotated"]
+)
+class TestAllreduceCorrectness:
+    def test_sum_everywhere(self, p, schedule):
+        def prog(ctx):
+            comm = Comm(ctx, list(range(p)))
+            out = yield from allreduce(
+                comm, np.full((3, 4), float(comm.rank + 1)), schedule=schedule
+            )
+            assert out.shape == (3, 4)
+            assert np.all(out == sum(range(1, p + 1)))
+            return True
+
+        assert all(run(p, prog).results.values())
+
+    def test_matches_numpy(self, p, schedule):
+        rng = np.random.default_rng(p)
+        blocks = [rng.standard_normal(17) for _ in range(p)]
+        expected = np.sum(blocks, axis=0)
+
+        def prog(ctx):
+            comm = Comm(ctx, list(range(p)))
+            out = yield from allreduce(comm, blocks[comm.rank], schedule=schedule)
+            assert np.allclose(out, expected)
+            return True
+
+        assert all(run(p, prog).results.values())
+
+    def test_custom_op(self, p, schedule):
+        def prog(ctx):
+            comm = Comm(ctx, list(range(p)))
+            out = yield from allreduce(
+                comm, np.full(8, float(comm.rank)), op=np.maximum,
+                schedule=schedule,
+            )
+            assert np.all(out == p - 1)
+            return True
+
+        assert all(run(p, prog).results.values())
+
+
+class TestAllreduceTiming:
+    @pytest.mark.parametrize("p", [4, 8, 16])
+    @pytest.mark.parametrize("port", list(PortModel), ids=str)
+    def test_matches_cost_model(self, p, port):
+        d = p.bit_length() - 1
+        M = 12 * p * d  # pieces divide evenly by p and then by log p chunks
+
+        def prog(ctx):
+            comm = Comm(ctx, list(range(p)))
+            yield from allreduce(comm, np.ones(M))
+            return ctx.now
+
+        t = run(p, prog, port=port, t_s=17.0, t_w=1.3).total_time
+        a, b = CollectiveCosts.allreduce(p, M, port)
+        assert t == pytest.approx(a * 17.0 + b * 1.3)
+
+    def test_beats_reduce_plus_broadcast(self):
+        """The reduce-scatter composition's whole point."""
+        from repro.collectives import broadcast, reduce
+
+        p, M = 16, 4096
+
+        def composed(ctx):
+            comm = Comm(ctx, list(range(p)))
+            yield from allreduce(comm, np.ones(M))
+            return ctx.now
+
+        def naive(ctx):
+            comm = Comm(ctx, list(range(p)))
+            total = yield from reduce(comm, np.ones(M), root=0, tag=1)
+            yield from broadcast(comm, total, root=0, tag=2)
+            return ctx.now
+
+        t_composed = run(p, composed).total_time
+        t_naive = run(p, naive).total_time
+        assert t_composed < t_naive

@@ -1,0 +1,324 @@
+"""Correctness of every collective, both schedules, several comm sizes.
+
+Each test runs the collective on a full-cube communicator of the given
+size with distinctive per-rank payloads and checks the semantics exactly.
+Both the SBT (one-port-optimal) and rotated (multi-port-optimal) schedules
+are exercised on both machine port models — schedules must be correct
+regardless of the machine they run on.
+"""
+
+import numpy as np
+import pytest
+
+from repro.collectives import (
+    Schedule,
+    allgather,
+    alltoall,
+    broadcast,
+    gather,
+    reduce,
+    reduce_scatter,
+    scatter,
+)
+from repro.errors import SimulationError
+from repro.mpi import Comm
+from repro.sim import MachineConfig, PortModel, run_spmd
+
+SIZES = [1, 2, 4, 8, 16]
+SCHEDULES = [Schedule.SBT, Schedule.ROTATED]
+
+
+def run_collective(p, prog, port=PortModel.ONE_PORT):
+    cfg = MachineConfig.create(p, t_s=10.0, t_w=1.0, port_model=port)
+    return run_spmd(cfg, prog)
+
+
+def block_for(rank: int, words: int = 12) -> np.ndarray:
+    return np.arange(words, dtype=float) + 1000.0 * rank
+
+
+@pytest.mark.parametrize("p", SIZES)
+@pytest.mark.parametrize("schedule", SCHEDULES, ids=["sbt", "rotated"])
+class TestBroadcast:
+    def test_all_ranks_get_root_data(self, p, schedule):
+        def prog(ctx):
+            comm = Comm(ctx, list(range(p)))
+            data = block_for(99) if comm.rank == 0 else None
+            out = yield from broadcast(comm, data, root=0, schedule=schedule)
+            assert np.array_equal(np.asarray(out), block_for(99))
+            return True
+
+        res = run_collective(p, prog)
+        assert all(res.results.values())
+
+    def test_nonzero_root(self, p, schedule):
+        root = p - 1
+
+        def prog(ctx):
+            comm = Comm(ctx, list(range(p)))
+            data = block_for(7) if comm.rank == root else None
+            out = yield from broadcast(comm, data, root=root, schedule=schedule)
+            assert np.array_equal(np.asarray(out), block_for(7))
+            return True
+
+        assert all(run_collective(p, prog).results.values())
+
+    def test_2d_payload_shape_preserved(self, p, schedule):
+        def prog(ctx):
+            comm = Comm(ctx, list(range(p)))
+            data = np.arange(12.0).reshape(3, 4) if comm.rank == 0 else None
+            out = yield from broadcast(comm, data, root=0, schedule=schedule)
+            assert np.asarray(out).shape == (3, 4)
+            return True
+
+        assert all(run_collective(p, prog).results.values())
+
+
+@pytest.mark.parametrize("p", SIZES)
+@pytest.mark.parametrize("schedule", SCHEDULES, ids=["sbt", "rotated"])
+class TestScatter:
+    def test_each_rank_gets_its_block(self, p, schedule):
+        def prog(ctx):
+            comm = Comm(ctx, list(range(p)))
+            blocks = [block_for(i) for i in range(p)] if comm.rank == 0 else None
+            mine = yield from scatter(comm, blocks, root=0, schedule=schedule)
+            assert np.array_equal(np.asarray(mine), block_for(comm.rank))
+            return True
+
+        assert all(run_collective(p, prog).results.values())
+
+    def test_nonzero_root(self, p, schedule):
+        root = p // 2 if p > 1 else 0
+
+        def prog(ctx):
+            comm = Comm(ctx, list(range(p)))
+            blocks = (
+                [block_for(i + 50) for i in range(p)]
+                if comm.rank == root
+                else None
+            )
+            mine = yield from scatter(comm, blocks, root=root, schedule=schedule)
+            assert np.array_equal(np.asarray(mine), block_for(comm.rank + 50))
+            return True
+
+        assert all(run_collective(p, prog).results.values())
+
+
+@pytest.mark.parametrize("p", SIZES)
+@pytest.mark.parametrize("schedule", SCHEDULES, ids=["sbt", "rotated"])
+class TestGather:
+    def test_root_collects_in_comm_order(self, p, schedule):
+        def prog(ctx):
+            comm = Comm(ctx, list(range(p)))
+            out = yield from gather(
+                comm, block_for(comm.rank), root=0, schedule=schedule
+            )
+            if comm.rank == 0:
+                assert len(out) == p
+                for i in range(p):
+                    assert np.array_equal(np.asarray(out[i]), block_for(i))
+                return "root-ok"
+            assert out is None
+            return "leaf-ok"
+
+        res = run_collective(p, prog)
+        assert res.results[0] == "root-ok"
+
+    def test_nonzero_root(self, p, schedule):
+        root = p - 1
+
+        def prog(ctx):
+            comm = Comm(ctx, list(range(p)))
+            out = yield from gather(
+                comm, block_for(comm.rank), root=root, schedule=schedule
+            )
+            if comm.rank == root:
+                return all(
+                    np.array_equal(np.asarray(out[i]), block_for(i))
+                    for i in range(p)
+                )
+            return out is None
+
+        assert all(run_collective(p, prog).results.values())
+
+
+@pytest.mark.parametrize("p", SIZES)
+@pytest.mark.parametrize("schedule", SCHEDULES, ids=["sbt", "rotated"])
+class TestAllgather:
+    def test_everyone_gets_everything_ordered(self, p, schedule):
+        def prog(ctx):
+            comm = Comm(ctx, list(range(p)))
+            out = yield from allgather(
+                comm, block_for(comm.rank), schedule=schedule
+            )
+            assert len(out) == p
+            for i in range(p):
+                assert np.array_equal(np.asarray(out[i]), block_for(i))
+            return True
+
+        assert all(run_collective(p, prog).results.values())
+
+    def test_matrix_blocks(self, p, schedule):
+        def prog(ctx):
+            comm = Comm(ctx, list(range(p)))
+            block = np.full((3, 5), float(comm.rank))
+            out = yield from allgather(comm, block, schedule=schedule)
+            assert all(
+                np.asarray(out[i]).shape == (3, 5) and np.all(np.asarray(out[i]) == i)
+                for i in range(p)
+            )
+            return True
+
+        assert all(run_collective(p, prog).results.values())
+
+
+@pytest.mark.parametrize("p", SIZES)
+@pytest.mark.parametrize("schedule", SCHEDULES, ids=["sbt", "rotated"])
+class TestAlltoall:
+    def test_personalized_exchange(self, p, schedule):
+        def prog(ctx):
+            comm = Comm(ctx, list(range(p)))
+            blocks = [
+                np.full(6, 100.0 * comm.rank + dst) for dst in range(p)
+            ]
+            out = yield from alltoall(comm, blocks, schedule=schedule)
+            for src in range(p):
+                assert np.all(np.asarray(out[src]) == 100.0 * src + comm.rank)
+            return True
+
+        assert all(run_collective(p, prog).results.values())
+
+    def test_wrong_block_count_rejected(self, p, schedule):
+        def prog(ctx):
+            comm = Comm(ctx, list(range(p)))
+            try:
+                yield from alltoall(comm, [np.ones(2)] * (p + 1), schedule=schedule)
+            except SimulationError:
+                return True
+            return False
+
+        assert all(run_collective(p, prog).results.values())
+
+
+@pytest.mark.parametrize("p", SIZES)
+@pytest.mark.parametrize("schedule", SCHEDULES, ids=["sbt", "rotated"])
+class TestReduce:
+    def test_sum_at_root(self, p, schedule):
+        def prog(ctx):
+            comm = Comm(ctx, list(range(p)))
+            out = yield from reduce(
+                comm, np.full(9, float(comm.rank + 1)), root=0, schedule=schedule
+            )
+            if comm.rank == 0:
+                expected = sum(range(1, p + 1))
+                return bool(np.all(out == expected))
+            return out is None
+
+        assert all(run_collective(p, prog).results.values())
+
+    def test_custom_op(self, p, schedule):
+        def prog(ctx):
+            comm = Comm(ctx, list(range(p)))
+            out = yield from reduce(
+                comm,
+                np.full(4, float(comm.rank)),
+                root=0,
+                op=np.maximum,
+                schedule=schedule,
+            )
+            if comm.rank == 0:
+                return bool(np.all(out == p - 1))
+            return out is None
+
+        assert all(run_collective(p, prog).results.values())
+
+    def test_input_not_mutated(self, p, schedule):
+        def prog(ctx):
+            comm = Comm(ctx, list(range(p)))
+            mine = np.full(4, float(comm.rank))
+            yield from reduce(comm, mine, root=0, schedule=schedule)
+            return bool(np.all(mine == comm.rank))
+
+        assert all(run_collective(p, prog).results.values())
+
+
+@pytest.mark.parametrize("p", SIZES)
+@pytest.mark.parametrize("schedule", SCHEDULES, ids=["sbt", "rotated"])
+class TestReduceScatter:
+    def test_each_rank_gets_reduced_block(self, p, schedule):
+        def prog(ctx):
+            comm = Comm(ctx, list(range(p)))
+            blocks = [np.full(5, float(dst)) for dst in range(p)]
+            out = yield from reduce_scatter(comm, blocks, schedule=schedule)
+            assert np.all(out == comm.rank * p)
+            return True
+
+        assert all(run_collective(p, prog).results.values())
+
+    def test_distinct_contributions(self, p, schedule):
+        def prog(ctx):
+            comm = Comm(ctx, list(range(p)))
+            blocks = [
+                np.full(5, float(comm.rank * 1000 + dst)) for dst in range(p)
+            ]
+            out = yield from reduce_scatter(comm, blocks, schedule=schedule)
+            expected = sum(src * 1000 + comm.rank for src in range(p))
+            assert np.all(out == expected)
+            return True
+
+        assert all(run_collective(p, prog).results.values())
+
+
+class TestOnSubComms:
+    """Collectives restricted to grid rows (proper subcubes with Gray order)."""
+
+    def test_allgather_on_grid_row(self):
+        from repro.topology import Grid2DEmbedding
+
+        def prog(ctx):
+            grid = Grid2DEmbedding.square(ctx.config.cube)
+            r, c = grid.coords_of(ctx.rank)
+            comm = Comm(ctx, grid.row_members(r))
+            out = yield from allgather(comm, np.array([float(10 * r + c)]))
+            assert [float(np.asarray(v)[0]) for v in out] == [
+                float(10 * r + cc) for cc in range(4)
+            ]
+            return True
+
+        res = run_collective(16, prog)
+        assert all(res.results.values())
+
+    def test_reduce_on_grid_column_nonzero_root(self):
+        from repro.topology import Grid2DEmbedding
+
+        def prog(ctx):
+            grid = Grid2DEmbedding.square(ctx.config.cube)
+            r, c = grid.coords_of(ctx.rank)
+            comm = Comm(ctx, grid.col_members(c))
+            out = yield from reduce(comm, np.array([float(r)]), root=2)
+            if r == 2:
+                return float(np.asarray(out)[0])
+            return None
+
+        res = run_collective(16, prog)
+        grid = Grid2DEmbedding.square(MachineConfig.create(16).cube)
+        for c in range(4):
+            assert res.results[grid.node_at(2, c)] == 6.0  # 0+1+2+3
+
+    def test_concurrent_row_and_col_collectives(self):
+        from repro.topology import Grid2DEmbedding
+
+        def prog(ctx):
+            grid = Grid2DEmbedding.square(ctx.config.cube)
+            r, c = grid.coords_of(ctx.rank)
+            row = Comm(ctx, grid.row_members(r))
+            col = Comm(ctx, grid.col_members(c))
+            a, b = yield from ctx.parallel(
+                allgather(row, np.array([float(c)]), tag=1),
+                allgather(col, np.array([float(r)]), tag=2),
+            )
+            assert [float(np.asarray(v)[0]) for v in a] == [0.0, 1.0, 2.0, 3.0]
+            assert [float(np.asarray(v)[0]) for v in b] == [0.0, 1.0, 2.0, 3.0]
+            return True
+
+        assert all(run_collective(16, prog).results.values())

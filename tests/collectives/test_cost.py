@@ -1,0 +1,59 @@
+"""Tests for the Table 1 closed forms themselves."""
+
+import pytest
+
+from repro.collectives import CollectiveCosts as CC
+from repro.errors import ModelError
+from repro.sim.machine import PortModel
+
+ONE = PortModel.ONE_PORT
+MULTI = PortModel.MULTI_PORT
+
+
+class TestTable1Entries:
+    """Spot checks straight from the table with N=8, M arbitrary."""
+
+    def test_broadcast(self):
+        assert CC.broadcast(8, 10, ONE) == (3, 30)
+        assert CC.broadcast(8, 10, MULTI) == (3, 10)
+
+    def test_scatter(self):
+        assert CC.scatter(8, 10, ONE) == (3, 70)
+        assert CC.scatter(8, 10, MULTI) == (3, pytest.approx(70 / 3))
+
+    def test_allgather_equals_scatter(self):
+        assert CC.allgather(16, 5, ONE) == CC.scatter(16, 5, ONE)
+        assert CC.allgather(16, 5, MULTI) == CC.scatter(16, 5, MULTI)
+
+    def test_alltoall(self):
+        assert CC.alltoall(8, 10, ONE) == (3, 120)
+        assert CC.alltoall(8, 10, MULTI) == (3, 40)
+
+    def test_reductions_are_inverses(self):
+        assert CC.reduce(32, 9, ONE) == CC.broadcast(32, 9, ONE)
+        assert CC.reduce_scatter(32, 9, MULTI) == CC.allgather(32, 9, MULTI)
+
+    def test_single_node_is_free(self):
+        for op in (CC.broadcast, CC.scatter, CC.allgather, CC.alltoall):
+            assert op(1, 100, ONE) == (0.0, 0.0)
+            assert op(1, 100, MULTI) == (0.0, 0.0)
+
+    def test_multiport_factor_is_logN(self):
+        for N in (4, 8, 16, 64):
+            d = N.bit_length() - 1
+            one = CC.broadcast(N, 100, ONE)[1]
+            multi = CC.broadcast(N, 100, MULTI)[1]
+            assert one / multi == d
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            CC.broadcast(6, 10, ONE)
+        with pytest.raises(ModelError):
+            CC.broadcast(8, -1, ONE)
+
+    def test_condition(self):
+        assert CC.multi_port_condition(8, 3)
+        assert not CC.multi_port_condition(8, 2)
+
+    def test_evaluate(self):
+        assert CC.evaluate((2, 30), t_s=10, t_w=0.5) == 35.0

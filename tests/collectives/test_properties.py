@@ -1,0 +1,169 @@
+"""Property-based tests (hypothesis) for the collective schedules.
+
+Randomized payload shapes, values, roots, comm sizes and schedules —
+checking semantic invariants rather than fixed examples, plus conservation
+laws (total words sent/received balance, reduction linearity).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.collectives import (
+    Schedule,
+    allgather,
+    alltoall,
+    broadcast,
+    reduce,
+    reduce_scatter,
+    scatter,
+)
+from repro.mpi import Comm
+from repro.sim import MachineConfig, PortModel, run_spmd
+
+comm_sizes = st.sampled_from([2, 4, 8])
+schedules = st.sampled_from([Schedule.SBT, Schedule.ROTATED])
+ports = st.sampled_from(list(PortModel))
+shapes = st.sampled_from([(1,), (7,), (3, 5), (2, 2, 2), (16,)])
+
+
+def run(p, port, prog):
+    cfg = MachineConfig.create(p, t_s=3.0, t_w=1.0, port_model=port)
+    return run_spmd(cfg, prog)
+
+
+@settings(max_examples=25)
+@given(comm_sizes, schedules, ports, shapes, st.integers(0, 7), st.data())
+def test_broadcast_delivers_root_payload(p, schedule, port, shape, root_seed, data):
+    root = root_seed % p
+    rng = np.random.default_rng(data.draw(st.integers(0, 1000)))
+    payload = rng.standard_normal(shape)
+
+    def prog(ctx):
+        comm = Comm(ctx, list(range(p)))
+        src = payload if comm.rank == root else None
+        out = yield from broadcast(comm, src, root=root, schedule=schedule)
+        assert np.array_equal(np.asarray(out), payload)
+        return True
+
+    assert all(run(p, port, prog).results.values())
+
+
+@settings(max_examples=25)
+@given(comm_sizes, schedules, ports, shapes)
+def test_allgather_then_local_equals_gathered(p, schedule, port, shape):
+    def prog(ctx):
+        comm = Comm(ctx, list(range(p)))
+        mine = np.full(shape, float(comm.rank + 1))
+        out = yield from allgather(comm, mine, schedule=schedule)
+        for i in range(p):
+            assert np.asarray(out[i]).shape == shape
+            assert np.all(np.asarray(out[i]) == i + 1)
+        return True
+
+    assert all(run(p, port, prog).results.values())
+
+
+@settings(max_examples=25)
+@given(comm_sizes, schedules, ports, st.data())
+def test_reduce_matches_numpy_sum(p, schedule, port, data):
+    seed = data.draw(st.integers(0, 1000))
+    rng = np.random.default_rng(seed)
+    blocks = [rng.standard_normal((3, 4)) for _ in range(p)]
+    expected = np.sum(blocks, axis=0)
+
+    def prog(ctx):
+        comm = Comm(ctx, list(range(p)))
+        out = yield from reduce(comm, blocks[comm.rank], root=0, schedule=schedule)
+        if comm.rank == 0:
+            assert np.allclose(out, expected)
+        return True
+
+    assert all(run(p, port, prog).results.values())
+
+
+@settings(max_examples=25)
+@given(comm_sizes, schedules, ports, st.data())
+def test_reduce_scatter_equals_reduce_then_split(p, schedule, port, data):
+    seed = data.draw(st.integers(0, 1000))
+    rng = np.random.default_rng(seed)
+    contributions = {
+        src: [rng.standard_normal(5) for _ in range(p)] for src in range(p)
+    }
+    expected = [
+        np.sum([contributions[src][dst] for src in range(p)], axis=0)
+        for dst in range(p)
+    ]
+
+    def prog(ctx):
+        comm = Comm(ctx, list(range(p)))
+        out = yield from reduce_scatter(
+            comm, contributions[comm.rank], schedule=schedule
+        )
+        assert np.allclose(out, expected[comm.rank])
+        return True
+
+    assert all(run(p, port, prog).results.values())
+
+
+@settings(max_examples=25)
+@given(comm_sizes, schedules, ports, st.data())
+def test_alltoall_is_transpose(p, schedule, port, data):
+    """alltoall twice with index bookkeeping is the identity."""
+    seed = data.draw(st.integers(0, 1000))
+    rng = np.random.default_rng(seed)
+    payloads = {
+        (src, dst): rng.standard_normal(4) for src in range(p) for dst in range(p)
+    }
+
+    def prog(ctx):
+        comm = Comm(ctx, list(range(p)))
+        me = comm.rank
+        out = yield from alltoall(
+            comm, [payloads[(me, dst)] for dst in range(p)], schedule=schedule
+        )
+        for src in range(p):
+            assert np.array_equal(np.asarray(out[src]), payloads[(src, me)])
+        return True
+
+    assert all(run(p, port, prog).results.values())
+
+
+@settings(max_examples=15)
+@given(comm_sizes, schedules, ports)
+def test_words_sent_equals_words_received(p, schedule, port):
+    """Conservation: every word injected is eventually received."""
+
+    def prog(ctx):
+        comm = Comm(ctx, list(range(p)))
+        yield from allgather(comm, np.ones(6), schedule=schedule)
+        return None
+
+    res = run(p, port, prog)
+    sent = sum(s.words_sent for s in res.stats.values())
+    received = sum(s.words_received for s in res.stats.values())
+    assert sent == received
+
+
+@settings(max_examples=15)
+@given(comm_sizes, ports, st.data())
+def test_scatter_gather_roundtrip(p, port, data):
+    schedule = data.draw(schedules)
+    rng = np.random.default_rng(data.draw(st.integers(0, 1000)))
+    blocks = [rng.standard_normal((2, 3)) for _ in range(p)]
+
+    def prog(ctx):
+        from repro.collectives import gather
+
+        comm = Comm(ctx, list(range(p)))
+        mine = yield from scatter(
+            comm, blocks if comm.rank == 0 else None, root=0, schedule=schedule
+        )
+        back = yield from gather(comm, mine, root=0, schedule=schedule)
+        if comm.rank == 0:
+            for i in range(p):
+                assert np.array_equal(np.asarray(back[i]), blocks[i])
+        return True
+
+    assert all(run(p, port, prog).results.values())

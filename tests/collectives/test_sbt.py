@@ -1,0 +1,152 @@
+"""Property tests for the SBT / rotated-tree combinatorics."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.collectives.sbt import (
+    combine_child,
+    combine_parent,
+    combine_send_step,
+    dims_mask,
+    distribute_child,
+    distribute_parent,
+    distribute_recv_step,
+    identity_order,
+    rotated_order,
+    subtree_members,
+)
+from repro.errors import SimulationError
+
+dim_st = st.integers(min_value=1, max_value=6)
+
+
+class TestOrders:
+    def test_identity(self):
+        assert identity_order(4) == (0, 1, 2, 3)
+
+    def test_rotation(self):
+        assert rotated_order(4, 0) == (0, 1, 2, 3)
+        assert rotated_order(4, 2) == (2, 3, 0, 1)
+
+    def test_rotation_out_of_range(self):
+        with pytest.raises(SimulationError):
+            rotated_order(3, 3)
+
+    @given(dim_st, st.data())
+    def test_rotated_orders_are_permutations(self, d, data):
+        j = data.draw(st.integers(min_value=0, max_value=d - 1))
+        assert sorted(rotated_order(d, j)) == list(range(d))
+
+    @given(dim_st)
+    def test_rotated_trees_use_distinct_dims_per_step(self, d):
+        """The edge-disjointness that makes multi-port schedules work."""
+        for t in range(d):
+            dims_at_t = {rotated_order(d, j)[t] for j in range(d)}
+            assert len(dims_at_t) == d
+
+    def test_dims_mask(self):
+        assert dims_mask((2, 0, 1), 0) == 0
+        assert dims_mask((2, 0, 1), 2) == 0b101
+        assert dims_mask((2, 0, 1), 3) == 0b111
+
+
+class TestDistributionTree:
+    @given(dim_st, st.data())
+    def test_every_nonroot_receives_exactly_once(self, d, data):
+        j = data.draw(st.integers(min_value=0, max_value=d - 1))
+        order = rotated_order(d, j)
+        receivers_by_step: dict[int, list[int]] = {}
+        for rel in range(1, 1 << d):
+            t = distribute_recv_step(rel, order)
+            assert 0 <= t < d
+            receivers_by_step.setdefault(t, []).append(rel)
+        assert sum(len(v) for v in receivers_by_step.values()) == (1 << d) - 1
+
+    @given(dim_st, st.data())
+    def test_parent_is_a_holder_at_recv_step(self, d, data):
+        j = data.draw(st.integers(min_value=0, max_value=d - 1))
+        order = rotated_order(d, j)
+        for rel in range(1, 1 << d):
+            t = distribute_recv_step(rel, order)
+            parent = distribute_parent(rel, order)
+            # parent's bits lie within order[:t], so it already has the data
+            assert parent & ~dims_mask(order, t) == 0
+            assert distribute_child(parent, order, t) == rel
+
+    @given(dim_st)
+    def test_holder_count_doubles_per_step(self, d):
+        order = identity_order(d)
+        for t in range(d + 1):
+            holders = [
+                rel for rel in range(1 << d)
+                if rel & ~dims_mask(order, t) == 0
+            ]
+            assert len(holders) == 1 << t
+
+    def test_root_has_no_recv_step(self):
+        assert distribute_recv_step(0, (0, 1)) is None
+        with pytest.raises(SimulationError):
+            distribute_parent(0, (0, 1))
+
+    def test_nonholder_has_no_child(self):
+        # rel 0b10 is not a holder at step 0 of the identity order
+        assert distribute_child(0b10, (0, 1), 0) is None
+
+
+class TestCombiningTree:
+    @given(dim_st, st.data())
+    def test_every_nonroot_sends_exactly_once(self, d, data):
+        j = data.draw(st.integers(min_value=0, max_value=d - 1))
+        order = rotated_order(d, j)
+        for rel in range(1, 1 << d):
+            t = combine_send_step(rel, order)
+            assert 0 <= t < d
+            parent = combine_parent(rel, order)
+            assert combine_child(parent, order, t) == rel
+
+    def test_root_never_sends(self):
+        assert combine_send_step(0, (0, 1, 2)) is None
+        with pytest.raises(SimulationError):
+            combine_parent(0, (0, 1, 2))
+
+    @given(dim_st)
+    def test_root_receives_every_step(self, d):
+        order = identity_order(d)
+        for t in range(d):
+            assert combine_child(0, order, t) == (1 << order[t])
+
+    @given(dim_st, st.data())
+    def test_messages_reach_root(self, d, data):
+        """Follow every node's accumulated data; all reach rel 0."""
+        j = data.draw(st.integers(min_value=0, max_value=d - 1))
+        order = rotated_order(d, j)
+        holding = {rel: {rel} for rel in range(1 << d)}
+        for t in range(d):
+            for rel in sorted(holding):
+                if combine_send_step(rel, order) == t:
+                    parent = combine_parent(rel, order)
+                    holding[parent] |= holding.pop(rel)
+        assert set(holding) == {0}
+        assert holding[0] == set(range(1 << d))
+
+
+class TestSubtree:
+    def test_root_subtree_is_everything(self):
+        assert sorted(subtree_members(0, (0, 1), 0)) == [0, 1, 2, 3]
+
+    def test_leaf_subtree_is_self(self):
+        assert subtree_members(0b11, (0, 1), 2) == [0b11]
+
+    @given(dim_st, st.data())
+    def test_subtrees_partition_at_each_step(self, d, data):
+        order = rotated_order(d, data.draw(st.integers(min_value=0, max_value=d - 1)))
+        for t in range(d + 1):
+            holders = [
+                rel for rel in range(1 << d)
+                if rel & ~dims_mask(order, t) == 0
+            ]
+            union = []
+            for h in holders:
+                union.extend(subtree_members(h, order, t))
+            assert sorted(union) == list(range(1 << d))

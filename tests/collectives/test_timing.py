@@ -1,0 +1,160 @@
+"""Timing of every collective against Table 1 closed forms — exact matches.
+
+The simulator must reproduce the optimal costs: the SBT schedules on a
+one-port machine hit the one-port column; the rotated schedules on a
+multi-port machine hit the multi-port column (message sizes satisfying the
+``M ≥ log N`` condition).
+"""
+
+import numpy as np
+import pytest
+
+from repro.collectives import (
+    CollectiveCosts,
+    allgather,
+    alltoall,
+    broadcast,
+    gather,
+    reduce,
+    reduce_scatter,
+    scatter,
+)
+from repro.mpi import Comm
+from repro.sim import MachineConfig, PortModel, run_spmd
+
+TS, TW = 17.0, 1.3
+SIZES = [2, 4, 8, 16]
+M = 24  # words; >= log N for all sizes tested
+
+
+def timed_run(p, port, body):
+    def prog(ctx):
+        comm = Comm(ctx, list(range(p)))
+        yield from body(comm)
+        return ctx.now
+
+    cfg = MachineConfig.create(p, t_s=TS, t_w=TW, port_model=port)
+    return run_spmd(cfg, prog).total_time
+
+
+def expected(cost_fn, p, port, M=M):
+    a, b = cost_fn(p, M, port)
+    return a * TS + b * TW
+
+
+@pytest.mark.parametrize("p", SIZES)
+@pytest.mark.parametrize("port", list(PortModel), ids=str)
+class TestTable1:
+    def test_broadcast(self, p, port):
+        def body(comm):
+            data = np.ones(M) if comm.rank == 0 else None
+            yield from broadcast(comm, data, root=0)
+
+        t = timed_run(p, port, body)
+        assert t == pytest.approx(expected(CollectiveCosts.broadcast, p, port))
+
+    def test_scatter(self, p, port):
+        def body(comm):
+            blocks = [np.ones(M)] * p if comm.rank == 0 else None
+            yield from scatter(comm, blocks, root=0)
+
+        t = timed_run(p, port, body)
+        assert t == pytest.approx(expected(CollectiveCosts.scatter, p, port))
+
+    def test_gather(self, p, port):
+        def body(comm):
+            yield from gather(comm, np.ones(M), root=0)
+
+        t = timed_run(p, port, body)
+        assert t == pytest.approx(expected(CollectiveCosts.gather, p, port))
+
+    def test_allgather(self, p, port):
+        def body(comm):
+            yield from allgather(comm, np.ones(M))
+
+        t = timed_run(p, port, body)
+        assert t == pytest.approx(expected(CollectiveCosts.allgather, p, port))
+
+    def test_alltoall(self, p, port):
+        def body(comm):
+            yield from alltoall(comm, [np.ones(M)] * p)
+
+        t = timed_run(p, port, body)
+        assert t == pytest.approx(expected(CollectiveCosts.alltoall, p, port))
+
+    def test_reduce(self, p, port):
+        def body(comm):
+            yield from reduce(comm, np.ones(M), root=0)
+
+        t = timed_run(p, port, body)
+        assert t == pytest.approx(expected(CollectiveCosts.reduce, p, port))
+
+    def test_reduce_scatter(self, p, port):
+        def body(comm):
+            yield from reduce_scatter(comm, [np.ones(M)] * p)
+
+        t = timed_run(p, port, body)
+        assert t == pytest.approx(
+            expected(CollectiveCosts.reduce_scatter, p, port)
+        )
+
+
+class TestPortModelSpeedups:
+    """Multi-port beats one-port by the factors the paper claims."""
+
+    @pytest.mark.parametrize("p", [8, 16])
+    def test_broadcast_bandwidth_factor(self, p):
+        def body(comm):
+            data = np.ones(256) if comm.rank == 0 else None
+            yield from broadcast(comm, data, root=0)
+
+        one = timed_run(p, PortModel.ONE_PORT, body)
+        multi = timed_run(p, PortModel.MULTI_PORT, body)
+        d = p.bit_length() - 1
+        # t_w terms differ by log N; with M >> t_s the ratio approaches d
+        assert multi < one
+        assert one / multi > 0.7 * d
+
+    @pytest.mark.parametrize("p", [8, 16])
+    def test_alltoall_bandwidth_factor(self, p):
+        def body(comm):
+            yield from alltoall(comm, [np.ones(128)] * p)
+
+        one = timed_run(p, PortModel.ONE_PORT, body)
+        multi = timed_run(p, PortModel.MULTI_PORT, body)
+        assert one / multi > 0.7 * (p.bit_length() - 1)
+
+
+class TestScheduleAblation:
+    """Running the 'wrong' schedule for a machine is correct but slower."""
+
+    def test_sbt_on_multiport_leaves_bandwidth_unused(self):
+        from repro.collectives import Schedule
+
+        def sbt_body(comm):
+            data = np.ones(240) if comm.rank == 0 else None
+            yield from broadcast(comm, data, root=0, schedule=Schedule.SBT)
+
+        def rot_body(comm):
+            data = np.ones(240) if comm.rank == 0 else None
+            yield from broadcast(comm, data, root=0, schedule=Schedule.ROTATED)
+
+        sbt = timed_run(8, PortModel.MULTI_PORT, sbt_body)
+        rot = timed_run(8, PortModel.MULTI_PORT, rot_body)
+        assert rot < sbt
+
+    def test_rotated_on_oneport_pays_startups(self):
+        from repro.collectives import Schedule
+
+        # Tiny messages: chunking buys nothing, costs extra start-ups.
+        def sbt_body(comm):
+            data = np.ones(2) if comm.rank == 0 else None
+            yield from broadcast(comm, data, root=0, schedule=Schedule.SBT)
+
+        def rot_body(comm):
+            data = np.ones(2) if comm.rank == 0 else None
+            yield from broadcast(comm, data, root=0, schedule=Schedule.ROTATED)
+
+        sbt = timed_run(8, PortModel.ONE_PORT, sbt_body)
+        rot = timed_run(8, PortModel.ONE_PORT, rot_body)
+        assert sbt <= rot

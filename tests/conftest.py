@@ -1,0 +1,44 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, settings
+
+from repro.sim.machine import MachineConfig, PortModel
+
+# Property tests build whole simulated machines; wall-clock deadlines are
+# load-dependent noise, so disable them (determinism comes from the seed).
+settings.register_profile(
+    "repro",
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")
+
+
+@pytest.fixture(params=[PortModel.ONE_PORT, PortModel.MULTI_PORT], ids=["one-port", "multi-port"])
+def port_model(request):
+    return request.param
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+def make_config(
+    p: int,
+    *,
+    t_s: float = 10.0,
+    t_w: float = 1.0,
+    t_c: float = 0.0,
+    port: PortModel = PortModel.ONE_PORT,
+) -> MachineConfig:
+    return MachineConfig.create(p, t_s=t_s, t_w=t_w, t_c=t_c, port_model=port)
+
+
+def random_pair(n: int, seed: int = 0) -> tuple[np.ndarray, np.ndarray]:
+    rng = np.random.default_rng(seed)
+    return rng.standard_normal((n, n)), rng.standard_normal((n, n))

@@ -1,0 +1,167 @@
+"""Cross-module integration: CLI, consistency across algorithms, scale."""
+
+import numpy as np
+import pytest
+
+from repro import ALGORITHMS, MachineConfig, PortModel, get_algorithm
+from repro.cli import main
+
+
+class TestCrossAlgorithmConsistency:
+    def test_all_applicable_algorithms_agree(self):
+        """Every algorithm must produce the *same* C (they all compute A@B)."""
+        n, p = 16, 16
+        rng = np.random.default_rng(42)
+        A = rng.standard_normal((n, n))
+        B = rng.standard_normal((n, n))
+        cfg = MachineConfig.create(p, t_s=1, t_w=1)
+        results = {}
+        for key, algo in ALGORITHMS.items():
+            if algo.applicable(n, p):
+                results[key] = algo.run(A, B, cfg).C
+        assert len(results) >= 4
+        reference = A @ B
+        for key, C in results.items():
+            assert np.allclose(C, reference), key
+
+    def test_3d_family_agree_at_p8(self):
+        n, p = 16, 8
+        rng = np.random.default_rng(43)
+        A = rng.standard_normal((n, n))
+        B = rng.standard_normal((n, n))
+        cfg = MachineConfig.create(p, t_s=1, t_w=1)
+        for key in ("berntsen", "dns", "3dd", "3d_all_trans", "3d_all"):
+            C = get_algorithm(key).run(A, B, cfg).C
+            assert np.allclose(C, A @ B), key
+
+
+class TestScale:
+    def test_512_processors(self):
+        """3D All on a 512-node cube (8x8x8 grid) stays correct."""
+        n, p = 64, 512
+        rng = np.random.default_rng(44)
+        A = rng.standard_normal((n, n))
+        B = rng.standard_normal((n, n))
+        cfg = MachineConfig.create(p, t_s=150, t_w=3)
+        run = get_algorithm("3d_all").run(A, B, cfg, verify=True)
+        assert run.result.num_ranks == 512
+
+    def test_256_processors_2d(self):
+        n, p = 64, 256
+        rng = np.random.default_rng(45)
+        A = rng.standard_normal((n, n))
+        B = rng.standard_normal((n, n))
+        cfg = MachineConfig.create(p, t_s=150, t_w=3)
+        run = get_algorithm("cannon").run(A, B, cfg, verify=True)
+        assert run.result.num_ranks == 256
+
+
+class TestCLI:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "3D All" in out and "Cannon" in out
+
+    def test_run(self, capsys):
+        assert main(["run", "3d_all", "-n", "16", "-p", "8",
+                     "--ts", "10", "--tw", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "verified" in out
+        assert "Table 2 model" in out
+
+    def test_run_multi_port(self, capsys):
+        assert main(["run", "cannon", "-n", "16", "-p", "16",
+                     "--port", "multi"]) == 0
+        assert "multi-port" in capsys.readouterr().out
+
+    def test_compare(self, capsys):
+        assert main(["compare", "-n", "16", "-p", "16",
+                     "--ts", "10", "--tw", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "best:" in out
+
+    def test_figure(self, capsys):
+        assert main(["figure", "13", "a", "--log2n", "6", "--log2p", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "legend:" in out
+
+    def test_table2(self, capsys):
+        assert main(["table2", "-n", "16", "-p", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "measured" in out
+
+    def test_not_applicable_is_clean_error(self, capsys):
+        assert main(["run", "3d_all", "-n", "16", "-p", "16"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_trace(self, capsys):
+        assert main(["trace", "3dd", "-n", "16", "-p", "8",
+                     "--ts", "10", "--tw", "1", "--width", "40"]) == 0
+        out = capsys.readouterr().out
+        assert "node   0" in out
+        assert "legend" in out
+
+    def test_trace_cut_through(self, capsys):
+        assert main(["trace", "dns", "-n", "16", "-p", "8",
+                     "--routing", "ct"]) == 0
+        assert "cut-through" in capsys.readouterr().out
+
+    def test_scalability(self, capsys):
+        assert main(["scalability", "-E", "0.8", "--log2p-max", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "3d_all" in out
+
+    def test_run_with_cut_through_routing(self, capsys):
+        assert main(["run", "3dd", "-n", "16", "-p", "8",
+                     "--routing", "ct"]) == 0
+        assert "verified" in capsys.readouterr().out
+
+
+class TestExamplesRun:
+    """The shipped examples execute cleanly (smoke; they print a lot)."""
+
+    @pytest.mark.parametrize(
+        "script,argv",
+        [
+            ("quickstart", []),
+            ("compare_algorithms", ["16", "16"]),
+            ("region_maps", ["a"]),
+            ("scaling_study", ["32"]),
+            ("custom_machine", []),
+            ("visualize_run", []),
+            ("torus_comparison", []),
+        ],
+    )
+    def test_example(self, script, argv, monkeypatch, capsys):
+        import importlib.util
+        import pathlib
+        import sys
+
+        path = (
+            pathlib.Path(__file__).resolve().parents[2]
+            / "examples"
+            / f"{script}.py"
+        )
+        spec = importlib.util.spec_from_file_location(f"example_{script}", path)
+        module = importlib.util.module_from_spec(spec)
+        monkeypatch.setattr(sys, "argv", [str(path)] + argv)
+        spec.loader.exec_module(module)
+        module.main()
+        assert capsys.readouterr().out
+
+
+class TestReportCommand:
+    def test_report_no_figures(self, capsys):
+        assert main(["report", "--no-figures"]) == 0
+        out = capsys.readouterr().out
+        assert "TABLE 1" in out
+        assert "TABLE 2" in out
+        assert "TABLE 3" in out
+        assert "HEADLINE CLAIMS" in out
+        assert "VIOLATED" not in out
+
+    def test_report_to_file(self, tmp_path, capsys):
+        target = tmp_path / "report.txt"
+        assert main(["report", "--no-figures", "-o", str(target)]) == 0
+        assert "written" in capsys.readouterr().out
+        assert "TABLE 1" in target.read_text()

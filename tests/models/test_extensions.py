@@ -1,0 +1,81 @@
+"""Validation of the extension models against the simulator.
+
+Like the paper's own phase-sum rows, the closed forms are upper bounds
+that the simulator may beat through cross-phase overlap; the tests assert
+measured <= model with the same slack structure pinned for DNS/3DD.
+"""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import get_algorithm
+from repro.algorithms.supernode import decompose
+from repro.models.extensions import (
+    diag3d_cannon_one_port,
+    dns_cannon_one_port,
+    fox_one_port,
+)
+from repro.sim import MachineConfig, PortModel
+
+
+def measured_coeffs(key, n, p):
+    rng = np.random.default_rng(0)
+    A = rng.standard_normal((n, n))
+    B = rng.standard_normal((n, n))
+
+    def t(ts, tw):
+        cfg = MachineConfig.create(p, t_s=ts, t_w=tw)
+        return get_algorithm(key).run(A, B, cfg).total_time
+
+    return t(1, 0), t(0, 1)
+
+
+class TestSupernodeCombos:
+    @pytest.mark.parametrize("n,p", [(32, 32), (64, 256), (64, 512)])
+    def test_dns_cannon_bounded_by_model(self, n, p):
+        a_, b_ = decompose(p, None)
+        sigma, rho = 1 << a_, 1 << b_
+        model_a, model_b = dns_cannon_one_port(n, sigma, rho)
+        meas_a, meas_b = measured_coeffs("dns_cannon", n, p)
+        assert meas_a <= model_a + 1e-9
+        assert meas_b <= model_b + 1e-9
+        assert meas_a >= 0.5 * model_a
+        assert meas_b >= 0.5 * model_b
+
+    @pytest.mark.parametrize("n,p", [(32, 32), (64, 256), (64, 512)])
+    def test_3dd_cannon_bounded_by_model(self, n, p):
+        a_, b_ = decompose(p, None)
+        sigma, rho = 1 << a_, 1 << b_
+        model_a, model_b = diag3d_cannon_one_port(n, sigma, rho)
+        meas_a, meas_b = measured_coeffs("3dd_cannon", n, p)
+        assert meas_a <= model_a + 1e-9
+        assert meas_b <= model_b + 1e-9
+        assert meas_a >= 0.5 * model_a
+
+    def test_models_encode_the_domination(self):
+        """3DD x Cannon model < DNS x Cannon model for all shapes."""
+        for n, sigma, rho in [(32, 2, 2), (64, 2, 4), (128, 4, 2)]:
+            a1, b1 = diag3d_cannon_one_port(n, sigma, rho)
+            a2, b2 = dns_cannon_one_port(n, sigma, rho)
+            assert a1 < a2
+            assert b1 < b2
+
+
+class TestFoxModel:
+    @pytest.mark.parametrize("n,p", [(16, 16), (32, 64), (64, 64)])
+    def test_fox_matches_model(self, n, p):
+        """Fox has no cross-phase overlap opportunities: exact match."""
+        model_a, model_b = fox_one_port(n, p)
+        meas_a, meas_b = measured_coeffs("fox", n, p)
+        assert meas_a == pytest.approx(model_a)
+        assert meas_b == pytest.approx(model_b)
+
+    def test_fox_startups_dominate_cannon(self):
+        from repro.models.table2 import overhead_coefficients
+
+        for n, p in [(64, 64), (256, 1024)]:
+            a_fox, _ = fox_one_port(n, p)
+            a_cannon, _ = overhead_coefficients(
+                "cannon", n, p, PortModel.ONE_PORT
+            )
+            assert a_fox > a_cannon

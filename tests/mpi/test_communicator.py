@@ -1,0 +1,196 @@
+"""Tests for the subcube Comm abstraction."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CommunicatorError
+from repro.mpi import Comm
+from repro.sim import MachineConfig, run_spmd
+from repro.topology import Grid2DEmbedding
+
+CFG = MachineConfig.create(16, t_s=10.0, t_w=1.0)
+
+
+def run_on_rank0(fn):
+    """Run fn(ctx) on rank 0 of a 16-node machine, return its value."""
+
+    def prog(ctx):
+        if ctx.rank == 0:
+            return fn(ctx)
+        return None
+        yield
+
+    def gen_prog(ctx):
+        if ctx.rank == 0:
+            result = fn(ctx)
+            if False:
+                yield
+            return result
+        if False:
+            yield
+        return None
+
+    return run_spmd(CFG, gen_prog).results[0]
+
+
+class TestConstruction:
+    def test_full_cube_comm(self):
+        def fn(ctx):
+            comm = Comm(ctx, list(range(16)))
+            return (comm.size, comm.dimension, comm.rank)
+
+        assert run_on_rank0(fn) == (16, 4, 0)
+
+    def test_non_power_of_two_rejected(self):
+        def fn(ctx):
+            with pytest.raises(CommunicatorError):
+                Comm(ctx, [0, 1, 2])
+            return True
+
+        assert run_on_rank0(fn)
+
+    def test_non_subcube_rejected(self):
+        def fn(ctx):
+            with pytest.raises(CommunicatorError):
+                Comm(ctx, [0, 3])  # differ in two bits but size 2
+            return True
+
+        assert run_on_rank0(fn)
+
+    def test_scattered_non_subcube_rejected(self):
+        def fn(ctx):
+            # 4 nodes spanning 3 varying bits: not a subcube
+            with pytest.raises(CommunicatorError):
+                Comm(ctx, [0, 1, 2, 4])
+            return True
+
+        assert run_on_rank0(fn)
+
+    def test_duplicates_rejected(self):
+        def fn(ctx):
+            with pytest.raises(CommunicatorError):
+                Comm(ctx, [0, 0])
+            return True
+
+        assert run_on_rank0(fn)
+
+    def test_empty_rejected(self):
+        def fn(ctx):
+            with pytest.raises(CommunicatorError):
+                Comm(ctx, [])
+            return True
+
+        assert run_on_rank0(fn)
+
+    def test_non_member_rejected(self):
+        def fn(ctx):
+            with pytest.raises(CommunicatorError):
+                Comm(ctx, [1, 3, 5, 7])  # rank 0 not a member
+            return True
+
+        assert run_on_rank0(fn)
+
+    def test_singleton_comm(self):
+        def fn(ctx):
+            comm = Comm(ctx, [0])
+            return (comm.size, comm.dimension, comm.rank)
+
+        assert run_on_rank0(fn) == (1, 0, 0)
+
+
+class TestIndexing:
+    def test_semantic_order_preserved(self):
+        def fn(ctx):
+            comm = Comm(ctx, [0, 1, 3, 2])  # Gray / ring order
+            return [comm.node_of(i) for i in range(4)]
+
+        assert run_on_rank0(fn) == [0, 1, 3, 2]
+
+    def test_comm_rank_of_inverse(self):
+        def fn(ctx):
+            comm = Comm(ctx, [0, 1, 3, 2])
+            return [comm.comm_rank_of(n) for n in (0, 1, 2, 3)]
+
+        assert run_on_rank0(fn) == [0, 1, 3, 2]
+
+    def test_subindex_roundtrip(self):
+        def fn(ctx):
+            comm = Comm(ctx, [0, 4, 8, 12])  # free dims {2, 3}
+            return [
+                comm.from_subindex(comm.subindex_of(cr)) == cr
+                for cr in range(4)
+            ]
+
+        assert all(run_on_rank0(fn))
+
+    def test_dim_partner_is_physical_neighbor(self):
+        def fn(ctx):
+            comm = Comm(ctx, [0, 1, 3, 2])
+            out = []
+            for cr in range(4):
+                for k in range(2):
+                    partner = comm.dim_partner(cr, k)
+                    diff = comm.node_of(cr) ^ comm.node_of(partner)
+                    out.append(bin(diff).count("1") == 1)
+            return out
+
+        assert all(run_on_rank0(fn))
+
+    def test_dim_partner_out_of_range(self):
+        def fn(ctx):
+            comm = Comm(ctx, [0, 1])
+            with pytest.raises(CommunicatorError):
+                comm.dim_partner(0, 1)
+            return True
+
+        assert run_on_rank0(fn)
+
+    def test_rel_index_of_root_is_zero(self):
+        def fn(ctx):
+            comm = Comm(ctx, [0, 2, 4, 6, 8, 10, 12, 14])
+            return [comm.rel_index(root, root) for root in range(8)]
+
+        assert run_on_rank0(fn) == [0] * 8
+
+    def test_rel_from_rel_roundtrip(self):
+        def fn(ctx):
+            comm = Comm(ctx, list(range(8)))
+            return [
+                comm.from_rel(comm.rel_index(cr, root=3), root=3) == cr
+                for cr in range(8)
+            ]
+
+        assert all(run_on_rank0(fn))
+
+
+class TestCommPointToPoint:
+    def test_send_recv_in_comm_rank_space(self):
+        grid_nodes = Grid2DEmbedding.square(CFG.cube)
+
+        def prog(ctx):
+            r, c = grid_nodes.coords_of(ctx.rank)
+            row = Comm(ctx, grid_nodes.row_members(r))
+            if row.rank == 0:
+                yield from row.send(1, np.array([float(r)]))
+                return None
+            if row.rank == 1:
+                data = yield from row.recv(0)
+                return float(data[0])
+            return None
+
+        res = run_spmd(CFG, prog)
+        grid = Grid2DEmbedding.square(CFG.cube)
+        for r in range(4):
+            receiver = grid.node_at(r, 1)
+            assert res.results[receiver] == float(r)
+
+    def test_exchange_pairs(self):
+        def prog(ctx):
+            comm = Comm(ctx, list(range(16)))
+            peer = comm.dim_partner(comm.rank, 2)
+            got = yield from comm.exchange(peer, np.array([float(comm.rank)]))
+            return float(got[0])
+
+        res = run_spmd(CFG, prog)
+        for rank in range(16):
+            assert res.results[rank] == float(rank ^ 4)

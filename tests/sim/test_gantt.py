@@ -1,0 +1,73 @@
+"""Tests for the ASCII Gantt trace renderer."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import MachineConfig, run_spmd
+from repro.sim.gantt import lane_activity, render_gantt
+
+CFG = MachineConfig.create(8, t_s=10, t_w=1)
+
+
+def traced_run():
+    def prog(ctx):
+        ctx.phase("talk")
+        if ctx.rank == 0:
+            yield from ctx.send(3, np.ones(20))  # 2 hops via node 1
+        elif ctx.rank == 3:
+            yield from ctx.recv(0)
+        ctx.phase("think")
+        yield from ctx.elapse(30.0)
+        return None
+
+    return run_spmd(CFG, prog, trace=True)
+
+
+class TestGantt:
+    def test_requires_trace(self):
+        def prog(ctx):
+            yield from ctx.elapse(1.0)
+
+        res = run_spmd(CFG, prog)  # no trace
+        with pytest.raises(SimulationError):
+            render_gantt(res)
+
+    def test_sender_lane_shows_transmission(self):
+        res = traced_run()
+        lane = lane_activity(res.trace, 0, res.total_time, 60)
+        assert "#" in lane
+
+    def test_forwarder_lane_shows_transit(self):
+        res = traced_run()
+        # e-cube route 0 -> 1 -> 3: node 1 forwards
+        lane = lane_activity(res.trace, 1, res.total_time, 60)
+        assert "#" in lane or "-" in lane
+
+    def test_compute_marked(self):
+        res = traced_run()
+        lane = lane_activity(res.trace, 5, res.total_time, 60)
+        assert "=" in lane
+
+    def test_render_structure(self):
+        res = traced_run()
+        art = render_gantt(res, width=40)
+        lines = art.splitlines()
+        assert sum(1 for l in lines if l.startswith("node")) == 8
+        assert any("legend" in l for l in lines)
+        assert any("talk@0" in l for l in lines)
+
+    def test_rank_filter(self):
+        res = traced_run()
+        art = render_gantt(res, width=40, ranks=[0, 3])
+        assert sum(1 for l in art.splitlines() if l.startswith("node")) == 2
+
+    def test_bad_width(self):
+        res = traced_run()
+        with pytest.raises(SimulationError):
+            lane_activity(res.trace, 0, res.total_time, 0)
+
+    def test_lane_length_matches_width(self):
+        res = traced_run()
+        for w in (1, 13, 80):
+            assert len(lane_activity(res.trace, 0, res.total_time, w)) == w

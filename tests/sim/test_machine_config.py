@@ -1,0 +1,73 @@
+"""Tests for MachineConfig construction, presets and validation."""
+
+import pytest
+
+from repro.errors import SimulationError, TopologyError
+from repro.sim import MachineConfig, MachineParams, PortModel, RoutingMode
+from repro.sim.machine import PAPER_PARAMS
+from repro.topology.torus import Torus2D
+
+
+class TestPresets:
+    def test_paper_params_present(self):
+        assert "ipsc860" in PAPER_PARAMS
+        assert PAPER_PARAMS["ipsc860"].t_s == 150.0
+        assert PAPER_PARAMS["ipsc860"].t_w == 3.0
+
+    def test_paper_params_span_startup_ratios(self):
+        ratios = [p.t_s / p.t_w for p in PAPER_PARAMS.values()]
+        assert max(ratios) / min(ratios) > 10
+
+    def test_params_cost_helpers(self):
+        params = MachineParams(t_s=100, t_w=2, t_c=0.5)
+        assert params.hop_time(10) == 120
+        assert params.flops_time(8) == 4.0
+        with pytest.raises(SimulationError):
+            params.flops_time(-1)
+
+
+class TestConstruction:
+    def test_create_validates_node_count(self):
+        with pytest.raises(TopologyError):
+            MachineConfig.create(12)
+
+    def test_create_torus(self):
+        cfg = MachineConfig.create_torus(4, 8, t_s=2, t_w=1)
+        assert isinstance(cfg.cube, Torus2D)
+        assert cfg.num_nodes == 32
+        assert cfg.topology is cfg.cube
+        assert cfg.dimension == 0  # tori expose no cube dimension
+
+    def test_defaults(self):
+        cfg = MachineConfig.create(8)
+        assert cfg.port_model is PortModel.ONE_PORT
+        assert cfg.routing is RoutingMode.STORE_AND_FORWARD
+        assert cfg.copy_on_send
+
+    def test_with_helpers_preserve_other_fields(self):
+        cfg = MachineConfig.create(
+            8, t_s=7, port_model=PortModel.MULTI_PORT,
+            routing=RoutingMode.CUT_THROUGH,
+        )
+        cfg2 = cfg.with_params(MachineParams(t_s=9))
+        assert cfg2.port_model is PortModel.MULTI_PORT
+        assert cfg2.routing is RoutingMode.CUT_THROUGH
+        cfg3 = cfg.with_port_model(PortModel.ONE_PORT)
+        assert cfg3.routing is RoutingMode.CUT_THROUGH
+        assert cfg3.params.t_s == 7
+
+    def test_enum_strings(self):
+        assert str(PortModel.ONE_PORT) == "one-port"
+        assert str(RoutingMode.CUT_THROUGH) == "cut-through"
+
+
+class TestPaperParamsBehave:
+    def test_region_winner_shifts_with_preset(self):
+        """The presets genuinely change who wins the middle band."""
+        from repro.analysis.regions import best_algorithm
+
+        n, p = 64, 4096  # n^1.5 < p <= n^2
+        hi = best_algorithm(n, p, PortModel.ONE_PORT, 150.0, 3.0)
+        lo = best_algorithm(n, p, PortModel.ONE_PORT, 0.5, 3.0)
+        assert hi[0] == "3dd"
+        assert lo[0] == "cannon"

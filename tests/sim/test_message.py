@@ -1,0 +1,60 @@
+"""Tests for payload word accounting."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.message import Message, payload_words
+
+
+class TestPayloadWords:
+    def test_array_counts_elements(self):
+        assert payload_words(np.zeros((3, 4))) == 12
+        assert payload_words(np.zeros(0)) == 0
+
+    def test_explicit_nwords_wins(self):
+        assert payload_words(np.zeros(5), nwords=100) == 100
+
+    def test_negative_explicit_rejected(self):
+        with pytest.raises(SimulationError):
+            payload_words(None, nwords=-1)
+
+    def test_none_requires_explicit(self):
+        with pytest.raises(SimulationError):
+            payload_words(None)
+        assert payload_words(None, nwords=7) == 7
+
+    def test_standalone_scalar_is_one_word(self):
+        assert payload_words(3.14) == 1
+        assert payload_words(42) == 1
+
+    def test_list_of_arrays(self):
+        assert payload_words([np.zeros(3), np.zeros((2, 2))]) == 7
+
+    def test_dict_of_arrays(self):
+        assert payload_words({0: np.zeros(3), 1: np.zeros(5)}) == 8
+
+    def test_metadata_rides_free_in_containers(self):
+        """Shape tuples / keys / dtypes inside containers cost no words."""
+        payload = (np.zeros(10), (10,), "float64")
+        assert payload_words(payload) == 10
+
+    def test_nested_containers(self):
+        payload = {0: (np.zeros(4), (2, 2)), 1: [np.zeros(2), np.zeros(2)]}
+        assert payload_words(payload) == 8
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(SimulationError):
+            payload_words(object())
+
+
+class TestMessage:
+    def test_ids_unique(self):
+        a = Message(0, 1, 0, None, 5, 0.0)
+        b = Message(0, 1, 0, None, 5, 0.0)
+        assert a.msg_id != b.msg_id
+
+    def test_repr_mentions_route(self):
+        msg = Message(2, 5, 7, None, 9, 0.0)
+        assert "2->5" in repr(msg)
+        assert "tag=7" in repr(msg)

@@ -1,0 +1,96 @@
+"""Network-level statistics and conservation laws."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import get_algorithm
+from repro.sim import MachineConfig, PortModel, RoutingMode, run_spmd
+from repro.sim.tracing import NetworkStats
+
+
+class TestNetworkStats:
+    def test_single_transfer_occupancy(self):
+        """A 2-hop message occupies 2 channels for (t_s + t_w*m) each."""
+
+        def prog(ctx):
+            if ctx.rank == 0:
+                yield from ctx.send(3, np.ones(5))
+            elif ctx.rank == 3:
+                yield from ctx.recv(0)
+            return None
+
+        res = run_spmd(MachineConfig.create(8, t_s=10, t_w=1), prog)
+        assert res.network.channels_used == 2
+        assert res.network.total_channel_busy == pytest.approx(2 * 15.0)
+        assert res.network.max_channel_busy == pytest.approx(15.0)
+
+    def test_conservation_store_and_forward(self):
+        """Total channel busy == sum over messages of hops * hop_time."""
+        from repro.topology.routing import ecube_hops
+
+        sends = [(0, 5, 7), (2, 3, 4), (1, 6, 12)]  # (src, dst, words)
+
+        def prog(ctx):
+            for src, dst, words in sends:
+                if ctx.rank == src:
+                    yield from ctx.send(dst, np.ones(words))
+                elif ctx.rank == dst:
+                    yield from ctx.recv(src)
+            return None
+
+        cfg = MachineConfig.create(8, t_s=10, t_w=1)
+        res = run_spmd(cfg, prog)
+        expected = sum(
+            len(ecube_hops(s, d)) * (10 + w) for s, d, w in sends
+        )
+        assert res.network.total_channel_busy == pytest.approx(expected)
+
+    def test_lower_bound_property(self):
+        """The most-loaded channel bounds the completion time from below."""
+        rng = np.random.default_rng(0)
+        A = rng.standard_normal((16, 16))
+        B = rng.standard_normal((16, 16))
+        for key, p in [("cannon", 16), ("3d_all", 8), ("simple", 16)]:
+            run = get_algorithm(key).run(
+                A, B, MachineConfig.create(p, t_s=5, t_w=1)
+            )
+            assert run.result.network.max_channel_busy <= run.total_time + 1e-9
+
+    def test_mean_utilization_bounds(self):
+        rng = np.random.default_rng(1)
+        A = rng.standard_normal((16, 16))
+        B = rng.standard_normal((16, 16))
+        run = get_algorithm("3d_all").run(
+            A, B, MachineConfig.create(8, t_s=5, t_w=1)
+        )
+        util = run.result.network.mean_utilization(run.total_time)
+        assert 0.0 < util <= 1.0
+
+    def test_empty_run_has_empty_network(self):
+        def prog(ctx):
+            if False:
+                yield
+            return None
+
+        res = run_spmd(MachineConfig.create(4), prog)
+        assert res.network == NetworkStats(0, 0.0, 0.0)
+        assert res.network.mean_utilization(10.0) == 0.0
+
+    def test_multiport_uses_more_channels_concurrently(self):
+        """Same algorithm, same traffic — multi-port finishes faster with
+        identical total channel busy time (work conserved, concurrency up)."""
+        rng = np.random.default_rng(2)
+        A = rng.standard_normal((16, 16))
+        B = rng.standard_normal((16, 16))
+        one = get_algorithm("simple").run(
+            A, B, MachineConfig.create(16, t_s=5, t_w=1,
+                                       port_model=PortModel.ONE_PORT)
+        )
+        multi = get_algorithm("simple").run(
+            A, B, MachineConfig.create(16, t_s=5, t_w=1,
+                                       port_model=PortModel.MULTI_PORT)
+        )
+        assert multi.total_time < one.total_time
+        one_util = one.result.network.mean_utilization(one.total_time)
+        multi_util = multi.result.network.mean_utilization(multi.total_time)
+        assert multi_util > one_util

@@ -1,0 +1,165 @@
+"""Tests for intra-rank concurrency (ctx.parallel sub-tasks)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DeadlockError, SimulationError
+from repro.sim import MachineConfig, PortModel, run_spmd
+
+ONE = MachineConfig.create(8, t_s=10.0, t_w=1.0, port_model=PortModel.ONE_PORT)
+MULTI = MachineConfig.create(8, t_s=10.0, t_w=1.0, port_model=PortModel.MULTI_PORT)
+
+
+def _send_one(ctx, dst, tag):
+    yield from ctx.send(dst, np.ones(5), tag)
+    return f"sent-{tag}"
+
+
+def _recv_one(ctx, src, tag):
+    data = yield from ctx.recv(src, tag)
+    return float(data[0])
+
+
+class TestParallelSemantics:
+    def test_returns_values_in_order(self):
+        def prog(ctx):
+            if ctx.rank == 0:
+                vals = yield from ctx.parallel(
+                    _send_one(ctx, 1, 1),
+                    _send_one(ctx, 2, 2),
+                )
+                return vals
+            if ctx.rank in (1, 2):
+                yield from ctx.recv(0, ctx.rank)
+            return None
+
+        res = run_spmd(MULTI, prog)
+        assert res.results[0] == ["sent-1", "sent-2"]
+
+    def test_empty_parallel(self):
+        def prog(ctx):
+            vals = yield from ctx.parallel()
+            return vals
+
+        res = run_spmd(MULTI, prog)
+        assert res.results[0] == []
+
+    def test_non_generator_rejected(self):
+        def prog(ctx):
+            yield from ctx.parallel(42)
+
+        with pytest.raises(SimulationError):
+            run_spmd(MULTI, prog)
+
+    def test_nested_parallel(self):
+        def inner(ctx, x):
+            yield from ctx.elapse(1.0)
+            return x * 2
+
+        def outer(ctx, x):
+            vals = yield from ctx.parallel(inner(ctx, x), inner(ctx, x + 1))
+            return vals
+
+        def prog(ctx):
+            vals = yield from ctx.parallel(outer(ctx, 1), outer(ctx, 10))
+            return vals
+
+        res = run_spmd(MULTI, prog)
+        assert res.results[0] == [[2, 4], [20, 22]]
+
+    def test_parent_resumes_at_latest_child(self):
+        def slow(ctx):
+            yield from ctx.elapse(100.0)
+
+        def fast(ctx):
+            yield from ctx.elapse(1.0)
+
+        def prog(ctx):
+            yield from ctx.parallel(slow(ctx), fast(ctx))
+            return ctx.now
+
+        res = run_spmd(MULTI, prog)
+        assert res.results[0] == 100.0
+
+    def test_child_deadlock_detected(self):
+        def never(ctx):
+            yield from ctx.recv(3, tag=99)
+
+        def prog(ctx):
+            if ctx.rank == 0:
+                yield from ctx.parallel(never(ctx))
+            return None
+            yield
+
+        with pytest.raises(DeadlockError):
+            run_spmd(MULTI, prog)
+
+    def test_barrier_inside_subtask_rejected(self):
+        def child(ctx):
+            yield from ctx.barrier()
+
+        def prog(ctx):
+            yield from ctx.parallel(child(ctx))
+
+        with pytest.raises(SimulationError):
+            run_spmd(MULTI, prog)
+
+
+class TestParallelTiming:
+    def test_multi_port_overlaps_distinct_links(self):
+        def prog(ctx):
+            if ctx.rank == 0:
+                yield from ctx.parallel(
+                    _send_one(ctx, 1, 1),
+                    _send_one(ctx, 2, 2),
+                    _send_one(ctx, 4, 3),
+                )
+                return ctx.now
+            if ctx.rank in (1, 2, 4):
+                yield from ctx.recv(0, tag=-1)
+            return None
+
+        res = run_spmd(MULTI, prog)
+        assert res.results[0] == pytest.approx(15.0)
+
+    def test_one_port_serializes_subtasks(self):
+        def prog(ctx):
+            if ctx.rank == 0:
+                yield from ctx.parallel(
+                    _send_one(ctx, 1, 1),
+                    _send_one(ctx, 2, 2),
+                    _send_one(ctx, 4, 3),
+                )
+                return ctx.now
+            if ctx.rank in (1, 2, 4):
+                yield from ctx.recv(0, tag=-1)
+            return None
+
+        res = run_spmd(ONE, prog)
+        assert res.results[0] == pytest.approx(45.0)
+
+    def test_subtask_clock_isolated_from_parent(self):
+        def child(ctx):
+            yield from ctx.elapse(7.0)
+            return ctx.now
+
+        def prog(ctx):
+            yield from ctx.elapse(3.0)
+            vals = yield from ctx.parallel(child(ctx))
+            return (vals[0], ctx.now)
+
+        res = run_spmd(MULTI, prog)
+        assert res.results[0] == (10.0, 10.0)
+
+    def test_compute_in_subtasks_overlaps(self):
+        """Sub-task elapse times overlap (they model concurrent engines)."""
+
+        def worker(ctx):
+            yield from ctx.elapse(50.0)
+
+        def prog(ctx):
+            yield from ctx.parallel(worker(ctx), worker(ctx))
+            return ctx.now
+
+        res = run_spmd(MULTI, prog)
+        assert res.results[0] == 50.0

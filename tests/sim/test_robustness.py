@@ -1,0 +1,149 @@
+"""Failure injection and engine robustness."""
+
+import numpy as np
+import pytest
+
+from repro import errors
+from repro.sim import MachineConfig, run_spmd
+
+CFG = MachineConfig.create(8, t_s=10, t_w=1)
+
+
+class TestExceptionPropagation:
+    def test_program_error_carries_rank_context(self):
+        def prog(ctx):
+            yield from ctx.elapse(5.0)
+            if ctx.rank == 3:
+                raise ValueError("boom")
+            yield from ctx.elapse(5.0)
+
+        with pytest.raises(ValueError) as exc:
+            run_spmd(CFG, prog)
+        assert "rank 3" in str(exc.value)
+        assert "boom" in str(exc.value)
+        assert "t=5" in str(exc.value)
+
+    def test_error_inside_subtask_carries_context(self):
+        def child(ctx):
+            yield from ctx.elapse(1.0)
+            raise RuntimeError("child died")
+
+        def prog(ctx):
+            if ctx.rank == 2:
+                yield from ctx.parallel(child(ctx))
+            return None
+            yield
+
+        with pytest.raises(RuntimeError) as exc:
+            run_spmd(CFG, prog)
+        assert "rank 2" in str(exc.value)
+
+    def test_error_during_collective(self):
+        from repro.collectives import broadcast
+        from repro.mpi import Comm
+
+        def prog(ctx):
+            comm = Comm(ctx, list(range(8)))
+            data = None  # root forgets its payload: asarray(None) fails
+            yield from broadcast(comm, data, root=0)
+
+        with pytest.raises(Exception) as exc:
+            run_spmd(CFG, prog)
+        assert "rank" in str(exc.value)
+
+
+class TestErrorHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for name in errors.__all__:
+            cls = getattr(errors, name)
+            assert issubclass(cls, errors.ReproError)
+
+    def test_deadlock_error_payload(self):
+        err = errors.DeadlockError({0: "waiting on recv#1", 5: "barrier"})
+        assert err.blocked == {0: "waiting on recv#1", 5: "barrier"}
+        assert "rank 0" in str(err)
+        assert "rank 5" in str(err)
+
+    def test_deadlock_error_truncates_long_lists(self):
+        err = errors.DeadlockError({r: "stuck" for r in range(40)})
+        assert "+24 more" in str(err)
+
+    def test_not_applicable_is_algorithm_error(self):
+        assert issubclass(errors.NotApplicableError, errors.AlgorithmError)
+
+
+class TestEngineEdgeCases:
+    def test_zero_word_message(self):
+        def prog(ctx):
+            if ctx.rank == 0:
+                yield from ctx.send(1, np.empty(0))
+            elif ctx.rank == 1:
+                data = yield from ctx.recv(0)
+                return (ctx.now, data.size)
+            return None
+
+        res = run_spmd(CFG, prog)
+        assert res.results[1] == (10.0, 0)  # pure start-up cost
+
+    def test_scalar_payload(self):
+        def prog(ctx):
+            if ctx.rank == 0:
+                yield from ctx.send(1, 3.25)
+            elif ctx.rank == 1:
+                return (yield from ctx.recv(0))
+            return None
+
+        assert run_spmd(CFG, prog).results[1] == 3.25
+
+    def test_many_outstanding_irecvs(self):
+        def prog(ctx):
+            if ctx.rank == 0:
+                handles = []
+                for k in range(32):
+                    handles.append((yield from ctx.irecv(1, tag=k)))
+                vals = yield from ctx.waitall(handles)
+                return [int(v[0]) for v in vals]
+            if ctx.rank == 1:
+                for k in reversed(range(32)):
+                    yield from ctx.send(0, np.array([float(k)]), tag=k)
+            return None
+
+        res = run_spmd(CFG, prog)
+        assert res.results[0] == list(range(32))
+
+    def test_interleaved_tags_same_pair(self):
+        def prog(ctx):
+            if ctx.rank == 0:
+                yield from ctx.send(1, np.array([1.0]), tag=7)
+                yield from ctx.send(1, np.array([2.0]), tag=9)
+                yield from ctx.send(1, np.array([3.0]), tag=7)
+            elif ctx.rank == 1:
+                b = yield from ctx.recv(0, tag=9)
+                a1 = yield from ctx.recv(0, tag=7)
+                a2 = yield from ctx.recv(0, tag=7)
+                return [float(x[0]) for x in (b, a1, a2)]
+            return None
+
+        assert run_spmd(CFG, prog).results[1] == [2.0, 1.0, 3.0]
+
+    def test_deep_parallel_nesting(self):
+        def leaf(ctx, v):
+            yield from ctx.elapse(1.0)
+            return v
+
+        def level(ctx, depth, v):
+            if depth == 0:
+                return (yield from leaf(ctx, v))
+            vals = yield from ctx.parallel(
+                level(ctx, depth - 1, v * 2),
+                level(ctx, depth - 1, v * 2 + 1),
+            )
+            return vals
+
+        def prog(ctx):
+            return (yield from level(ctx, 3, 1))
+
+        res = run_spmd(CFG, prog)
+        # 8 leaves; structure preserved
+        flat = str(res.results[0])
+        assert flat.count(",") >= 7

@@ -1,0 +1,114 @@
+"""Tests for store-and-forward vs cut-through multi-hop routing."""
+
+import numpy as np
+import pytest
+
+from repro.sim import MachineConfig, PortModel, RoutingMode, run_spmd
+
+SF = RoutingMode.STORE_AND_FORWARD
+CT = RoutingMode.CUT_THROUGH
+
+
+def send_prog(dst, words):
+    def prog(ctx):
+        if ctx.rank == 0:
+            yield from ctx.send(dst, np.ones(words))
+        elif ctx.rank == dst:
+            data = yield from ctx.recv(0)
+            return (ctx.now, float(data.sum()))
+        return None
+
+    return prog
+
+
+class TestUncontendedCosts:
+    @pytest.mark.parametrize("dst,hops", [(1, 1), (3, 2), (7, 3)])
+    def test_store_and_forward_per_hop(self, dst, hops):
+        cfg = MachineConfig.create(8, t_s=10, t_w=1, routing=SF)
+        res = run_spmd(cfg, send_prog(dst, 5))
+        assert res.results[dst][0] == pytest.approx(hops * 15.0)
+
+    @pytest.mark.parametrize("dst,hops", [(1, 1), (3, 2), (7, 3)])
+    def test_cut_through_pipelines(self, dst, hops):
+        cfg = MachineConfig.create(8, t_s=10, t_w=1, routing=CT)
+        res = run_spmd(cfg, send_prog(dst, 5))
+        assert res.results[dst][0] == pytest.approx(hops * 10.0 + 5.0)
+
+    def test_single_hop_identical(self):
+        for words in (0, 1, 100):
+            t_sf = run_spmd(
+                MachineConfig.create(8, t_s=10, t_w=1, routing=SF),
+                send_prog(1, max(words, 1)),
+            ).results[1][0]
+            t_ct = run_spmd(
+                MachineConfig.create(8, t_s=10, t_w=1, routing=CT),
+                send_prog(1, max(words, 1)),
+            ).results[1][0]
+            assert t_sf == t_ct
+
+    def test_data_intact_under_cut_through(self):
+        cfg = MachineConfig.create(8, t_s=10, t_w=1, routing=CT)
+        res = run_spmd(cfg, send_prog(7, 9))
+        assert res.results[7][1] == 9.0
+
+    def test_cut_through_never_slower(self):
+        for dst in (1, 3, 7):
+            t_sf = run_spmd(
+                MachineConfig.create(8, t_s=10, t_w=2, routing=SF),
+                send_prog(dst, 50),
+            ).results[dst][0]
+            t_ct = run_spmd(
+                MachineConfig.create(8, t_s=10, t_w=2, routing=CT),
+                send_prog(dst, 50),
+            ).results[dst][0]
+            assert t_ct <= t_sf
+
+
+class TestWithAlgorithms:
+    def test_3dd_multiport_matches_table2_under_cut_through(self):
+        """The paper's multi-port 3DD row (log p, 3n²/p^(2/3)) assumes
+        pipelined point-to-point transfers; cut-through reproduces it
+        exactly."""
+        from repro.analysis.measure import extract_coefficients
+        from repro.models.table2 import overhead_coefficients
+
+        measured = extract_coefficients(
+            "3dd", 64, 64, PortModel.MULTI_PORT, routing=CT
+        )
+        model = overhead_coefficients("3dd", 64, 64, PortModel.MULTI_PORT)
+        assert measured == pytest.approx(model)
+
+    def test_dns_multiport_b_matches_under_cut_through(self):
+        from repro.analysis.measure import extract_coefficients
+        from repro.models.table2 import overhead_coefficients
+
+        measured = extract_coefficients(
+            "dns", 64, 64, PortModel.MULTI_PORT, routing=CT
+        )
+        model = overhead_coefficients("dns", 64, 64, PortModel.MULTI_PORT)
+        assert measured[1] == pytest.approx(model[1])
+        assert measured[0] <= model[0]
+
+    def test_all_algorithms_correct_under_cut_through(self):
+        from repro.algorithms import ALGORITHMS
+
+        rng = np.random.default_rng(5)
+        for key, algo in ALGORITHMS.items():
+            n, p = next(
+                (n, p)
+                for (n, p) in [(16, 16), (16, 8), (16, 32)]
+                if algo.applicable(n, p)
+            )
+            A = rng.standard_normal((n, n))
+            B = rng.standard_normal((n, n))
+            cfg = MachineConfig.create(p, t_s=3, t_w=1, routing=CT)
+            run = algo.run(A, B, cfg, verify=True)
+            assert np.allclose(run.C, A @ B), key
+
+    def test_config_with_routing_helper(self):
+        cfg = MachineConfig.create(8)
+        assert cfg.routing is SF
+        assert cfg.with_routing(CT).routing is CT
+        assert cfg.with_routing(CT).with_port_model(
+            PortModel.MULTI_PORT
+        ).routing is CT

@@ -1,0 +1,146 @@
+"""Tests for the Hypercube and Subcube abstractions."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import TopologyError
+from repro.topology.hypercube import Hypercube, Subcube
+
+dims = st.integers(min_value=0, max_value=8)
+
+
+class TestHypercubeBasics:
+    def test_node_count(self):
+        assert Hypercube(0).num_nodes == 1
+        assert Hypercube(3).num_nodes == 8
+        assert Hypercube(10).num_nodes == 1024
+
+    def test_with_nodes(self):
+        assert Hypercube.with_nodes(16).dimension == 4
+        with pytest.raises(TopologyError):
+            Hypercube.with_nodes(12)
+        with pytest.raises(TopologyError):
+            Hypercube.with_nodes(0)
+
+    def test_negative_dimension_rejected(self):
+        with pytest.raises(TopologyError):
+            Hypercube(-1)
+
+    def test_link_count(self):
+        assert Hypercube(0).num_links == 0
+        assert Hypercube(3).num_links == 12  # 3 * 2^2
+        assert Hypercube(4).num_links == 32
+
+    def test_contains(self):
+        cube = Hypercube(3)
+        assert cube.contains(0)
+        assert cube.contains(7)
+        assert not cube.contains(8)
+        assert not cube.contains(-1)
+
+
+class TestNeighbors:
+    def test_neighbors_of_zero(self):
+        assert Hypercube(3).neighbors(0) == [1, 2, 4]
+
+    def test_neighbor_across_dim(self):
+        cube = Hypercube(4)
+        assert cube.neighbor(0b0101, 1) == 0b0111
+        assert cube.neighbor(0b0101, 3) == 0b1101
+
+    def test_bad_dim_rejected(self):
+        with pytest.raises(TopologyError):
+            Hypercube(3).neighbor(0, 3)
+
+    def test_bad_node_rejected(self):
+        with pytest.raises(TopologyError):
+            Hypercube(3).neighbors(8)
+
+    @given(dims.filter(lambda d: d >= 1), st.data())
+    def test_neighbor_relation_symmetric(self, d, data):
+        cube = Hypercube(d)
+        node = data.draw(st.integers(min_value=0, max_value=cube.num_nodes - 1))
+        for nb in cube.neighbors(node):
+            assert cube.are_neighbors(node, nb)
+            assert cube.are_neighbors(nb, node)
+            assert node in cube.neighbors(nb)
+
+    @given(dims, st.data())
+    def test_distance_equals_popcount(self, d, data):
+        cube = Hypercube(d)
+        a = data.draw(st.integers(min_value=0, max_value=cube.num_nodes - 1))
+        b = data.draw(st.integers(min_value=0, max_value=cube.num_nodes - 1))
+        assert cube.distance(a, b) == bin(a ^ b).count("1")
+
+    def test_link_dimension(self):
+        cube = Hypercube(4)
+        assert cube.link_dimension(0b0000, 0b0100) == 2
+        with pytest.raises(TopologyError):
+            cube.link_dimension(0, 3)  # distance 2
+
+
+class TestSubcube:
+    def test_members_of_full_split(self):
+        cube = Hypercube(3)
+        subs = cube.split([2])
+        assert len(subs) == 2
+        assert list(subs[0].members()) == [0, 1, 2, 3]
+        assert list(subs[1].members()) == [4, 5, 6, 7]
+
+    def test_split_partitions_nodes(self):
+        cube = Hypercube(4)
+        subs = cube.split([1, 3])
+        all_members = sorted(m for s in subs for m in s.members())
+        assert all_members == list(range(16))
+
+    def test_split_duplicate_dim_rejected(self):
+        with pytest.raises(TopologyError):
+            Hypercube(3).split([1, 1])
+
+    def test_split_bad_dim_rejected(self):
+        with pytest.raises(TopologyError):
+            Hypercube(3).split([3])
+
+    def test_member_index_roundtrip(self):
+        cube = Hypercube(4)
+        sub = Subcube(cube, (1, 3), 0b0101)
+        for idx in range(sub.num_nodes):
+            node = sub.member(idx)
+            assert sub.index_of(node) == idx
+            assert sub.contains(node)
+
+    def test_anchor_normalized(self):
+        cube = Hypercube(4)
+        s1 = Subcube(cube, (0, 1), 0b0011)  # free bits set in anchor
+        s2 = Subcube(cube, (0, 1), 0b0000)
+        assert s1.anchor == s2.anchor == 0
+
+    def test_non_member_rejected(self):
+        cube = Hypercube(4)
+        sub = Subcube(cube, (0, 1), 0b0100)
+        with pytest.raises(TopologyError):
+            sub.index_of(0b1000)
+
+    def test_member_out_of_range(self):
+        sub = Subcube(Hypercube(3), (0,), 0)
+        with pytest.raises(TopologyError):
+            sub.member(2)
+
+    def test_duplicate_free_dim_rejected(self):
+        with pytest.raises(TopologyError):
+            Subcube(Hypercube(3), (1, 1), 0)
+
+    @given(st.integers(min_value=1, max_value=6), st.data())
+    def test_subcube_is_itself_a_cube(self, d, data):
+        """Any two members differing in one free bit are cube neighbours."""
+        cube = Hypercube(d)
+        k = data.draw(st.integers(min_value=1, max_value=d))
+        free = tuple(sorted(data.draw(
+            st.sets(st.integers(min_value=0, max_value=d - 1), min_size=k, max_size=k)
+        )))
+        sub = Subcube(cube, free, 0)
+        for idx in range(sub.num_nodes):
+            for b in range(len(free)):
+                other = sub.member(idx ^ (1 << b))
+                assert cube.are_neighbors(sub.member(idx), other)

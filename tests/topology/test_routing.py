@@ -1,0 +1,79 @@
+"""Tests for dimension-ordered (e-cube) routing."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import TopologyError
+from repro.topology.routing import (
+    ecube_dimensions,
+    ecube_hops,
+    ecube_next_hop,
+    ecube_path,
+)
+
+node = st.integers(min_value=0, max_value=2**10 - 1)
+
+
+class TestNextHop:
+    def test_corrects_lowest_bit_first(self):
+        assert ecube_next_hop(0b000, 0b101) == 0b001
+        assert ecube_next_hop(0b001, 0b101) == 0b101
+
+    def test_at_destination_rejected(self):
+        with pytest.raises(TopologyError):
+            ecube_next_hop(5, 5)
+
+
+class TestPath:
+    def test_trivial_path(self):
+        assert ecube_path(3, 3) == [3]
+
+    def test_example(self):
+        assert ecube_path(0b000, 0b110) == [0b000, 0b010, 0b110]
+
+    def test_negative_rejected(self):
+        with pytest.raises(TopologyError):
+            ecube_path(-1, 2)
+
+    @given(node, node)
+    def test_path_length_is_hamming_distance(self, a, b):
+        assert len(ecube_path(a, b)) == bin(a ^ b).count("1") + 1
+
+    @given(node, node)
+    def test_consecutive_nodes_are_neighbors(self, a, b):
+        path = ecube_path(a, b)
+        for u, v in zip(path, path[1:]):
+            assert bin(u ^ v).count("1") == 1
+
+    @given(node, node)
+    def test_endpoints(self, a, b):
+        path = ecube_path(a, b)
+        assert path[0] == a and path[-1] == b
+
+    @given(node, node)
+    def test_dimensions_ascending(self, a, b):
+        dims = ecube_dimensions(a, b)
+        assert list(dims) == sorted(dims)
+
+    @given(node, node)
+    def test_no_node_revisited(self, a, b):
+        path = ecube_path(a, b)
+        assert len(set(path)) == len(path)
+
+
+class TestHops:
+    def test_empty_for_self(self):
+        assert ecube_hops(4, 4) == []
+
+    @given(node, node)
+    def test_hops_chain(self, a, b):
+        hops = ecube_hops(a, b)
+        if hops:
+            assert hops[0][0] == a
+            assert hops[-1][1] == b
+            for (u1, v1), (u2, v2) in zip(hops, hops[1:]):
+                assert v1 == u2
+
+    def test_deterministic(self):
+        assert ecube_hops(5, 10) == ecube_hops(5, 10)

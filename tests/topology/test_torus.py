@@ -1,0 +1,95 @@
+"""Tests for the 2-D torus substrate."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import TopologyError
+from repro.topology.torus import Torus2D
+
+sides = st.integers(min_value=1, max_value=9)
+
+
+class TestBasics:
+    def test_node_count(self):
+        assert Torus2D(4, 4).num_nodes == 16
+        assert Torus2D(2, 8).num_nodes == 16
+
+    def test_bad_sides(self):
+        with pytest.raises(TopologyError):
+            Torus2D(0, 4)
+
+    def test_coords_roundtrip(self):
+        torus = Torus2D(3, 5)
+        for node in torus.nodes():
+            r, c = torus.coords_of(node)
+            assert torus.node_at(r, c) == node
+
+    def test_wrapping(self):
+        torus = Torus2D(4, 4)
+        assert torus.node_at(-1, 0) == torus.node_at(3, 0)
+        assert torus.node_at(0, 4) == torus.node_at(0, 0)
+
+    def test_out_of_range(self):
+        with pytest.raises(TopologyError):
+            Torus2D(2, 2).coords_of(4)
+
+
+class TestAdjacency:
+    def test_interior_degree_four(self):
+        torus = Torus2D(5, 5)
+        assert len(torus.neighbors(12)) == 4
+
+    def test_wraparound_links(self):
+        torus = Torus2D(4, 4)
+        assert torus.are_neighbors(torus.node_at(0, 0), torus.node_at(3, 0))
+        assert torus.are_neighbors(torus.node_at(0, 0), torus.node_at(0, 3))
+
+    def test_small_torus_degenerate_degree(self):
+        # 2x2: each node has only 2 distinct neighbours
+        torus = Torus2D(2, 2)
+        assert len(torus.neighbors(0)) == 2
+
+    @given(sides, sides, st.data())
+    def test_symmetric(self, r, c, data):
+        torus = Torus2D(r, c)
+        a = data.draw(st.integers(0, torus.num_nodes - 1))
+        for nb in torus.neighbors(a):
+            assert torus.are_neighbors(nb, a)
+
+
+class TestRouting:
+    def test_self_route_empty(self):
+        assert Torus2D(4, 4).route_hops(5, 5) == []
+
+    def test_takes_shorter_way_around(self):
+        torus = Torus2D(8, 8)
+        # column 0 -> column 6: backwards (2 hops), not forwards (6)
+        hops = torus.route_hops(torus.node_at(0, 0), torus.node_at(0, 6))
+        assert len(hops) == 2
+
+    @given(sides, sides, st.data())
+    def test_route_length_is_distance(self, r, c, data):
+        torus = Torus2D(r, c)
+        a = data.draw(st.integers(0, torus.num_nodes - 1))
+        b = data.draw(st.integers(0, torus.num_nodes - 1))
+        hops = torus.route_hops(a, b)
+        assert len(hops) == torus.distance(a, b)
+
+    @given(sides, sides, st.data())
+    def test_route_hops_are_links(self, r, c, data):
+        torus = Torus2D(r, c)
+        a = data.draw(st.integers(0, torus.num_nodes - 1))
+        b = data.draw(st.integers(0, torus.num_nodes - 1))
+        for u, v in torus.route_hops(a, b):
+            assert torus.are_neighbors(u, v)
+
+    @given(sides, sides, st.data())
+    def test_route_endpoints(self, r, c, data):
+        torus = Torus2D(r, c)
+        a = data.draw(st.integers(0, torus.num_nodes - 1))
+        b = data.draw(st.integers(0, torus.num_nodes - 1))
+        hops = torus.route_hops(a, b)
+        if a != b:
+            assert hops[0][0] == a
+            assert hops[-1][1] == b

@@ -1,0 +1,169 @@
+"""Unit and property tests for repro.util.bits."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.bits import (
+    bit,
+    gray_code,
+    gray_code_inverse,
+    hamming_distance,
+    icbrt_pow2,
+    ilog2,
+    is_perfect_square_pow2,
+    is_power_of_eight,
+    is_power_of_two,
+    isqrt_pow2,
+    popcount,
+    set_bits,
+)
+
+nonneg = st.integers(min_value=0, max_value=2**40)
+
+
+class TestPopcount:
+    def test_zero(self):
+        assert popcount(0) == 0
+
+    def test_small_values(self):
+        assert popcount(1) == 1
+        assert popcount(0b1011) == 3
+        assert popcount(255) == 8
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            popcount(-1)
+
+    @given(nonneg)
+    def test_matches_bin_count(self, x):
+        assert popcount(x) == bin(x).count("1")
+
+
+class TestBit:
+    def test_extracts_bits(self):
+        assert bit(0b1010, 0) == 0
+        assert bit(0b1010, 1) == 1
+        assert bit(0b1010, 3) == 1
+        assert bit(0b1010, 10) == 0
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(ValueError):
+            bit(3, -1)
+
+    @given(nonneg, st.integers(min_value=0, max_value=50))
+    def test_consistent_with_shift(self, x, k):
+        assert bit(x, k) == (x >> k) & 1
+
+
+class TestSetBits:
+    def test_examples(self):
+        assert set_bits(0) == ()
+        assert set_bits(0b1) == (0,)
+        assert set_bits(0b1010) == (1, 3)
+
+    @given(nonneg)
+    def test_reconstructs_value(self, x):
+        assert sum(1 << b for b in set_bits(x)) == x
+
+    @given(nonneg)
+    def test_sorted_ascending(self, x):
+        bits = set_bits(x)
+        assert list(bits) == sorted(bits)
+
+
+class TestHamming:
+    def test_identity(self):
+        assert hamming_distance(42, 42) == 0
+
+    def test_examples(self):
+        assert hamming_distance(0, 0b111) == 3
+        assert hamming_distance(0b100, 0b001) == 2
+
+    @given(nonneg, nonneg)
+    def test_symmetric(self, a, b):
+        assert hamming_distance(a, b) == hamming_distance(b, a)
+
+    @given(nonneg, nonneg, nonneg)
+    def test_triangle_inequality(self, a, b, c):
+        assert hamming_distance(a, c) <= hamming_distance(a, b) + hamming_distance(b, c)
+
+
+class TestPowers:
+    def test_powers_of_two(self):
+        assert is_power_of_two(1)
+        assert is_power_of_two(1024)
+        assert not is_power_of_two(0)
+        assert not is_power_of_two(12)
+        assert not is_power_of_two(-4)
+
+    def test_ilog2(self):
+        assert ilog2(1) == 0
+        assert ilog2(65536) == 16
+        with pytest.raises(ValueError):
+            ilog2(3)
+
+    def test_square_powers(self):
+        assert is_perfect_square_pow2(1)
+        assert is_perfect_square_pow2(4)
+        assert is_perfect_square_pow2(64)
+        assert not is_perfect_square_pow2(2)
+        assert not is_perfect_square_pow2(8)
+
+    def test_cube_powers(self):
+        assert is_power_of_eight(1)
+        assert is_power_of_eight(8)
+        assert is_power_of_eight(512)
+        assert not is_power_of_eight(2)
+        assert not is_power_of_eight(4)
+        assert not is_power_of_eight(16)
+
+    @given(st.integers(min_value=0, max_value=20))
+    def test_isqrt_pow2_roundtrip(self, k):
+        assert isqrt_pow2(4**k) == 2**k
+
+    @given(st.integers(min_value=0, max_value=13))
+    def test_icbrt_pow2_roundtrip(self, k):
+        assert icbrt_pow2(8**k) == 2**k
+
+    def test_isqrt_rejects_odd_powers(self):
+        with pytest.raises(ValueError):
+            isqrt_pow2(8)
+
+    def test_icbrt_rejects_non_cubes(self):
+        with pytest.raises(ValueError):
+            icbrt_pow2(4)
+
+
+class TestGrayCode:
+    def test_first_values(self):
+        assert [gray_code(i) for i in range(8)] == [0, 1, 3, 2, 6, 7, 5, 4]
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            gray_code(-1)
+        with pytest.raises(ValueError):
+            gray_code_inverse(-1)
+
+    @given(nonneg)
+    def test_inverse_roundtrip(self, i):
+        assert gray_code_inverse(gray_code(i)) == i
+
+    @given(nonneg)
+    def test_forward_roundtrip(self, g):
+        assert gray_code(gray_code_inverse(g)) == g
+
+    @given(st.integers(min_value=0, max_value=2**20))
+    def test_adjacent_codes_differ_in_one_bit(self, i):
+        assert popcount(gray_code(i) ^ gray_code(i + 1)) == 1
+
+    @given(st.integers(min_value=1, max_value=16))
+    def test_is_permutation_of_range(self, k):
+        codes = {gray_code(i) for i in range(2**k)}
+        assert codes == set(range(2**k))
+
+    @given(st.integers(min_value=1, max_value=12))
+    def test_ring_wraparound_is_neighbor(self, k):
+        """The Gray ring closes: last and first codes differ in one bit."""
+        q = 2**k
+        assert popcount(gray_code(q - 1) ^ gray_code(0)) == 1
