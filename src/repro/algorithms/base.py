@@ -105,8 +105,18 @@ class MatmulAlgorithm(abc.ABC):
         *,
         verify: bool = False,
         trace: bool = False,
+        context_factory=None,
+        max_events: int | None = None,
+        max_virtual_time: float | None = None,
     ) -> AlgorithmRun:
-        """Distribute inputs, simulate, collect (and optionally verify) C."""
+        """Distribute inputs, simulate, collect (and optionally verify) C.
+
+        ``context_factory`` optionally wraps each rank's
+        :class:`~repro.sim.process.ProcessContext` (e.g.
+        :class:`~repro.mpi.reliable.ReliableContext` for retransmitting
+        delivery on a lossy machine).  ``max_events`` /
+        ``max_virtual_time`` are the engine's watchdog caps.
+        """
         A = np.asarray(A, dtype=float)
         B = np.asarray(B, dtype=float)
         if A.ndim != 2 or A.shape[0] != A.shape[1]:
@@ -122,9 +132,14 @@ class MatmulAlgorithm(abc.ABC):
         algo = self
 
         def spmd(ctx):
+            if context_factory is not None:
+                ctx = context_factory(ctx)
             return algo.program(ctx, n, initial.get(ctx.rank, {}))
 
-        result = run_spmd(config, spmd, trace=trace)
+        result = run_spmd(
+            config, spmd, trace=trace,
+            max_events=max_events, max_virtual_time=max_virtual_time,
+        )
         C = self.collect_output(n, config.cube, result.results)
 
         if verify:

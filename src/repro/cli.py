@@ -8,6 +8,7 @@ Subcommands
 ``table2``       measured vs modelled (a, b) coefficients for one point
 ``trace``        run one algorithm and draw an ASCII Gantt chart
 ``scalability``  isoefficiency curves (n required to hold efficiency E)
+``faults``       degradation sweep on a lossy machine (reliable delivery)
 ``report``       regenerate the paper's full evaluation in one run
 ``list``         list the available algorithms
 """
@@ -201,6 +202,36 @@ def _cmd_scalability(args) -> int:
     return 0
 
 
+def _cmd_faults(args) -> int:
+    from repro.analysis.resilience import (
+        degradation_sweep,
+        format_resilience_table,
+        transient_scenario,
+    )
+
+    keys = args.algorithms or ["cannon", "fox", "dns", "3d_all"]
+    keys = [k for k in keys if get_algorithm(k).applicable(args.n, args.p)]
+    if not keys:
+        print("error: no selected algorithm is applicable at this (n, p)",
+              file=sys.stderr)
+        return 1
+    plan = None
+    if args.transient:
+        plan = transient_scenario(seed=args.plan_seed, drop_rate=0.0)
+    print(
+        f"degradation sweep: n={args.n} p={args.p} t_s={args.ts:g} "
+        f"t_w={args.tw:g} plan_seed={args.plan_seed}"
+        + (" + transient link fault" if args.transient else "")
+    )
+    points = degradation_sweep(
+        keys, args.n, args.p, args.drop_rates,
+        seed=args.seed, plan_seed=args.plan_seed, plan=plan,
+        t_s=args.ts, t_w=args.tw, port_model=_port(args.port),
+    )
+    print(format_resilience_table(points))
+    return 0
+
+
 def _cmd_report(args) -> int:
     from repro.analysis.report import full_report
 
@@ -270,6 +301,25 @@ def build_parser() -> argparse.ArgumentParser:
     p_sc.add_argument("--algorithms", nargs="*", choices=sorted(ALGORITHMS))
     _add_machine_args(p_sc)
     p_sc.set_defaults(func=_cmd_scalability)
+
+    p_fl = sub.add_parser(
+        "faults", help="degradation sweep on a lossy machine"
+    )
+    p_fl.add_argument("-n", type=int, default=16)
+    p_fl.add_argument("-p", type=int, default=16)
+    p_fl.add_argument("--seed", type=int, default=0, help="matrix seed")
+    p_fl.add_argument("--plan-seed", type=int, default=0, help="fault-plan seed")
+    p_fl.add_argument(
+        "--drop-rates", type=float, nargs="+", default=[0.0, 0.01, 0.05],
+        help="per-hop message drop probabilities to sweep",
+    )
+    p_fl.add_argument(
+        "--transient", action="store_true",
+        help="also inject the canonical windowed link failure",
+    )
+    p_fl.add_argument("--algorithms", nargs="*", choices=sorted(ALGORITHMS))
+    _add_machine_args(p_fl)
+    p_fl.set_defaults(func=_cmd_faults)
 
     p_rep = sub.add_parser(
         "report", help="regenerate the paper's full evaluation"

@@ -10,9 +10,13 @@ from __future__ import annotations
 __all__ = [
     "ReproError",
     "TopologyError",
+    "UnreachableError",
     "SimulationError",
     "DeadlockError",
+    "LivelockError",
     "CommunicatorError",
+    "CommTimeoutError",
+    "LinkFailedError",
     "DistributionError",
     "AlgorithmError",
     "NotApplicableError",
@@ -28,26 +32,149 @@ class TopologyError(ReproError):
     """Invalid hypercube/grid construction or addressing."""
 
 
+class UnreachableError(TopologyError):
+    """No surviving route exists between two nodes.
+
+    Raised by the fault-tolerant router when permanent/windowed link
+    failures (or node fail-stops) disconnect the surviving topology.
+    Carries ``src``, ``dst`` and, when known, the virtual ``time`` at which
+    routing was attempted.
+    """
+
+    def __init__(self, src: int, dst: int, time: float | None = None, detail: str = ""):
+        self.src = src
+        self.dst = dst
+        self.time = time
+        when = "" if time is None else f" at t={time:g}"
+        extra = f" ({detail})" if detail else ""
+        super().__init__(
+            f"no surviving route from node {src} to node {dst}{when}: "
+            f"the fault plan disconnects them{extra}"
+        )
+
+
 class SimulationError(ReproError):
     """Errors in the discrete-event engine (bad ops, misuse of handles)."""
+
+
+class LinkFailedError(SimulationError):
+    """A transfer was scheduled over a link the fault plan has killed.
+
+    Only raised when fault-tolerant rerouting is disabled or impossible;
+    with rerouting enabled the engine detours instead.
+    """
+
+    def __init__(self, u: int, v: int, time: float):
+        self.u = u
+        self.v = v
+        self.time = time
+        super().__init__(f"link {u}->{v} is failed at t={time:g}")
 
 
 class DeadlockError(SimulationError):
     """All ranks are blocked and no events remain: the SPMD program hung.
 
-    Carries the set of blocked ranks and what each is waiting on, which is
-    usually enough to spot a mismatched send/recv pair.
+    ``blocked`` maps each blocked rank to a one-line description (multiple
+    blocked tasks of the same rank are joined with ``"; "``);
+    ``blocked_tasks`` maps each rank to the full list of its blocked
+    sub-task descriptions, so a rank whose ``ctx.parallel`` children are
+    stuck on different receives reports *every* stuck task, not just one.
+    ``failed_ranks`` lists fail-stopped ranks (from a fault plan) that other
+    ranks may be waiting on.
     """
 
-    def __init__(self, blocked: dict[int, str]):
-        self.blocked = dict(blocked)
-        detail = ", ".join(f"rank {r}: {w}" for r, w in sorted(blocked.items())[:16])
+    def __init__(
+        self,
+        blocked: dict[int, str | list[str]],
+        failed_ranks: tuple[int, ...] = (),
+    ):
+        self.blocked_tasks: dict[int, list[str]] = {
+            r: list(v) if isinstance(v, (list, tuple)) else [v]
+            for r, v in blocked.items()
+        }
+        self.blocked: dict[int, str] = {
+            r: "; ".join(v) for r, v in self.blocked_tasks.items()
+        }
+        self.failed_ranks = tuple(failed_ranks)
+        detail = ", ".join(
+            f"rank {r}: {w}" for r, w in sorted(self.blocked.items())[:16]
+        )
         more = "" if len(blocked) <= 16 else f" (+{len(blocked) - 16} more)"
-        super().__init__(f"deadlock: {len(blocked)} rank(s) blocked — {detail}{more}")
+        failed = (
+            f"; fail-stopped ranks: {list(self.failed_ranks)}"
+            if self.failed_ranks
+            else ""
+        )
+        super().__init__(
+            f"deadlock: {len(blocked)} rank(s) blocked — {detail}{more}{failed}"
+        )
+
+
+class LivelockError(SimulationError):
+    """The simulation exceeded its watchdog caps without finishing.
+
+    Unlike :class:`DeadlockError` (no events remain), a livelock keeps
+    generating events — e.g. an unbounded retransmission loop.  The error
+    carries a per-rank progress snapshot taken when the cap tripped.
+
+    Attributes
+    ----------
+    reason:
+        Which cap tripped (``"max_events"`` or ``"max_virtual_time"``).
+    events_processed:
+        Number of engine events handled so far.
+    virtual_time:
+        Virtual time of the event that tripped the cap.
+    progress:
+        ``{rank: description}`` snapshot of each unfinished rank's state.
+    """
+
+    def __init__(
+        self,
+        reason: str,
+        events_processed: int,
+        virtual_time: float,
+        progress: dict[int, str],
+    ):
+        self.reason = reason
+        self.events_processed = events_processed
+        self.virtual_time = virtual_time
+        self.progress = dict(progress)
+        lines = ", ".join(
+            f"rank {r}: {p}" for r, p in sorted(progress.items())[:8]
+        )
+        more = "" if len(progress) <= 8 else f" (+{len(progress) - 8} more)"
+        super().__init__(
+            f"livelock: {reason} cap exceeded after {events_processed} events "
+            f"at t={virtual_time:g} — {lines}{more}"
+        )
 
 
 class CommunicatorError(ReproError):
     """Misuse of a communicator (rank out of range, self-send, etc.)."""
+
+
+class CommTimeoutError(CommunicatorError):
+    """A timed receive (or reliable delivery) gave up waiting.
+
+    Raised by ``ctx.recv(..., timeout=...)`` when no matching message
+    arrives within the window, and by
+    :class:`~repro.mpi.reliable.ReliableContext` when retransmission
+    retries are exhausted.
+    """
+
+    def __init__(self, rank: int, src: int, tag: int, timeout: float, detail: str = ""):
+        self.rank = rank
+        self.src = src
+        self.tag = tag
+        self.timeout = timeout
+        src_s = "ANY" if src == -1 else str(src)
+        tag_s = "ANY" if tag == -1 else str(tag)
+        extra = f" ({detail})" if detail else ""
+        super().__init__(
+            f"rank {rank}: receive from src={src_s} tag={tag_s} timed out "
+            f"after {timeout:g} time units{extra}"
+        )
 
 
 class DistributionError(ReproError):

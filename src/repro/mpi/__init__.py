@@ -1,5 +1,6 @@
 """MPI-flavoured communicator layer over hypercube subcubes."""
 
 from repro.mpi.communicator import Comm
+from repro.mpi.reliable import ACK_BASE, DATA_BASE, ReliableContext
 
-__all__ = ["Comm"]
+__all__ = ["Comm", "ReliableContext", "DATA_BASE", "ACK_BASE"]

@@ -16,6 +16,14 @@ e-cube route, contending for intermediate nodes' ports/links.
 
 from repro.sim.machine import MachineConfig, MachineParams, PortModel, RoutingMode
 from repro.sim.engine import Engine, run_spmd
+from repro.sim.faults import (
+    FaultPlan,
+    FaultState,
+    LinkDegradation,
+    LinkDrop,
+    LinkFault,
+    NodeFailure,
+)
 from repro.sim.process import ProcessContext, ANY_SOURCE, ANY_TAG
 from repro.sim.tracing import NetworkStats, RunResult, RankStats, TraceRecord
 from repro.sim.gantt import render_gantt
@@ -27,6 +35,12 @@ __all__ = [
     "RoutingMode",
     "Engine",
     "run_spmd",
+    "FaultPlan",
+    "FaultState",
+    "LinkFault",
+    "LinkDrop",
+    "LinkDegradation",
+    "NodeFailure",
     "ProcessContext",
     "ANY_SOURCE",
     "ANY_TAG",

@@ -32,10 +32,17 @@ from typing import Any, Callable, Generator
 
 import numpy as np
 
-from repro.errors import DeadlockError, SimulationError
+from repro.errors import (
+    DeadlockError,
+    LinkFailedError,
+    LivelockError,
+    SimulationError,
+)
+from repro.sim.faults import FaultState
 from repro.sim.machine import MachineConfig, RoutingMode
 from repro.sim.message import Message
 from repro.sim.ops import (
+    TIMED_OUT,
     BarrierOp,
     ElapseOp,
     Handle,
@@ -47,6 +54,7 @@ from repro.sim.ops import (
 from repro.sim.ports import ContentionTracker
 from repro.sim.process import ANY_SOURCE, ANY_TAG, ProcessContext
 from repro.sim.tracing import NetworkStats, RankStats, RunResult, TraceRecord
+from repro.topology.routing import fault_tolerant_hops
 
 __all__ = ["Engine", "run_spmd"]
 
@@ -93,7 +101,9 @@ class _Waiter:
 
     def describe(self) -> str:
         kinds = ", ".join(
-            f"{h.kind}#{h.handle_id}" for h in self.handles if not h.done
+            f"{h.detail or h.kind}#{h.handle_id}"
+            for h in self.handles
+            if not h.done
         )
         return f"waiting on {kinds or 'nothing?'}"
 
@@ -109,19 +119,74 @@ class _ParallelWait:
         self.latest = 0.0
 
 
-class Engine:
-    """One simulation run over a fixed machine configuration."""
+class _Transfer:
+    """One in-flight message and its (possibly rerouted) hop list.
 
-    def __init__(self, config: MachineConfig, *, trace: bool = False):
+    ``dropped`` flips when a fault-plan roll loses the message (or a
+    fail-stopped node swallows it): downstream hops stop and delivery
+    never happens, but the sender-side handle still completes normally —
+    the loss is silent, exactly like a real dropped packet.
+    """
+
+    __slots__ = ("msg", "hops", "dropped")
+
+    def __init__(self, msg: Message, hops: list[tuple[int, int]]):
+        self.msg = msg
+        self.hops = hops
+        self.dropped = False
+
+
+class Engine:
+    """One simulation run over a fixed machine configuration.
+
+    Parameters
+    ----------
+    config:
+        The machine (topology, costs, port model, optional fault plan).
+    trace:
+        Record per-interval :class:`TraceRecord` activity.
+    max_events:
+        Watchdog: abort with :class:`~repro.errors.LivelockError` after
+        this many engine events (``None`` = unbounded).  Converts infinite
+        retransmission/ping-pong loops into a diagnosable error.
+    max_virtual_time:
+        Watchdog: abort once the event clock passes this virtual time.
+    """
+
+    def __init__(
+        self,
+        config: MachineConfig,
+        *,
+        trace: bool = False,
+        max_events: int | None = None,
+        max_virtual_time: float | None = None,
+    ):
         self.config = config
         self.tracker = ContentionTracker(config)
         self.trace_enabled = trace
         self.trace: list[TraceRecord] = []
+        self.faults: FaultState | None = (
+            FaultState(config.faults) if config.faults is not None else None
+        )
+        if max_events is not None and max_events <= 0:
+            raise SimulationError(f"max_events must be positive, got {max_events}")
+        if max_virtual_time is not None and max_virtual_time <= 0:
+            raise SimulationError(
+                f"max_virtual_time must be positive, got {max_virtual_time}"
+            )
+        self.max_events = max_events
+        self.max_virtual_time = max_virtual_time
 
         n = config.num_nodes
         self.stats: dict[int, RankStats] = {r: RankStats(r) for r in range(n)}
         self.results: dict[int, Any] = {}
         self.done: set[int] = set()
+        self.failed: set[int] = set()
+        self._messages_dropped = 0
+        self._hops_rerouted = 0
+        self._retransmissions = 0
+        self._events_processed = 0
+        self._msg_seq = itertools.count()
 
         self._task_time: dict[Task, float] = {r: 0.0 for r in range(n)}
         self._gens: dict[Task, Generator] = {}
@@ -151,6 +216,12 @@ class Engine:
         if self._ran:
             raise SimulationError("an Engine can only run once; build a new one")
         self._ran = True
+        # Fail-stop events go on the heap first so a failure at time t wins
+        # the tie against any same-time resume of that rank.
+        if self.faults is not None:
+            for nf in self.faults.plan.node_failures:
+                if 0 <= nf.node < self.config.num_nodes:
+                    self._schedule(nf.time, "node_fail", (nf.node,))
         for rank in range(self.config.num_nodes):
             ctx = ProcessContext(rank, self)
             gen = program(ctx)
@@ -163,35 +234,63 @@ class Engine:
 
         while self._events:
             time, _, kind, payload = heapq.heappop(self._events)
+            self._events_processed += 1
+            if self.max_events is not None and self._events_processed > self.max_events:
+                raise LivelockError(
+                    "max_events", self._events_processed, time,
+                    self._progress_snapshot(),
+                )
+            if self.max_virtual_time is not None and time > self.max_virtual_time:
+                raise LivelockError(
+                    "max_virtual_time", self._events_processed, time,
+                    self._progress_snapshot(),
+                )
             if kind == "resume":
                 task, value = payload
                 self._step(task, time, value)
             elif kind == "hop_ready":
-                (msg_pack, hop_index, handle) = payload
-                self._start_hop(msg_pack, hop_index, handle, time)
+                (transfer, hop_index, handle) = payload
+                self._start_hop(transfer, hop_index, handle, time)
             elif kind == "hop_done":
-                (msg_pack, hop_index, handle) = payload
-                self._finish_hop(msg_pack, hop_index, handle, time)
+                (transfer, hop_index, handle) = payload
+                self._finish_hop(transfer, hop_index, handle, time)
+            elif kind == "recv_timeout":
+                (rank, handle) = payload
+                self._expire_recv(rank, handle, time)
+            elif kind == "node_fail":
+                (node,) = payload
+                self._fail_node(node, time)
             else:  # pragma: no cover - defensive
                 raise SimulationError(f"unknown event kind {kind!r}")
 
-        if len(self.done) != self.config.num_nodes:
-            blocked: dict[int, str] = {}
+        unfinished = [
+            r for r in range(self.config.num_nodes)
+            if r not in self.done and r not in self.failed
+        ]
+        if unfinished:
+            blocked: dict[int, list[str]] = {}
             for task, waiter in self._blocked.items():
-                blocked[task_rank(task)] = f"task {task}: {waiter.describe()}"
+                blocked.setdefault(task_rank(task), []).append(
+                    f"task {task}: {waiter.describe()}"
+                )
             for task, pw in self._parallel.items():
-                blocked.setdefault(
-                    task_rank(task),
-                    f"task {task}: waiting on sub-tasks {sorted(map(str, pw.remaining))}",
+                blocked.setdefault(task_rank(task), []).append(
+                    f"task {task}: waiting on sub-tasks "
+                    f"{sorted(map(str, pw.remaining))}"
                 )
             for rank, t in self._barrier_waiting.items():
-                blocked[rank] = f"waiting at barrier since t={t}"
-            for rank in range(self.config.num_nodes):
-                if rank not in self.done and rank not in blocked:
-                    blocked[rank] = "not scheduled (engine bug?)"
-            raise DeadlockError(blocked)
+                blocked.setdefault(rank, []).append(
+                    f"waiting at barrier since t={t}"
+                )
+            for rank in unfinished:
+                if rank not in blocked:
+                    blocked[rank] = ["not scheduled (engine bug?)"]
+            raise DeadlockError(blocked, failed_ranks=tuple(sorted(self.failed)))
 
-        total = max(self.stats[r].finish_time for r in range(self.config.num_nodes))
+        total = max(
+            (self.stats[r].finish_time for r in range(self.config.num_nodes)),
+            default=0.0,
+        )
         return RunResult(
             total_time=total,
             results=dict(self.results),
@@ -202,8 +301,16 @@ class Engine:
                 channels_used=len(self.tracker.channel_utilization(1.0)),
                 total_channel_busy=self.tracker.total_channel_busy(),
                 max_channel_busy=self.tracker.max_channel_busy(),
+                messages_dropped=self._messages_dropped,
+                hops_rerouted=self._hops_rerouted,
+                retransmissions=self._retransmissions,
             ),
+            failed_ranks=tuple(sorted(self.failed)),
         )
+
+    def note_retransmission(self) -> None:
+        """Count one reliable-layer retransmission in the run's stats."""
+        self._retransmissions += 1
 
     def mark_phase(self, rank: int, name: str) -> None:
         when = self.time_of(rank)
@@ -223,8 +330,16 @@ class Engine:
     def _schedule(self, time: float, kind: str, payload: tuple) -> None:
         heapq.heappush(self._events, (time, next(self._seq), kind, payload))
 
-    def _step(self, task: Task, time: float, value: Any) -> None:
-        """Advance a task's generator from ``time``, feeding ``value`` in."""
+    def _step(
+        self, task: Task, time: float, value: Any, throw: BaseException | None = None
+    ) -> None:
+        """Advance a task's generator from ``time``, feeding ``value`` in.
+
+        ``throw`` delivers a failed child's exception into the generator
+        instead of a value (see :meth:`_fail_subtask`).
+        """
+        if task_rank(task) in self.failed or task not in self._gens:
+            return  # fail-stopped (or halted) rank: no further progress
         self._task_time[task] = max(self._task_time.get(task, 0.0), time)
         gen = self._gens[task]
         rank = task_rank(task)
@@ -233,11 +348,21 @@ class Engine:
         try:
             while True:
                 try:
-                    op = gen.send(value)
+                    if throw is not None:
+                        pending, throw = throw, None
+                        op = gen.throw(pending)
+                    else:
+                        op = gen.send(value)
                 except StopIteration as stop:
                     self._task_finished(task, stop.value)
                     return
                 except Exception as exc:
+                    if isinstance(task, tuple) and task in self._parent_of:
+                        # A sub-task failed: cancel its siblings and throw
+                        # the exception into the parent, where the program
+                        # can catch it (e.g. CommTimeoutError handling).
+                        self._fail_subtask(task, exc)
+                        return
                     # Annotate program failures with the failing task so a
                     # bug on one of hundreds of ranks is findable.
                     exc.args = (
@@ -320,12 +445,7 @@ class Engine:
                             "barrier may only be called from a rank's main program"
                         )
                     self._barrier_waiting[rank] = now
-                    n_active = self.config.num_nodes - len(self.done)
-                    if len(self._barrier_waiting) == n_active:
-                        release = max(self._barrier_waiting.values())
-                        for r in self._barrier_waiting:
-                            self._schedule(release, "resume", (r, None))
-                        self._barrier_waiting = {}
+                    self._maybe_release_barrier()
                     return
 
                 raise SimulationError(
@@ -353,16 +473,142 @@ class Engine:
         self.results[task] = value
         self.done.add(task)
         self.stats[task].finish_time = finish
+        # A rank finishing shrinks the barrier quorum; re-check waiters.
+        self._maybe_release_barrier()
+
+    def _maybe_release_barrier(self) -> None:
+        """Release the barrier once every still-active rank has arrived.
+
+        Finished and fail-stopped ranks are excluded from the quorum, so a
+        node failure cannot hang everyone else at a barrier forever.
+        """
+        if not self._barrier_waiting:
+            return
+        n_active = self.config.num_nodes - len(self.done) - len(self.failed)
+        if len(self._barrier_waiting) >= n_active:
+            release = max(self._barrier_waiting.values())
+            for r in self._barrier_waiting:
+                self._schedule(release, "resume", (r, None))
+            self._barrier_waiting = {}
+
+    def _fail_subtask(self, child: Task, exc: BaseException) -> None:
+        """A ``ctx.parallel`` child raised: cancel its siblings and rethrow
+        the exception inside the parent generator."""
+        parent, _slot = self._parent_of.pop(child)
+        self._cancel_task(child)
+        pw = self._parallel.pop(parent, None)
+        if pw is not None:
+            pw.remaining.discard(child)
+            for sibling in list(pw.remaining):
+                self._cancel_task(sibling)
+        at = max(
+            self._task_time.get(parent, 0.0), self._task_time.get(child, 0.0)
+        )
+        self._step(parent, at, None, throw=exc)
+
+    def _cancel_task(self, task: Task) -> None:
+        """Abandon a task (and, recursively, its children) without a result."""
+        gen = self._gens.pop(task, None)
+        if gen is not None:
+            try:
+                gen.close()
+            except Exception:  # pragma: no cover - close() misbehaving
+                pass
+        self._blocked.pop(task, None)
+        self._parent_of.pop(task, None)
+        pw = self._parallel.pop(task, None)
+        if pw is not None:
+            for sub in list(pw.remaining):
+                self._cancel_task(sub)
+        rank = task_rank(task)
+        self._pending_recvs[rank] = [
+            entry for entry in self._pending_recvs[rank] if entry[2].task != task
+        ]
+
+    # -- faults ----------------------------------------------------------
+
+    def _fail_node(self, node: int, time: float) -> None:
+        """Fail-stop ``node``: halt all of its tasks, free its state."""
+        if node in self.failed or node in self.done:
+            return
+        self.failed.add(node)
+        self.stats[node].finish_time = time
+        if self.trace_enabled:
+            self.trace.append(
+                TraceRecord("node_fail", time, time, node, {})
+            )
+        for task in [t for t in self._gens if task_rank(t) == node]:
+            self._gens[task].close()
+            del self._gens[task]
+        for task in [t for t in self._blocked if task_rank(t) == node]:
+            del self._blocked[task]
+        for task in [t for t in self._parallel if task_rank(t) == node]:
+            del self._parallel[task]
+        for child in [c for c in self._parent_of if task_rank(c) == node]:
+            del self._parent_of[child]
+        self._pending_recvs[node] = []
+        self._barrier_waiting.pop(node, None)
+        self._maybe_release_barrier()
+
+    def _lose_message(
+        self, transfer: "_Transfer", node: int, start: float, end: float,
+        reason: str,
+    ) -> None:
+        """Mark ``transfer`` lost; it will never be delivered or forwarded."""
+        transfer.dropped = True
+        self._messages_dropped += 1
+        if self.trace_enabled:
+            msg = transfer.msg
+            self.trace.append(
+                TraceRecord(
+                    "drop", start, end, node,
+                    {"msg": msg.msg_id, "src": msg.src, "dst": msg.dst,
+                     "reason": reason},
+                )
+            )
+
+    def _progress_snapshot(self) -> dict[int, str]:
+        """Per-rank progress descriptions for livelock diagnostics."""
+        snap: dict[int, str] = {}
+        for rank in range(self.config.num_nodes):
+            if rank in self.done:
+                continue
+            if rank in self.failed:
+                snap[rank] = (
+                    f"fail-stopped at t={self.stats[rank].finish_time:g}"
+                )
+                continue
+            parts = []
+            for task, waiter in self._blocked.items():
+                if task_rank(task) == rank:
+                    parts.append(f"task {task}: {waiter.describe()}")
+            for task, pw in self._parallel.items():
+                if task_rank(task) == rank:
+                    parts.append(
+                        f"task {task}: waiting on sub-tasks "
+                        f"{sorted(map(str, pw.remaining))}"
+                    )
+            if rank in self._barrier_waiting:
+                parts.append(
+                    f"at barrier since t={self._barrier_waiting[rank]:g}"
+                )
+            latest = max(
+                (t for tk, t in self._task_time.items() if task_rank(tk) == rank),
+                default=0.0,
+            )
+            state = "; ".join(parts) if parts else "runnable"
+            snap[rank] = f"t={latest:g}, {state}"
+        return snap
 
     # -- sends -----------------------------------------------------------
 
     def _issue_send(self, task: Task, op: SendOp, now: float) -> Handle:
         rank = task_rank(task)
-        handle = Handle("send", task)
+        handle = Handle("send", task, detail=f"send dst={op.dst} tag={op.tag}")
         data = _copy_payload(op.data) if self.config.copy_on_send else op.data
         msg = Message(
             src=rank, dst=op.dst, tag=op.tag, data=data, nwords=op.nwords,
-            send_time=now,
+            send_time=now, msg_id=next(self._msg_seq), ack_tag=op.ack_tag,
         )
         st = self.stats[rank]
         st.messages_sent += 1
@@ -373,51 +619,136 @@ class Engine:
             self._deliver(msg, now)
             return handle
 
-        hops = self.config.cube.route_hops(rank, op.dst)
-        self._schedule(now, "hop_ready", ((msg, hops), 0, handle))
+        self._inject(msg, handle, now)
         return handle
 
-    def _start_hop(self, msg_pack, hop_index: int, handle: Handle, time: float) -> None:
-        msg, hops = msg_pack
+    def _inject(self, msg: Message, handle: Handle, now: float) -> None:
+        """Route ``msg`` and schedule its first hop (fault-aware)."""
+        fs = self.faults
+        if fs is None:
+            hops = self.config.cube.route_hops(msg.src, msg.dst)
+        elif fs.node_failed(msg.dst, now):
+            # Destination already fail-stopped: the message is lost in the
+            # void but the send itself costs the sender nothing extra.
+            if not handle.done:
+                handle.complete(now)
+            self._lose_message(_Transfer(msg, []), msg.src, now, now, "dest-failed")
+            return
+        else:
+            def alive(a: int, b: int) -> bool:
+                return not fs.link_dead(a, b, now)
+
+            hops = self.config.cube.route_hops(msg.src, msg.dst)
+            # Strict mode keeps the native route; _start_hop raises
+            # LinkFailedError when the message reaches the dead link.
+            if fs.plan.reroute and not all(alive(u, v) for u, v in hops):
+                hops = fault_tolerant_hops(
+                    self.config.cube, msg.src, msg.dst, alive
+                )
+                self._hops_rerouted += 1
+                if self.trace_enabled:
+                    self.trace.append(
+                        TraceRecord(
+                            "reroute", now, now, msg.src,
+                            {"msg": msg.msg_id, "dead": None,
+                             "via": hops[0][1] if hops else msg.dst,
+                             "src": msg.src, "dst": msg.dst},
+                        )
+                    )
+        self._schedule(now, "hop_ready", (_Transfer(msg, hops), 0, handle))
+
+    def _start_hop(
+        self, transfer: _Transfer, hop_index: int, handle: Handle, time: float
+    ) -> None:
+        if transfer.dropped:  # pragma: no cover - defensive (CT pipelining)
+            return
+        msg, hops = transfer.msg, transfer.hops
         u, v = hops[hop_index]
-        duration = self.config.params.hop_time(msg.nwords)
+        fs = self.faults
+        tw_factor = 1.0
+        if fs is not None:
+            if fs.node_failed(u, time):
+                # The node holding the message died: the message dies too.
+                self._lose_message(transfer, u, time, time, "node-failed")
+                if hop_index == 0 and not handle.done:
+                    handle.complete(time)
+                    self._notify(handle.task)
+                return
+            if fs.node_failed(msg.dst, time):
+                self._lose_message(transfer, u, time, time, "dest-failed")
+                if hop_index == 0 and not handle.done:
+                    handle.complete(time)
+                    self._notify(handle.task)
+                return
+            if fs.link_dead(u, v, time):
+                if not fs.plan.reroute:
+                    raise LinkFailedError(u, v, time)
+                # Detour: recompute the surviving route from here.  Raises
+                # UnreachableError when the surviving graph disconnects.
+                tail = fault_tolerant_hops(
+                    self.config.cube, u, msg.dst,
+                    lambda a, b: not fs.link_dead(a, b, time),
+                )
+                dead = (u, v)
+                hops[hop_index:] = tail
+                u, v = hops[hop_index]
+                self._hops_rerouted += 1
+                if self.trace_enabled:
+                    self.trace.append(
+                        TraceRecord(
+                            "reroute", time, time, dead[0],
+                            {"msg": msg.msg_id, "dead": dead, "via": v,
+                             "src": msg.src, "dst": msg.dst},
+                        )
+                    )
+            tw_factor = fs.degradation(u, v, time)
+        duration = self.config.params.hop_time(msg.nwords, tw_factor)
         start = self.tracker.reserve_hop(u, v, time, duration)
         if self.trace_enabled:
+            info = {"to": v, "msg": msg.msg_id, "words": msg.nwords,
+                    "src": msg.src, "dst": msg.dst}
+            if tw_factor != 1.0:
+                info["degraded"] = tw_factor
             self.trace.append(
-                TraceRecord(
-                    "hop", start, start + duration, u,
-                    {"to": v, "msg": msg.msg_id, "words": msg.nwords,
-                     "src": msg.src, "dst": msg.dst},
-                )
+                TraceRecord("hop", start, start + duration, u, info)
             )
+        if fs is not None and fs.roll_drop(u, v, start):
+            self._lose_message(transfer, v, start, start + duration, "drop")
         if (
             self.config.routing is RoutingMode.CUT_THROUGH
             and hop_index < len(hops) - 1
+            and not transfer.dropped
         ):
             # Virtual cut-through: the next link sees the header t_s after
             # this hop starts transmitting; the payload streams behind it.
             self._schedule(
                 start + self.config.params.t_s,
                 "hop_ready",
-                ((msg, hops), hop_index + 1, handle),
+                (transfer, hop_index + 1, handle),
             )
-        self._schedule(start + duration, "hop_done", ((msg, hops), hop_index, handle))
+        self._schedule(start + duration, "hop_done", (transfer, hop_index, handle))
 
-    def _finish_hop(self, msg_pack, hop_index: int, handle: Handle, time: float) -> None:
-        msg, hops = msg_pack
+    def _finish_hop(
+        self, transfer: _Transfer, hop_index: int, handle: Handle, time: float
+    ) -> None:
+        msg, hops = transfer.msg, transfer.hops
         if hop_index == 0 and not handle.done:
             handle.complete(time)
             self._notify(handle.task)
+        if transfer.dropped:
+            return
         if hop_index == len(hops) - 1:
             self._deliver(msg, time)
         elif self.config.routing is RoutingMode.STORE_AND_FORWARD:
-            self._schedule(time, "hop_ready", ((msg, hops), hop_index + 1, handle))
+            self._schedule(time, "hop_ready", (transfer, hop_index + 1, handle))
 
     # -- receives ----------------------------------------------------------
 
     def _issue_recv(self, task: Task, op: RecvOp, now: float) -> Handle:
         rank = task_rank(task)
-        handle = Handle("recv", task)
+        src_s = "ANY" if op.src == -1 else op.src
+        tag_s = "ANY" if op.tag == -1 else op.tag
+        handle = Handle("recv", task, detail=f"recv src={src_s} tag={tag_s}")
         box = self._mailbox[rank]
         for i, (arrival, msg) in enumerate(box):
             if self._matches(op.src, op.tag, msg):
@@ -426,7 +757,20 @@ class Engine:
                 handle.complete(max(now, arrival), msg.data)
                 return handle
         self._pending_recvs[rank].append((op.src, op.tag, handle))
+        if op.timeout is not None:
+            self._schedule(now + op.timeout, "recv_timeout", (rank, handle))
         return handle
+
+    def _expire_recv(self, rank: int, handle: Handle, time: float) -> None:
+        if handle.done:  # the message made it in time
+            return
+        pending = self._pending_recvs.get(rank, [])
+        for i, (_src, _tag, h) in enumerate(pending):
+            if h is handle:
+                pending.pop(i)
+                break
+        handle.complete(time, TIMED_OUT)
+        self._notify(handle.task)
 
     @staticmethod
     def _matches(src_filter: int, tag_filter: int, msg: Message) -> bool:
@@ -440,6 +784,21 @@ class Engine:
         st.words_received += msg.nwords
 
     def _deliver(self, msg: Message, time: float) -> None:
+        if msg.ack_tag is not None and msg.src != msg.dst:
+            # Delivery acknowledgement: the receiving *node* confirms
+            # arrival immediately (hardware-style reliable delivery), so a
+            # retransmitted duplicate re-triggers an ack even when the
+            # application never posts another matching receive.  The ack
+            # itself rides the network — it contends, can be dropped, and
+            # then the sender's retransmission tries again.
+            ack = Message(
+                src=msg.dst, dst=msg.src, tag=msg.ack_tag, data=None,
+                nwords=0, send_time=time, msg_id=next(self._msg_seq),
+            )
+            self.stats[msg.dst].messages_sent += 1
+            ack_handle = Handle("send", msg.dst)
+            ack_handle.complete(time)  # no task waits on the NIC's send
+            self._inject(ack, ack_handle, time)
         pending = self._pending_recvs[msg.dst]
         for i, (src_f, tag_f, handle) in enumerate(pending):
             if self._matches(src_f, tag_f, msg):
@@ -485,6 +844,16 @@ def run_spmd(
     program: ProgramFactory,
     *,
     trace: bool = False,
+    max_events: int | None = None,
+    max_virtual_time: float | None = None,
 ) -> RunResult:
-    """Run the SPMD ``program`` (one generator per rank) on ``config``."""
-    return Engine(config, trace=trace).run(program)
+    """Run the SPMD ``program`` (one generator per rank) on ``config``.
+
+    ``max_events`` / ``max_virtual_time`` are watchdog caps: exceeding
+    either raises :class:`~repro.errors.LivelockError` with a per-rank
+    progress snapshot instead of spinning forever.
+    """
+    return Engine(
+        config, trace=trace, max_events=max_events,
+        max_virtual_time=max_virtual_time,
+    ).run(program)

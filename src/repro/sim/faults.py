@@ -1,0 +1,326 @@
+"""Deterministic, seeded fault injection for the simulator.
+
+A :class:`FaultPlan` is a declarative description of everything that can go
+wrong on a simulated machine:
+
+* **link failures** — a directional or undirected link is dead during a
+  virtual-time window (``[start, end)``); permanent failures use the
+  default infinite window,
+* **message drops** — each hop over a link is lost with some probability
+  (a global rate, plus per-link windowed overrides),
+* **link degradation** — a per-link multiplier stretching the ``t_w`` part
+  of the hop cost during a window (a flaky cable, a congested backplane),
+* **node fail-stop** — a node halts at a virtual time: its program makes
+  no further progress and every incident link goes dead.
+
+Determinism
+-----------
+The plan is immutable and carries a ``seed``.  Each :class:`Engine` run
+builds a private :class:`FaultState` whose ``numpy`` generator is seeded
+from the plan, and drop decisions are drawn from that stream in event
+order.  Because the engine processes events in a deterministic order, the
+same ``(MachineConfig, FaultPlan, program)`` triple always produces
+bit-identical :class:`~repro.sim.tracing.RunResult`\\ s — fault injection
+never sacrifices reproducibility.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.errors import SimulationError
+
+__all__ = [
+    "LinkFault",
+    "LinkDrop",
+    "LinkDegradation",
+    "NodeFailure",
+    "FaultPlan",
+    "FaultState",
+]
+
+
+def _check_window(start: float, end: float) -> None:
+    if start < 0:
+        raise SimulationError(f"fault window start must be >= 0, got {start}")
+    if end <= start:
+        raise SimulationError(
+            f"fault window must satisfy start < end, got [{start}, {end})"
+        )
+
+
+@dataclass(frozen=True)
+class LinkFault:
+    """A link dead during ``[start, end)``.
+
+    ``directed=False`` (default) kills both directional channels of the
+    ``{u, v}`` link; ``directed=True`` kills only ``u -> v``.
+    """
+
+    u: int
+    v: int
+    start: float = 0.0
+    end: float = math.inf
+    directed: bool = False
+
+    def __post_init__(self):
+        _check_window(self.start, self.end)
+
+    def covers(self, a: int, b: int, time: float) -> bool:
+        if not self.start <= time < self.end:
+            return False
+        if (a, b) == (self.u, self.v):
+            return True
+        return not self.directed and (a, b) == (self.v, self.u)
+
+
+@dataclass(frozen=True)
+class LinkDrop:
+    """Per-hop message-drop probability on a link during ``[start, end)``."""
+
+    u: int
+    v: int
+    rate: float
+    start: float = 0.0
+    end: float = math.inf
+    directed: bool = False
+
+    def __post_init__(self):
+        _check_window(self.start, self.end)
+        if not 0.0 <= self.rate <= 1.0:
+            raise SimulationError(f"drop rate must be in [0, 1], got {self.rate}")
+
+    def covers(self, a: int, b: int, time: float) -> bool:
+        if not self.start <= time < self.end:
+            return False
+        if (a, b) == (self.u, self.v):
+            return True
+        return not self.directed and (a, b) == (self.v, self.u)
+
+
+@dataclass(frozen=True)
+class LinkDegradation:
+    """A ``t_w`` slowdown multiplier on a link during ``[start, end)``."""
+
+    u: int
+    v: int
+    factor: float
+    start: float = 0.0
+    end: float = math.inf
+    directed: bool = False
+
+    def __post_init__(self):
+        _check_window(self.start, self.end)
+        if self.factor < 1.0:
+            raise SimulationError(
+                f"degradation factor must be >= 1 (a slowdown), got {self.factor}"
+            )
+
+    def covers(self, a: int, b: int, time: float) -> bool:
+        if not self.start <= time < self.end:
+            return False
+        if (a, b) == (self.u, self.v):
+            return True
+        return not self.directed and (a, b) == (self.v, self.u)
+
+
+@dataclass(frozen=True)
+class NodeFailure:
+    """Fail-stop: ``node`` makes no progress from virtual time ``time`` on."""
+
+    node: int
+    time: float = 0.0
+
+    def __post_init__(self):
+        if self.time < 0:
+            raise SimulationError(f"fail-stop time must be >= 0, got {self.time}")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An immutable, seeded description of injected faults.
+
+    Build one directly or fluently::
+
+        plan = (
+            FaultPlan(seed=42)
+            .with_link_fault(0, 1, start=100.0, end=500.0)   # transient
+            .with_drop_rate(0.01)                            # global 1%
+            .with_degraded_link(2, 3, factor=4.0)            # slow link
+            .with_node_failure(5, at=1000.0)                 # fail-stop
+        )
+
+    All fields are tuples so the plan is hashable and safe to embed in the
+    frozen :class:`~repro.sim.machine.MachineConfig`.
+    """
+
+    seed: int = 0
+    link_faults: tuple[LinkFault, ...] = ()
+    drops: tuple[LinkDrop, ...] = ()
+    drop_rate: float = 0.0
+    degradations: tuple[LinkDegradation, ...] = ()
+    node_failures: tuple[NodeFailure, ...] = ()
+    #: when False, a dead link raises LinkFailedError instead of detouring
+    reroute: bool = True
+
+    def __post_init__(self):
+        if not 0.0 <= self.drop_rate <= 1.0:
+            raise SimulationError(
+                f"global drop rate must be in [0, 1], got {self.drop_rate}"
+            )
+        seen = set()
+        for nf in self.node_failures:
+            if nf.node in seen:
+                raise SimulationError(
+                    f"node {nf.node} has more than one fail-stop time"
+                )
+            seen.add(nf.node)
+
+    # -- fluent builders ---------------------------------------------------
+
+    def with_link_fault(
+        self,
+        u: int,
+        v: int,
+        *,
+        start: float = 0.0,
+        end: float = math.inf,
+        directed: bool = False,
+    ) -> "FaultPlan":
+        fault = LinkFault(u, v, start, end, directed)
+        return replace(self, link_faults=self.link_faults + (fault,))
+
+    def with_drop_rate(self, rate: float) -> "FaultPlan":
+        return replace(self, drop_rate=rate)
+
+    def with_link_drop(
+        self,
+        u: int,
+        v: int,
+        rate: float,
+        *,
+        start: float = 0.0,
+        end: float = math.inf,
+        directed: bool = False,
+    ) -> "FaultPlan":
+        drop = LinkDrop(u, v, rate, start, end, directed)
+        return replace(self, drops=self.drops + (drop,))
+
+    def with_degraded_link(
+        self,
+        u: int,
+        v: int,
+        factor: float,
+        *,
+        start: float = 0.0,
+        end: float = math.inf,
+        directed: bool = False,
+    ) -> "FaultPlan":
+        deg = LinkDegradation(u, v, factor, start, end, directed)
+        return replace(self, degradations=self.degradations + (deg,))
+
+    def with_node_failure(self, node: int, *, at: float = 0.0) -> "FaultPlan":
+        failure = NodeFailure(node, at)
+        return replace(self, node_failures=self.node_failures + (failure,))
+
+    def without_reroute(self) -> "FaultPlan":
+        """Strict mode: dead links raise
+        :class:`~repro.errors.LinkFailedError` instead of detouring."""
+        return replace(self, reroute=False)
+
+    # -- queries (pure functions of the plan) ------------------------------
+
+    @property
+    def is_empty(self) -> bool:
+        return (
+            not self.link_faults
+            and not self.drops
+            and self.drop_rate == 0.0
+            and not self.degradations
+            and not self.node_failures
+        )
+
+    def node_fail_time(self, node: int) -> float | None:
+        for nf in self.node_failures:
+            if nf.node == node:
+                return nf.time
+        return None
+
+    def link_dead(self, u: int, v: int, time: float) -> bool:
+        """True iff the directional channel ``u -> v`` is dead at ``time``
+        (an explicit link fault, or either endpoint fail-stopped)."""
+        for lf in self.link_faults:
+            if lf.covers(u, v, time):
+                return True
+        for nf in self.node_failures:
+            if time >= nf.time and nf.node in (u, v):
+                return True
+        return False
+
+    def node_failed(self, node: int, time: float) -> bool:
+        t = self.node_fail_time(node)
+        return t is not None and time >= t
+
+    def degradation(self, u: int, v: int, time: float) -> float:
+        """Combined ``t_w`` multiplier on ``u -> v`` at ``time`` (>= 1)."""
+        factor = 1.0
+        for deg in self.degradations:
+            if deg.covers(u, v, time):
+                factor *= deg.factor
+        return factor
+
+    def drop_probability(self, u: int, v: int, time: float) -> float:
+        """Per-hop drop probability on ``u -> v`` at ``time``.
+
+        The global rate and every covering per-link window are combined as
+        independent loss processes: ``1 - Π(1 - rate_i)``.
+        """
+        survive = 1.0 - self.drop_rate
+        for drop in self.drops:
+            if drop.covers(u, v, time):
+                survive *= 1.0 - drop.rate
+        return 1.0 - survive
+
+
+class FaultState:
+    """Per-run mutable view of a :class:`FaultPlan`.
+
+    Owns the run's random stream (seeded from the plan) so repeated runs of
+    the same ``(config, plan, program)`` draw identical drop decisions.
+    The engine creates one per run; plans themselves are never mutated.
+    """
+
+    __slots__ = ("plan", "_rng")
+
+    def __init__(self, plan: FaultPlan):
+        self.plan = plan
+        self._rng = np.random.default_rng(plan.seed)
+
+    # Pure delegations ----------------------------------------------------
+
+    def link_dead(self, u: int, v: int, time: float) -> bool:
+        return self.plan.link_dead(u, v, time)
+
+    def node_failed(self, node: int, time: float) -> bool:
+        return self.plan.node_failed(node, time)
+
+    def degradation(self, u: int, v: int, time: float) -> float:
+        return self.plan.degradation(u, v, time)
+
+    # Stateful (stream-consuming) ----------------------------------------
+
+    def roll_drop(self, u: int, v: int, time: float) -> bool:
+        """Decide whether the hop starting now on ``u -> v`` is lost.
+
+        Draws from the run's stream only when the effective probability is
+        positive, so fault-free links never perturb the stream.
+        """
+        p = self.plan.drop_probability(u, v, time)
+        if p <= 0.0:
+            return False
+        if p >= 1.0:
+            return True
+        return bool(self._rng.random() < p)

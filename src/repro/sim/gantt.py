@@ -49,6 +49,18 @@ def lane_activity(
                 if lane[i] in (".", "=", "-") and not (lane[i] == "#"):
                     if mark == "#" or lane[i] == ".":
                         lane[i] = mark
+    # Fault events overwrite everything: a lost message (x) or a detour
+    # around a dead link (~) is the thing you are looking for.
+    for rec in trace:
+        if rec.rank != rank:
+            continue
+        if rec.kind in ("drop", "reroute"):
+            pos = min(width - 1, int(rec.start * scale))
+            lane[pos] = "x" if rec.kind == "drop" else "~"
+        elif rec.kind == "node_fail":
+            pos = min(width - 1, int(rec.start * scale))
+            for i in range(pos, width):
+                lane[i] = "X"
     return "".join(lane)
 
 
@@ -77,6 +89,23 @@ def render_gantt(
     lines.append(
         "legend: # sending own message   - forwarding   = computing   . idle"
     )
+    net = result.network
+    if (
+        net.messages_dropped or net.hops_rerouted or net.retransmissions
+        or result.failed_ranks
+    ):
+        lines.append(
+            "        x message dropped   ~ hop rerouted   X node fail-stopped"
+        )
+        failed = (
+            ", failed ranks " + str(list(result.failed_ranks))
+            if result.failed_ranks else ""
+        )
+        lines.append(
+            f"faults: {net.messages_dropped} dropped, "
+            f"{net.hops_rerouted} rerouted, "
+            f"{net.retransmissions} retransmitted{failed}"
+        )
     if result.phase_times:
         marks = [" "] * width
         for name, (start, _end) in sorted(

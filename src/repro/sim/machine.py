@@ -12,9 +12,13 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.errors import SimulationError
 from repro.topology.hypercube import Hypercube
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.faults import FaultPlan
 
 __all__ = ["PortModel", "RoutingMode", "MachineParams", "MachineConfig"]
 
@@ -91,11 +95,17 @@ class MachineParams:
                 f"machine parameters must be non-negative: {self}"
             )
 
-    def hop_time(self, nwords: int) -> float:
-        """Time for one ``nwords``-word hop between neighbours."""
+    def hop_time(self, nwords: int, tw_factor: float = 1.0) -> float:
+        """Time for one ``nwords``-word hop between neighbours.
+
+        ``tw_factor`` stretches the per-word part — the fault layer's link
+        degradation multiplier (1.0 = healthy link).
+        """
         if nwords < 0:
             raise SimulationError(f"message size must be >= 0, got {nwords}")
-        return self.t_s + self.t_w * nwords
+        if tw_factor < 0:
+            raise SimulationError(f"tw_factor must be >= 0, got {tw_factor}")
+        return self.t_s + self.t_w * tw_factor * nwords
 
     def flops_time(self, flops: float) -> float:
         if flops < 0:
@@ -136,6 +146,11 @@ class MachineConfig:
         When True (default) message payload arrays are copied at send time,
         so a sender may freely overwrite its buffer after ``send`` returns —
         the same guarantee MPI's blocking send gives.
+    faults:
+        Optional :class:`~repro.sim.faults.FaultPlan` injecting link
+        failures, message drops, link degradation and node fail-stops into
+        every run on this machine.  ``None`` (default) simulates a perfect
+        network.
     """
 
     cube: Hypercube
@@ -143,6 +158,7 @@ class MachineConfig:
     port_model: PortModel = PortModel.ONE_PORT
     copy_on_send: bool = True
     routing: RoutingMode = RoutingMode.STORE_AND_FORWARD
+    faults: "FaultPlan | None" = None
 
     @classmethod
     def create(
@@ -155,6 +171,7 @@ class MachineConfig:
         port_model: PortModel = PortModel.ONE_PORT,
         copy_on_send: bool = True,
         routing: RoutingMode = RoutingMode.STORE_AND_FORWARD,
+        faults: "FaultPlan | None" = None,
     ) -> "MachineConfig":
         """Convenience constructor from a node count."""
         return cls(
@@ -163,6 +180,7 @@ class MachineConfig:
             port_model=port_model,
             copy_on_send=copy_on_send,
             routing=routing,
+            faults=faults,
         )
 
     @classmethod
@@ -176,6 +194,7 @@ class MachineConfig:
         t_c: float = 0.0,
         port_model: PortModel = PortModel.ONE_PORT,
         routing: RoutingMode = RoutingMode.STORE_AND_FORWARD,
+        faults: "FaultPlan | None" = None,
     ) -> "MachineConfig":
         """A 2-D torus machine (for the Cannon-on-torus comparison)."""
         from repro.topology.torus import Torus2D
@@ -185,6 +204,7 @@ class MachineConfig:
             params=MachineParams(t_s=t_s, t_w=t_w, t_c=t_c),
             port_model=port_model,
             routing=routing,
+            faults=faults,
         )
 
     @property
@@ -202,15 +222,25 @@ class MachineConfig:
 
     def with_params(self, params: MachineParams) -> "MachineConfig":
         return MachineConfig(
-            self.cube, params, self.port_model, self.copy_on_send, self.routing
+            self.cube, params, self.port_model, self.copy_on_send,
+            self.routing, self.faults,
         )
 
     def with_port_model(self, port_model: PortModel) -> "MachineConfig":
         return MachineConfig(
-            self.cube, self.params, port_model, self.copy_on_send, self.routing
+            self.cube, self.params, port_model, self.copy_on_send,
+            self.routing, self.faults,
         )
 
     def with_routing(self, routing: RoutingMode) -> "MachineConfig":
         return MachineConfig(
-            self.cube, self.params, self.port_model, self.copy_on_send, routing
+            self.cube, self.params, self.port_model, self.copy_on_send,
+            routing, self.faults,
+        )
+
+    def with_faults(self, faults: "FaultPlan | None") -> "MachineConfig":
+        """The same machine with a (possibly different) fault plan."""
+        return MachineConfig(
+            self.cube, self.params, self.port_model, self.copy_on_send,
+            self.routing, faults,
         )

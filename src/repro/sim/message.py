@@ -75,6 +75,8 @@ class Message:
     nwords: int
     send_time: float
     msg_id: int = field(default_factory=lambda: next(_message_ids))
+    #: when set, the destination node acks delivery on this tag
+    ack_tag: int | None = None
 
     def __repr__(self) -> str:
         return (

@@ -12,9 +12,40 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Any
 
-__all__ = ["Handle", "SendOp", "RecvOp", "WaitOp", "ElapseOp", "BarrierOp", "ParallelOp"]
+__all__ = [
+    "Handle",
+    "SendOp",
+    "RecvOp",
+    "WaitOp",
+    "ElapseOp",
+    "BarrierOp",
+    "ParallelOp",
+    "TIMED_OUT",
+]
 
 _handle_ids = itertools.count()
+
+
+class _TimedOut:
+    """Sentinel completing a timed receive whose window expired.
+
+    ``ctx.recv(..., timeout=...)`` converts it into a
+    :class:`~repro.errors.CommTimeoutError`; non-blocking receivers check
+    ``handle.timed_out`` (or compare against :data:`TIMED_OUT`) instead.
+    """
+
+    _instance = None
+
+    def __new__(cls):
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "<TIMED_OUT>"
+
+
+TIMED_OUT = _TimedOut()
 
 
 @dataclass
@@ -34,6 +65,9 @@ class Handle:
     done: bool = False
     completion_time: float = 0.0
     value: Any = None
+    #: human-readable operation summary, e.g. "recv src=3 tag=7" — carried
+    #: into DeadlockError so a hang names the actual stuck operation
+    detail: str = ""
 
     @property
     def rank(self) -> int:
@@ -44,29 +78,49 @@ class Handle:
         self.completion_time = time
         self.value = value
 
+    @property
+    def timed_out(self) -> bool:
+        """True iff this receive completed by its timeout expiring."""
+        return self.done and self.value is TIMED_OUT
+
     def __repr__(self) -> str:
         state = "done" if self.done else "pending"
-        return f"Handle(#{self.handle_id} {self.kind} task={self.task} {state})"
+        extra = f" {self.detail}" if self.detail else ""
+        return f"Handle(#{self.handle_id} {self.kind} task={self.task}{extra} {state})"
 
 
 @dataclass
 class SendOp:
-    """Send ``data`` (``nwords`` words) to ``dst`` with ``tag``."""
+    """Send ``data`` (``nwords`` words) to ``dst`` with ``tag``.
+
+    ``ack_tag``, when set, requests a delivery acknowledgement: the
+    destination *node* (not its program) sends a zero-word message back on
+    that tag the moment the data is delivered — hardware-style reliable
+    delivery, independent of when the application posts its receive.  The
+    reliable-delivery layer builds its retransmission protocol on this.
+    """
 
     dst: int
     data: Any
     tag: int
     nwords: int
     blocking: bool
+    ack_tag: int | None = None
 
 
 @dataclass
 class RecvOp:
-    """Receive a message from ``src`` (or ANY_SOURCE) with ``tag``."""
+    """Receive a message from ``src`` (or ANY_SOURCE) with ``tag``.
+
+    ``timeout``, when set, bounds the wait: if no matching message arrives
+    within ``timeout`` time units of posting, the receive completes with
+    :data:`TIMED_OUT` instead of a payload.
+    """
 
     src: int
     tag: int
     blocking: bool
+    timeout: float | None = None
 
 
 @dataclass

@@ -27,9 +27,10 @@ from typing import TYPE_CHECKING, Any, Iterable
 
 import numpy as np
 
-from repro.errors import SimulationError
+from repro.errors import CommTimeoutError, SimulationError
 from repro.sim.message import payload_words
 from repro.sim.ops import (
+    TIMED_OUT,
     BarrierOp,
     ElapseOp,
     Handle,
@@ -81,29 +82,82 @@ class ProcessContext:
 
     # -- point to point ----------------------------------------------------
 
-    def send(self, dst: int, data: Any, tag: int = 0, nwords: int | None = None):
-        """Blocking send (generator; use ``yield from``)."""
-        self._check_peer(dst)
-        yield SendOp(dst, data, tag, payload_words(data, nwords), blocking=True)
+    def send(
+        self,
+        dst: int,
+        data: Any,
+        tag: int = 0,
+        nwords: int | None = None,
+        *,
+        ack_tag: int | None = None,
+    ):
+        """Blocking send (generator; use ``yield from``).
 
-    def isend(self, dst: int, data: Any, tag: int = 0, nwords: int | None = None):
+        ``ack_tag`` requests a delivery acknowledgement from the
+        destination node (see :class:`~repro.sim.ops.SendOp`).
+        """
+        self._check_peer(dst)
+        yield SendOp(
+            dst, data, tag, payload_words(data, nwords),
+            blocking=True, ack_tag=ack_tag,
+        )
+
+    def isend(
+        self,
+        dst: int,
+        data: Any,
+        tag: int = 0,
+        nwords: int | None = None,
+        *,
+        ack_tag: int | None = None,
+    ):
         """Non-blocking send; returns a :class:`Handle`."""
         self._check_peer(dst)
-        handle = yield SendOp(dst, data, tag, payload_words(data, nwords), blocking=False)
+        handle = yield SendOp(
+            dst, data, tag, payload_words(data, nwords),
+            blocking=False, ack_tag=ack_tag,
+        )
         return handle
 
-    def recv(self, src: int = ANY_SOURCE, tag: int = ANY_TAG):
-        """Blocking receive; returns the payload."""
+    def recv(
+        self,
+        src: int = ANY_SOURCE,
+        tag: int = ANY_TAG,
+        timeout: float | None = None,
+    ):
+        """Blocking receive; returns the payload.
+
+        With ``timeout`` set, raises :class:`~repro.errors.CommTimeoutError`
+        if no matching message arrives within ``timeout`` time units — a
+        lost message becomes a typed, catchable failure instead of a
+        whole-run :class:`~repro.errors.DeadlockError`.
+        """
         if src != ANY_SOURCE:
             self._check_peer(src)
-        data = yield RecvOp(src, tag, blocking=True)
+        if timeout is not None and timeout <= 0:
+            raise SimulationError(f"recv timeout must be positive, got {timeout}")
+        data = yield RecvOp(src, tag, blocking=True, timeout=timeout)
+        if data is TIMED_OUT:
+            raise CommTimeoutError(self.rank, src, tag, timeout)
         return data
 
-    def irecv(self, src: int = ANY_SOURCE, tag: int = ANY_TAG):
-        """Non-blocking receive; returns a :class:`Handle`."""
+    def irecv(
+        self,
+        src: int = ANY_SOURCE,
+        tag: int = ANY_TAG,
+        timeout: float | None = None,
+    ):
+        """Non-blocking receive; returns a :class:`Handle`.
+
+        With ``timeout`` set, the handle completes with
+        :data:`~repro.sim.ops.TIMED_OUT` (``handle.timed_out`` is True) if
+        the window expires first.
+        """
         if src != ANY_SOURCE:
             self._check_peer(src)
-        handle = yield RecvOp(src, tag, blocking=False)
+        if timeout is not None and timeout <= 0:
+            raise SimulationError(f"recv timeout must be positive, got {timeout}")
+        handle = yield RecvOp(src, tag, blocking=False, timeout=timeout)
         return handle
 
     def waitall(self, handles: Iterable[Handle]):
@@ -213,3 +267,8 @@ class ProcessContext:
     def note_memory(self, resident_words: int) -> None:
         """Record this rank's current resident words for peak-memory stats."""
         self.engine.stats[self.rank].note_memory(resident_words)
+
+    def note_retransmission(self) -> None:
+        """Count one retransmission in the run's network statistics
+        (used by the reliable-delivery layer)."""
+        self.engine.note_retransmission()

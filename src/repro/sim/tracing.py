@@ -12,8 +12,11 @@ __all__ = ["TraceRecord", "RankStats", "RunResult", "NetworkStats"]
 class TraceRecord:
     """One traced activity interval.
 
-    ``kind`` is ``"hop"`` (fields: src, dst of the hop, message id, words)
-    or ``"compute"`` (fields: rank, flops).
+    ``kind`` is ``"hop"`` (fields: src, dst of the hop, message id, words),
+    ``"compute"`` (fields: rank, flops), ``"drop"`` (a message lost on a
+    hop or on a failed node; fields: msg, src, dst, reason) or
+    ``"reroute"`` (a hop detoured around a dead link; fields: msg, dead
+    link, detour_via).
     """
 
     kind: str
@@ -51,11 +54,20 @@ class NetworkStats:
     ``Σ_messages hops · (t_s + t_w·words)``, a conservation law the test
     suite checks.  ``max_channel_busy`` is the most-loaded channel's busy
     time: a lower bound on any schedule's completion time.
+
+    The fault counters are zero on a healthy machine:
+    ``messages_dropped`` counts messages lost in transit (drop-rate rolls
+    or fail-stopped nodes), ``hops_rerouted`` counts detours around dead
+    links, and ``retransmissions`` counts resends issued by the
+    reliable-delivery layer.
     """
 
     channels_used: int
     total_channel_busy: float
     max_channel_busy: float
+    messages_dropped: int = 0
+    hops_rerouted: int = 0
+    retransmissions: int = 0
 
     def mean_utilization(self, total_time: float) -> float:
         """Average busy fraction of the channels that were used at all."""
@@ -83,6 +95,10 @@ class RunResult:
         Optional list of :class:`TraceRecord` (when tracing was enabled).
     network:
         Aggregate :class:`NetworkStats` over all directional channels.
+    failed_ranks:
+        Ranks halted by a fail-stop fault during the run (empty on a
+        healthy machine).  Their ``finish_time`` is their failure time and
+        they contribute no entry to ``results``.
     """
 
     total_time: float
@@ -93,6 +109,7 @@ class RunResult:
     network: NetworkStats = field(
         default_factory=lambda: NetworkStats(0, 0.0, 0.0)
     )
+    failed_ranks: tuple[int, ...] = ()
 
     @property
     def num_ranks(self) -> int:

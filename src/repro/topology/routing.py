@@ -1,4 +1,4 @@
-"""Dimension-ordered (e-cube) routing on the hypercube.
+"""Dimension-ordered (e-cube) routing on the hypercube, healthy and faulty.
 
 Messages between non-neighbouring nodes are forwarded store-and-forward
 along the e-cube path: correct the differing address bits in ascending
@@ -9,14 +9,40 @@ uses (e.g. the ``log ∛p (t_s + t_w n²/p^{2/3})`` first phase of 3DD).
 
 E-cube routing is deterministic and deadlock-free; determinism matters here
 because the simulator must produce identical timings on every run.
+
+Fault tolerance
+---------------
+When a :class:`~repro.sim.faults.FaultPlan` kills links, the e-cube next
+hop may be dead.  :func:`fault_tolerant_hops` then detours
+deterministically: it first tries the *alternative dimension orderings* —
+among the address bits still to correct, take the lowest whose link is
+alive (every such step still shortens the path, so the route stays
+minimal whenever a minimal surviving route exists along distance-reducing
+links).  If every profitable link at some node is dead, it falls back to a
+breadth-first search over the surviving graph (neighbours visited in
+ascending dimension order, so the result is unique and reproducible) and
+raises :class:`~repro.errors.UnreachableError` when the surviving graph
+disconnects source from destination.
 """
 
 from __future__ import annotations
 
-from repro.errors import TopologyError
+from collections import deque
+from typing import Callable
+
+from repro.errors import TopologyError, UnreachableError
 from repro.util.bits import set_bits
 
-__all__ = ["ecube_path", "ecube_next_hop", "ecube_hops"]
+__all__ = [
+    "ecube_path",
+    "ecube_next_hop",
+    "ecube_hops",
+    "ecube_next_hop_avoiding",
+    "fault_tolerant_path",
+    "fault_tolerant_hops",
+]
+
+LinkPredicate = Callable[[int, int], bool]
 
 
 def ecube_next_hop(current: int, dest: int) -> int:
@@ -49,3 +75,98 @@ def ecube_hops(src: int, dest: int) -> list[tuple[int, int]]:
 def ecube_dimensions(src: int, dest: int) -> tuple[int, ...]:
     """Dimensions crossed by the e-cube route, in traversal order."""
     return set_bits(src ^ dest)
+
+
+# ---------------------------------------------------------------------------
+# Fault-tolerant routing
+# ---------------------------------------------------------------------------
+
+
+def ecube_next_hop_avoiding(
+    current: int, dest: int, alive: LinkPredicate
+) -> int | None:
+    """The first distance-reducing next hop whose link is alive.
+
+    Tries the differing address bits in ascending dimension order (the
+    e-cube order first, then its deterministic alternatives).  Returns
+    ``None`` when every profitable link out of ``current`` is dead — the
+    caller must then detour through a non-minimal route.
+    """
+    diff = current ^ dest
+    if diff == 0:
+        raise TopologyError(f"no next hop: already at destination {dest}")
+    for dim in set_bits(diff):
+        nxt = current ^ (1 << dim)
+        if alive(current, nxt):
+            return nxt
+    return None
+
+
+def _bfs_path(topology, src: int, dest: int, alive: LinkPredicate) -> list[int] | None:
+    """Deterministic shortest surviving path, or ``None`` if disconnected.
+
+    Neighbours are expanded in the topology's order (ascending dimension
+    for hypercubes), so ties always break the same way.
+    """
+    if src == dest:
+        return [src]
+    parent: dict[int, int] = {src: src}
+    queue = deque([src])
+    while queue:
+        node = queue.popleft()
+        for nxt in topology.neighbors(node):
+            if nxt in parent or not alive(node, nxt):
+                continue
+            parent[nxt] = node
+            if nxt == dest:
+                path = [dest]
+                while path[-1] != src:
+                    path.append(parent[path[-1]])
+                path.reverse()
+                return path
+            queue.append(nxt)
+    return None
+
+
+def fault_tolerant_path(
+    topology, src: int, dest: int, alive: LinkPredicate
+) -> list[int]:
+    """All nodes on a deterministic surviving route ``src -> dest``.
+
+    Strategy: greedy alternative-dimension-order routing (hypercubes only;
+    each step corrects one address bit over a live link), with a BFS detour
+    over the surviving graph when the greedy router is stuck or the
+    topology is not a hypercube.  Raises
+    :class:`~repro.errors.UnreachableError` when no surviving route exists.
+    """
+    if src == dest:
+        return [src]
+    # Fast path: the topology's native route, untouched when fully alive,
+    # so enabling a fault plan never perturbs healthy routes.
+    native = topology.route_hops(src, dest)
+    if all(alive(u, v) for u, v in native):
+        return [src] + [v for _u, v in native]
+    if hasattr(topology, "link_dimension"):  # hypercube-shaped address space
+        path = [src]
+        cur = src
+        while cur != dest:
+            nxt = ecube_next_hop_avoiding(cur, dest, alive)
+            if nxt is None:
+                path = None
+                break
+            path.append(nxt)
+            cur = nxt
+        if path is not None:
+            return path
+    path = _bfs_path(topology, src, dest, alive)
+    if path is None:
+        raise UnreachableError(src, dest)
+    return path
+
+
+def fault_tolerant_hops(
+    topology, src: int, dest: int, alive: LinkPredicate
+) -> list[tuple[int, int]]:
+    """The (from, to) hop pairs of :func:`fault_tolerant_path`."""
+    nodes = fault_tolerant_path(topology, src, dest, alive)
+    return list(zip(nodes[:-1], nodes[1:]))

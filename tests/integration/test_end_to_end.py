@@ -116,6 +116,29 @@ class TestCLI:
                      "--routing", "ct"]) == 0
         assert "verified" in capsys.readouterr().out
 
+    def test_faults_sweep(self, capsys):
+        assert main(["faults", "-n", "8", "-p", "4",
+                     "--ts", "10", "--tw", "1",
+                     "--algorithms", "cannon",
+                     "--drop-rates", "0", "0.05"]) == 0
+        out = capsys.readouterr().out
+        assert "degradation sweep" in out
+        assert "completion rate: 100.0%" in out
+
+    def test_faults_transient(self, capsys):
+        assert main(["faults", "-n", "8", "-p", "4",
+                     "--ts", "10", "--tw", "1", "--transient",
+                     "--algorithms", "cannon", "--drop-rates", "0.01"]) == 0
+        out = capsys.readouterr().out
+        assert "transient link fault" in out
+        assert "ok" in out
+
+    def test_faults_no_applicable_algorithm_is_clean_error(self, capsys):
+        assert main(["faults", "-n", "8", "-p", "4",
+                     "--algorithms", "3d_all",      # needs p = 8^k
+                     "--drop-rates", "0"]) == 1
+        assert "error:" in capsys.readouterr().err
+
 
 class TestExamplesRun:
     """The shipped examples execute cleanly (smoke; they print a lot)."""

@@ -3,8 +3,8 @@
 import numpy as np
 import pytest
 
-from repro.errors import SimulationError
-from repro.sim import MachineConfig, run_spmd
+from repro.errors import CommTimeoutError, SimulationError
+from repro.sim import FaultPlan, MachineConfig, run_spmd
 from repro.sim.gantt import lane_activity, render_gantt
 
 CFG = MachineConfig.create(8, t_s=10, t_w=1)
@@ -71,3 +71,66 @@ class TestGantt:
         res = traced_run()
         for w in (1, 13, 80):
             assert len(lane_activity(res.trace, 0, res.total_time, w)) == w
+
+
+class TestGanttFaultMarks:
+    def test_drop_marked_and_counted_in_footer(self):
+        plan = FaultPlan().with_drop_rate(1.0)
+
+        def prog(ctx):
+            if ctx.rank == 0:
+                yield from ctx.send(1, np.ones(10))
+            elif ctx.rank == 1:
+                try:
+                    yield from ctx.recv(0, timeout=100.0)
+                except CommTimeoutError:
+                    pass
+            yield from ctx.elapse(50.0)
+            return None
+
+        res = run_spmd(MachineConfig.create(8, t_s=10, t_w=1, faults=plan),
+                       prog, trace=True)
+        # the loss is marked where the message died: the hop's receiving end
+        lane = lane_activity(res.trace, 1, res.total_time, 40)
+        assert "x" in lane
+        art = render_gantt(res, width=40)
+        assert "1 dropped" in art
+        assert "x message dropped" in art
+
+    def test_reroute_marked(self):
+        plan = FaultPlan().with_link_fault(0, 1)
+
+        def prog(ctx):
+            if ctx.rank == 0:
+                yield from ctx.send(1, np.ones(10))
+            elif ctx.rank == 1:
+                yield from ctx.recv(0)
+            yield from ctx.elapse(10.0)
+            return None
+
+        res = run_spmd(MachineConfig.create(8, t_s=10, t_w=1, faults=plan),
+                       prog, trace=True)
+        lane = lane_activity(res.trace, 0, res.total_time, 40)
+        assert "~" in lane
+        assert "1 rerouted" in render_gantt(res, width=40)
+
+    def test_node_failure_fills_lane_to_the_end(self):
+        plan = FaultPlan().with_node_failure(2, at=25.0)
+
+        def prog(ctx):
+            yield from ctx.elapse(100.0)
+            return None
+
+        res = run_spmd(MachineConfig.create(8, t_s=10, t_w=1, faults=plan),
+                       prog, trace=True)
+        lane = lane_activity(res.trace, 2, res.total_time, 40)
+        assert lane.endswith("X")
+        assert "X" not in lane_activity(res.trace, 0, res.total_time, 40)
+        art = render_gantt(res, width=40)
+        assert "failed ranks [2]" in art
+
+    def test_healthy_run_has_no_fault_footer(self):
+        res = traced_run()
+        art = render_gantt(res, width=40)
+        assert "faults:" not in art
+        assert "X node fail-stopped" not in art

@@ -1,0 +1,127 @@
+"""Watchdog tests: livelock caps and rich deadlock diagnostics.
+
+A lost or impossible message must end in a typed exception carrying
+enough state to diagnose it — never a silent hang."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DeadlockError, LivelockError
+from repro.sim import FaultPlan, MachineConfig, run_spmd
+
+CFG = MachineConfig.create(4, t_s=10.0, t_w=1.0)
+
+
+def ping_pong_forever(ctx):
+    """Two ranks bounce a message endlessly: livelock, not deadlock."""
+    peer = ctx.rank ^ 1
+    if ctx.rank == 0:
+        yield from ctx.send(peer, np.ones(1))
+    if ctx.rank in (0, 1):
+        while True:
+            yield from ctx.recv(peer)
+            yield from ctx.send(peer, np.ones(1))
+    return None
+
+
+class TestLivelock:
+    def test_max_events_trips(self):
+        with pytest.raises(LivelockError) as exc:
+            run_spmd(CFG, ping_pong_forever, max_events=500)
+        err = exc.value
+        assert err.reason == "max_events"
+        assert err.events_processed >= 500
+        assert err.progress  # per-rank snapshot present
+        assert "max_events" in str(err)
+
+    def test_max_virtual_time_trips(self):
+        with pytest.raises(LivelockError) as exc:
+            run_spmd(CFG, ping_pong_forever, max_virtual_time=1000.0)
+        err = exc.value
+        assert err.reason == "max_virtual_time"
+        assert err.virtual_time >= 1000.0
+
+    def test_generous_caps_do_not_trip(self):
+        def prog(ctx):
+            yield from ctx.exchange(ctx.rank ^ 1, np.ones(4))
+            return ctx.rank
+
+        res = run_spmd(CFG, prog, max_events=100_000, max_virtual_time=1e9)
+        assert res.results[0] == 0
+
+
+class TestDeadlockDiagnostics:
+    def test_plain_deadlock_names_the_blocked_recv(self):
+        def prog(ctx):
+            if ctx.rank == 0:
+                yield from ctx.recv(1, tag=7)  # nobody sends
+            return None
+
+        with pytest.raises(DeadlockError) as exc:
+            run_spmd(CFG, prog)
+        err = exc.value
+        assert 0 in err.blocked
+        assert "src=1" in err.blocked[0] and "tag=7" in err.blocked[0]
+
+    def test_all_blocked_subtasks_reported(self):
+        """A rank stuck in several ctx.parallel children must report every
+        stuck sub-task, not just the first one found."""
+
+        def stuck(ctx, src, tag):
+            yield from ctx.recv(src, tag=tag)
+
+        def prog(ctx):
+            if ctx.rank == 0:
+                yield from ctx.parallel(
+                    stuck(ctx, 1, 11),
+                    stuck(ctx, 2, 22),
+                    stuck(ctx, 3, 33),
+                )
+            return None
+
+        with pytest.raises(DeadlockError) as exc:
+            run_spmd(CFG, prog)
+        err = exc.value
+        stuck_recvs = [t for t in err.blocked_tasks[0] if "recv" in t]
+        assert len(stuck_recvs) == 3
+        joined = err.blocked[0]
+        for tag in ("tag=11", "tag=22", "tag=33"):
+            assert tag in joined
+        # ...and the parent is reported waiting on its children
+        assert any("sub-tasks" in t for t in err.blocked_tasks[0])
+        # blocked keeps the one-line-per-rank shape for old callers
+        assert isinstance(err.blocked[0], str)
+
+    def test_deadlock_reports_failed_ranks(self):
+        """Waiting (unprotected) on a fail-stopped node is a deadlock that
+        names the corpse."""
+        plan = FaultPlan().with_node_failure(1)
+
+        def prog(ctx):
+            if ctx.rank == 0:
+                yield from ctx.recv(1)
+            return None
+
+        with pytest.raises(DeadlockError) as exc:
+            run_spmd(MachineConfig.create(4, faults=plan), prog)
+        err = exc.value
+        assert err.failed_ranks == (1,)
+        assert "fail-stopped" in str(err)
+
+    def test_mixed_rank_and_subtask_blockage(self):
+        def stuck(ctx, tag):
+            yield from ctx.recv(2, tag=tag)
+
+        def prog(ctx):
+            if ctx.rank == 0:
+                yield from ctx.parallel(stuck(ctx, 1), stuck(ctx, 2))
+            elif ctx.rank == 1:
+                yield from ctx.recv(3, tag=9)
+            return None
+
+        with pytest.raises(DeadlockError) as exc:
+            run_spmd(CFG, prog)
+        err = exc.value
+        assert set(err.blocked) == {0, 1}
+        assert len([t for t in err.blocked_tasks[0] if "recv" in t]) == 2
+        assert len(err.blocked_tasks[1]) == 1

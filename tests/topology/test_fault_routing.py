@@ -1,0 +1,112 @@
+"""Tests for fault-tolerant routing: greedy dimension detours, the BFS
+fallback, determinism, and unreachability reporting."""
+
+import pytest
+
+from repro.errors import TopologyError, UnreachableError
+from repro.topology import Hypercube
+from repro.topology.routing import (
+    ecube_hops,
+    ecube_next_hop_avoiding,
+    ecube_path,
+    fault_tolerant_hops,
+    fault_tolerant_path,
+)
+
+CUBE = Hypercube(3)
+
+
+def alive_except(*dead):
+    """Link predicate killing the given undirected {u, v} pairs."""
+    dead_set = {frozenset(pair) for pair in dead}
+
+    def alive(u, v):
+        return frozenset((u, v)) not in dead_set
+
+    return alive
+
+
+ALL_ALIVE = alive_except()
+
+
+class TestNextHopAvoiding:
+    def test_prefers_ecube_order(self):
+        # 0 -> 5 differs in dims {0, 2}; e-cube corrects dim 0 first
+        assert ecube_next_hop_avoiding(0, 5, ALL_ALIVE) == 1
+
+    def test_skips_dead_dimension(self):
+        assert ecube_next_hop_avoiding(0, 5, alive_except((0, 1))) == 4
+
+    def test_none_when_every_profitable_link_dead(self):
+        assert (
+            ecube_next_hop_avoiding(0, 5, alive_except((0, 1), (0, 4))) is None
+        )
+
+    def test_at_destination_is_an_error(self):
+        with pytest.raises(TopologyError):
+            ecube_next_hop_avoiding(3, 3, ALL_ALIVE)
+
+
+class TestFaultTolerantPath:
+    def test_healthy_route_is_the_native_route(self):
+        for src, dst in [(0, 7), (3, 4), (6, 1)]:
+            assert fault_tolerant_path(CUBE, src, dst, ALL_ALIVE) == (
+                ecube_path(src, dst)
+            )
+
+    def test_trivial_path(self):
+        assert fault_tolerant_path(CUBE, 5, 5, ALL_ALIVE) == [5]
+
+    def test_greedy_detour_stays_minimal(self):
+        """With one dead link on the route, the alternative dimension
+        order still yields a shortest path."""
+        path = fault_tolerant_path(CUBE, 0, 5, alive_except((0, 1)))
+        assert path == [0, 4, 5]
+        assert len(path) - 1 == CUBE.distance(0, 5)
+
+    def test_bfs_fallback_when_greedy_is_stuck(self):
+        """Kill both profitable links out of 0 towards 1: the router must
+        take an unprofitable first step and still arrive."""
+        alive = alive_except((0, 1))
+        path = fault_tolerant_path(CUBE, 0, 1, alive)
+        assert path[0] == 0 and path[-1] == 1
+        assert len(path) == 4  # e.g. 0 -> 2 -> 3 -> 1
+        for u, v in zip(path[:-1], path[1:]):
+            assert CUBE.are_neighbors(u, v) and alive(u, v)
+
+    def test_deterministic_tie_break(self):
+        alive = alive_except((0, 1))
+        paths = {tuple(fault_tolerant_path(CUBE, 0, 1, alive)) for _ in range(5)}
+        assert len(paths) == 1
+        assert min(paths) == (0, 2, 3, 1)  # ascending-dimension BFS order
+
+    def test_unreachable_when_node_isolated(self):
+        # node 7's neighbours are 6, 5, 3 — cut all three links
+        alive = alive_except((7, 6), (7, 5), (7, 3))
+        with pytest.raises(UnreachableError) as exc:
+            fault_tolerant_path(CUBE, 0, 7, alive)
+        assert (exc.value.src, exc.value.dst) == (0, 7)
+
+    def test_routes_around_multiple_failures(self):
+        """Three scattered dead links still leave the cube connected; every
+        pair must remain routable over surviving links only."""
+        alive = alive_except((0, 1), (2, 6), (5, 7))
+        for src in CUBE.nodes():
+            for dst in CUBE.nodes():
+                path = fault_tolerant_path(CUBE, src, dst, alive)
+                assert path[0] == src and path[-1] == dst
+                for u, v in zip(path[:-1], path[1:]):
+                    assert alive(u, v)
+
+
+class TestFaultTolerantHops:
+    def test_hops_match_path(self):
+        alive = alive_except((0, 1))
+        hops = fault_tolerant_hops(CUBE, 0, 5, alive)
+        assert hops == [(0, 4), (4, 5)]
+
+    def test_healthy_hops_equal_ecube_hops(self):
+        assert fault_tolerant_hops(CUBE, 2, 7, ALL_ALIVE) == ecube_hops(2, 7)
+
+    def test_empty_for_self(self):
+        assert fault_tolerant_hops(CUBE, 4, 4, ALL_ALIVE) == []
