@@ -784,6 +784,15 @@ class Engine:
         st.words_received += msg.nwords
 
     def _deliver(self, msg: Message, time: float) -> None:
+        fs = self.faults
+        if msg.dst in self.failed or (
+            fs is not None and fs.node_failed(msg.dst, time)
+        ):
+            # The destination fail-stopped while the message was on its
+            # final hop: nobody is home to consume or acknowledge it.  The
+            # sender's timeout/retransmission path observes the silence.
+            self._lose_message(_Transfer(msg, []), msg.dst, time, time, "dest-failed")
+            return
         if msg.ack_tag is not None and msg.src != msg.dst:
             # Delivery acknowledgement: the receiving *node* confirms
             # arrival immediately (hardware-style reliable delivery), so a

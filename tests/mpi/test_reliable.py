@@ -205,6 +205,29 @@ class TestTimeouts:
         res = run_spmd(cfg, prog)
         assert res.results[2] == (3, 4, 77.0)
 
+    def test_send_to_peer_that_dies_mid_flight(self):
+        """The peer fail-stops while the first (ack-tagged) transmission
+        is still on the wire: retransmissions find only silence, and the
+        sender gets a catchable CommTimeoutError — never an engine crash
+        from the dead node trying to ack."""
+        plan = FaultPlan(seed=1).with_node_failure(1, at=0.5)
+
+        def prog(ctx):
+            rel = ReliableContext(ctx, max_retries=2)
+            if ctx.rank == 0:
+                try:
+                    yield from rel.send(1, np.ones(4), tag=0)
+                except CommTimeoutError:
+                    return "survived"
+                return "impossible"
+            yield from rel.elapse(100_000.0)  # stays busy; dies at t=0.5
+            return None
+
+        res = run_spmd(faulty(2, plan), prog)
+        assert res.results[0] == "survived"
+        assert res.failed_ranks == (1,)
+        assert res.network.retransmissions == 2
+
     def test_exchange_timeout_against_failed_peer(self):
         """A rank exchanging with a fail-stopped peer times out and keeps
         going instead of deadlocking the run."""
@@ -240,6 +263,43 @@ class TestNonblockingAndPairwise:
         res = run_spmd(faulty(4, plan), prog)
         for rank in range(4):
             assert res.results[rank] == float(rank ^ 1)
+
+    def test_isend_overlaps_compute_before_waitall(self):
+        """isend injects the first transmission at issue time, so the
+        transfer overlaps compute done before waitall — the receiver gets
+        the data at wire latency, not after the sender's compute."""
+
+        def prog(ctx):
+            rel = ReliableContext(ctx)
+            if ctx.rank == 0:
+                h = yield from rel.isend(1, np.ones(4), tag=0)
+                yield from rel.elapse(1000.0)
+                yield from rel.waitall([h])
+                return ctx.now
+            if ctx.rank == 1:
+                yield from rel.recv(0, tag=0)
+                return ctx.now
+            return None
+
+        res = run_spmd(CFG, prog)
+        # data hop = t_s + 4 t_w = 14: delivered during the sender's
+        # compute window, and the ack is already waiting at waitall.
+        assert res.results[1] == pytest.approx(14.0)
+        assert res.results[0] == pytest.approx(1000.0)
+        assert res.network.retransmissions == 0
+
+    def test_eager_isend_to_self_completes_at_waitall(self):
+        def prog(ctx):
+            rel = ReliableContext(ctx)
+            if ctx.rank == 0:
+                h = yield from rel.isend(0, np.full(4, 5.0), tag=1)
+                data = yield from rel.recv(0, tag=1)
+                yield from rel.waitall([h])
+                return float(data[0])
+            return None
+
+        res = run_spmd(CFG, prog)
+        assert res.results[0] == 5.0
 
     def test_waitall_rejects_mixed_handles(self):
         def prog(ctx):

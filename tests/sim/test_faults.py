@@ -282,6 +282,30 @@ class TestNodeFailure:
         assert res.results[0] == "sent"
         assert res.network.messages_dropped == 1
 
+    def test_ack_tagged_message_in_flight_when_destination_dies(self):
+        """The destination fail-stops while an ack-tagged message is on
+        its final hop: the message must be counted lost — the dead node
+        must NOT emit an ack (whose routing would raise an uncaught
+        UnreachableError from the event loop).  The sender's timeout
+        observes the silence instead."""
+        plan = FaultPlan(seed=1).with_node_failure(1, at=0.5)
+
+        def prog(ctx):
+            if ctx.rank == 0:
+                yield from ctx.send(1, np.ones(4), tag=7, ack_tag=99)
+                try:
+                    yield from ctx.recv(1, 99, timeout=100.0)
+                except CommTimeoutError:
+                    return "no ack"
+                return "impossible"
+            yield from ctx.elapse(10_000.0)  # stays busy; dies at t=0.5
+            return None
+
+        res = run_spmd(faulty(2, plan), prog)
+        assert res.results[0] == "no ack"
+        assert res.failed_ranks == (1,)
+        assert res.network.messages_dropped == 1
+
     def test_barrier_excludes_failed_ranks(self):
         """Survivors' barrier must not wait for a corpse."""
         plan = FaultPlan().with_node_failure(2)
