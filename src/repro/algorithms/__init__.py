@@ -15,6 +15,7 @@ Keys: ``simple``, ``cannon``, ``hje``, ``berntsen``, ``dns``,
 
 from repro.algorithms.base import AlgorithmRun, MatmulAlgorithm
 from repro.algorithms.registry import ALGORITHMS, get_algorithm, list_algorithms
+from repro.algorithms.abft import ABFTMatmul
 
 __all__ = [
     "AlgorithmRun",
@@ -22,4 +23,5 @@ __all__ = [
     "ALGORITHMS",
     "get_algorithm",
     "list_algorithms",
+    "ABFTMatmul",
 ]

@@ -9,6 +9,7 @@ Subcommands
 ``trace``        run one algorithm and draw an ASCII Gantt chart
 ``scalability``  isoefficiency curves (n required to hold efficiency E)
 ``faults``       degradation sweep on a lossy machine (reliable delivery)
+``recover``      node fail-stop recovery sweep (ABFT / checkpoint restart)
 ``report``       regenerate the paper's full evaluation in one run
 ``list``         list the available algorithms
 """
@@ -232,6 +233,28 @@ def _cmd_faults(args) -> int:
     return 0
 
 
+def _cmd_recover(args) -> int:
+    from repro.analysis.resilience import (
+        format_recovery_table,
+        recovery_sweep,
+    )
+
+    keys = args.algorithms or ["cannon", "fox", "3d_all"]
+    print(
+        f"recovery sweep: n={args.n} p={args.p} t_s={args.ts:g} "
+        f"t_w={args.tw:g} plan_seed={args.plan_seed} "
+        f"modes={','.join(args.modes)}"
+    )
+    points = recovery_sweep(
+        keys, args.n, args.p, args.kill_fracs, tuple(args.modes),
+        seed=args.seed, plan_seed=args.plan_seed,
+        victims=tuple(args.victims) if args.victims else None,
+        t_s=args.ts, t_w=args.tw, port_model=_port(args.port),
+    )
+    print(format_recovery_table(points))
+    return 0
+
+
 def _cmd_report(args) -> int:
     from repro.analysis.report import full_report
 
@@ -320,6 +343,30 @@ def build_parser() -> argparse.ArgumentParser:
     p_fl.add_argument("--algorithms", nargs="*", choices=sorted(ALGORITHMS))
     _add_machine_args(p_fl)
     p_fl.set_defaults(func=_cmd_faults)
+
+    p_rc = sub.add_parser(
+        "recover", help="node fail-stop recovery sweep (ABFT / checkpoint)"
+    )
+    p_rc.add_argument("-n", type=int, default=12)
+    p_rc.add_argument("-p", type=int, default=16)
+    p_rc.add_argument("--seed", type=int, default=0, help="matrix seed")
+    p_rc.add_argument("--plan-seed", type=int, default=1, help="fault-plan seed")
+    p_rc.add_argument(
+        "--kill-fracs", type=float, nargs="+", default=[0.3, 0.7],
+        help="kill times as fractions of the fault-free run time",
+    )
+    p_rc.add_argument(
+        "--modes", nargs="+", choices=["abft", "checkpoint", "none"],
+        default=["abft", "checkpoint", "none"],
+        help="recovery modes to sweep",
+    )
+    p_rc.add_argument(
+        "--victims", type=int, nargs="*",
+        help="ranks to fail-stop (default: one seeded victim per algorithm)",
+    )
+    p_rc.add_argument("--algorithms", nargs="*", choices=sorted(ALGORITHMS))
+    _add_machine_args(p_rc)
+    p_rc.set_defaults(func=_cmd_recover)
 
     p_rep = sub.add_parser(
         "report", help="regenerate the paper's full evaluation"

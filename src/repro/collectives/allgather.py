@@ -19,6 +19,7 @@ import numpy as np
 from repro.collectives.api import Schedule, resolve_schedule, subtag
 from repro.collectives.chunking import chunk_header, rebuild_from_header, split_chunks
 from repro.mpi.communicator import Comm
+from repro.mpi.detector import LOST_PAYLOAD, lost_like
 
 __all__ = ["allgather"]
 
@@ -43,10 +44,19 @@ def allgather(
 
 def _allgather_doubling(comm: Comm, block: Any, tag: int):
     pieces = {comm.rank: block}
+    my_sub = comm.subindex_of(comm.rank)
     for k in range(comm.dimension):
         peer = comm.dim_partner(comm.rank, k)
         got = yield from comm.exchange(peer, pieces, subtag(tag, k))
-        pieces.update(got)
+        if got is LOST_PAYLOAD:
+            # Fail-stopped partner: its whole subtree (subindices equal to
+            # the peer's on bits >= k) is unreachable this round — mark
+            # those contributions lost rather than aborting the gather.
+            for cr in range(comm.size):
+                if comm.subindex_of(cr) >> k == (my_sub >> k) ^ 1:
+                    pieces[cr] = lost_like(block)
+        else:
+            pieces.update(got)
     return [pieces[cr] for cr in range(comm.size)]
 
 
@@ -69,8 +79,26 @@ def _allgather_rotated(comm: Comm, block: Any, tag: int):
             handles.extend((hs, hr))
             arrivals.append((j, hr))
         yield from comm.ctx.waitall(handles)
+        my_sub = comm.subindex_of(comm.rank)
+        full = (1 << d) - 1
         for j, hr in arrivals:
-            schedules[j].update(hr.value)
+            if hr.value is LOST_PAYLOAD:
+                # Partner subtree for schedule j: subindices equal to the
+                # peer's outside the dimensions this schedule has visited.
+                dim = (j + t) % d
+                visited = 0
+                for s in range(t):
+                    visited |= 1 << (j + s) % d
+                peer_sub = my_sub ^ (1 << dim)
+                template = schedules[j][comm.rank]
+                for cr in range(comm.size):
+                    sub = comm.subindex_of(cr)
+                    if (sub ^ peer_sub) & full & ~visited == 0:
+                        schedules[j].setdefault(
+                            cr, (lost_like(template[0]), template[1])
+                        )
+            else:
+                schedules[j].update(hr.value)
 
     out = []
     for cr in range(comm.size):

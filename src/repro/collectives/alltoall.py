@@ -21,6 +21,7 @@ from repro.collectives.api import Schedule, resolve_schedule, subtag
 from repro.collectives.chunking import chunk_header, rebuild_from_header, split_chunks
 from repro.errors import SimulationError
 from repro.mpi.communicator import Comm
+from repro.mpi.detector import LOST_PAYLOAD, lost_like
 
 __all__ = ["alltoall"]
 
@@ -64,8 +65,16 @@ def _alltoall_dimex(comm: Comm, blocks, tag: int):
             if _route_bit(comm, key[1], k) != my_bit
         }
         got = yield from comm.exchange(peer, moving, subtag(tag, k))
-        items.update(got)
-    return [items[(src, me)] for src in range(comm.size)]
+        if got is not LOST_PAYLOAD:
+            items.update(got)
+        # A lost exchange leaves the peer-routed items missing; the final
+        # assembly below substitutes NaN blocks for them.
+    return [
+        items[(src, me)]
+        if (src, me) in items
+        else lost_like(blocks[src])
+        for src in range(comm.size)
+    ]
 
 
 def _alltoall_rotated(comm: Comm, blocks, tag: int):
@@ -100,14 +109,23 @@ def _alltoall_rotated(comm: Comm, blocks, tag: int):
             arrivals.append((j, hr))
         yield from comm.ctx.waitall(handles)
         for j, hr in arrivals:
-            schedules[j].update(hr.value)
+            if hr.value is not LOST_PAYLOAD:
+                schedules[j].update(hr.value)
+            # else: items routed through the corpse stay missing; the
+            # final assembly substitutes NaN chunks for them.
 
     out = []
     for src in range(comm.size):
         chunks = []
         hdr = None
         for j in range(d):
-            chunk, hdr = schedules[j][(src, me)]
+            entry = schedules[j].get((src, me))
+            if entry is None:
+                entry = (
+                    lost_like(split_chunks(np.asarray(blocks[src]), d)[j]),
+                    headers[src],
+                )
+            chunk, hdr = entry
             chunks.append(chunk)
         out.append(rebuild_from_header(chunks, hdr))
     return out

@@ -23,6 +23,7 @@ from repro.collectives.api import Schedule, resolve_schedule, subtag
 from repro.collectives.chunking import chunk_header, rebuild_from_header, split_chunks
 from repro.errors import SimulationError
 from repro.mpi.communicator import Comm
+from repro.mpi.detector import LOST_PAYLOAD, lost_like
 
 __all__ = ["reduce_scatter"]
 
@@ -63,8 +64,15 @@ def _reduce_scatter_halving(comm: Comm, blocks, op: Callable, tag: int):
             if (comm.subindex_of(dst) >> k) & 1 != my_bit
         }
         got = yield from comm.exchange(peer, moving, subtag(tag, k))
-        for dst, arr in got.items():
-            acc[dst] = op(acc[dst], arr)
+        if got is LOST_PAYLOAD:
+            # The partner's partial sums for my half died with it: every
+            # destination I still accumulate is missing contributions, so
+            # poison them all (NaN absorbs through the reduction op).
+            for dst in acc:
+                acc[dst] = op(acc[dst], lost_like(acc[dst]))
+        else:
+            for dst, arr in got.items():
+                acc[dst] = op(acc[dst], arr)
     if set(acc) != {me}:
         raise SimulationError(f"reduce_scatter invariant broken at rank {me}")
     return acc[me]
@@ -102,8 +110,14 @@ def _reduce_scatter_rotated(comm: Comm, blocks, op: Callable, tag: int):
             arrivals.append((j, hr))
         yield from comm.ctx.waitall(handles)
         for j, hr in arrivals:
-            for dst, arr in hr.value.items():
-                schedules[j][dst] = op(schedules[j][dst], arr)
+            if hr.value is LOST_PAYLOAD:
+                for dst in schedules[j]:
+                    schedules[j][dst] = op(
+                        schedules[j][dst], lost_like(schedules[j][dst])
+                    )
+            else:
+                for dst, arr in hr.value.items():
+                    schedules[j][dst] = op(schedules[j][dst], arr)
 
     chunks = []
     for j in range(d):

@@ -16,6 +16,7 @@ __all__ = [
     "LivelockError",
     "CommunicatorError",
     "CommTimeoutError",
+    "RankFailedError",
     "LinkFailedError",
     "DistributionError",
     "AlgorithmError",
@@ -174,6 +175,38 @@ class CommTimeoutError(CommunicatorError):
         super().__init__(
             f"rank {rank}: receive from src={src_s} tag={tag_s} timed out "
             f"after {timeout:g} time units{extra}"
+        )
+
+
+class RankFailedError(CommunicatorError):
+    """A peer rank has fail-stopped (confirmed by the failure detector).
+
+    Raised instead of the generic :class:`CommTimeoutError` when silence
+    from a peer is *probed* and the peer turns out to be dead — the
+    distinction matters because a fail-stop is permanent (recovery must
+    regroup or reconstruct) while a timeout may be transient (retry).
+
+    Attributes
+    ----------
+    rank:
+        The detecting rank.
+    peer:
+        The fail-stopped rank.
+    time:
+        Virtual time of detection (when known).
+    """
+
+    def __init__(
+        self, rank: int, peer: int, time: float | None = None, detail: str = ""
+    ):
+        self.rank = rank
+        self.peer = peer
+        self.time = time
+        self.detail = detail
+        when = "" if time is None else f" (detected at t={time:g})"
+        extra = f": {detail}" if detail else ""
+        super().__init__(
+            f"rank {rank}: peer rank {peer} has fail-stopped{when}{extra}"
         )
 
 

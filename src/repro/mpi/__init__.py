@@ -1,6 +1,27 @@
 """MPI-flavoured communicator layer over hypercube subcubes."""
 
+from repro.mpi.checkpoint import CheckpointedMatmul, RecoveryRun
 from repro.mpi.communicator import Comm
+from repro.mpi.detector import (
+    LOST_PAYLOAD,
+    FailureDetectorContext,
+    lost_like,
+)
+from repro.mpi.recovery import AGREE_TAG, RecoveryContext, agree, shrink
 from repro.mpi.reliable import ACK_BASE, DATA_BASE, ReliableContext
 
-__all__ = ["Comm", "ReliableContext", "DATA_BASE", "ACK_BASE"]
+__all__ = [
+    "Comm",
+    "ReliableContext",
+    "DATA_BASE",
+    "ACK_BASE",
+    "FailureDetectorContext",
+    "LOST_PAYLOAD",
+    "lost_like",
+    "agree",
+    "shrink",
+    "AGREE_TAG",
+    "RecoveryContext",
+    "CheckpointedMatmul",
+    "RecoveryRun",
+]

@@ -243,6 +243,23 @@ class FaultPlan:
             and not self.node_failures
         )
 
+    @property
+    def lossless(self) -> bool:
+        """True iff no fault in this plan can *lose* a message.
+
+        Link faults with rerouting enabled only detour (slower, not lost)
+        and degradations only stretch hop times, so a plan with just those
+        never needs acknowledgements or retransmission — the reliable
+        layer fast-paths to plain delivery.  Drops, node fail-stops, and
+        dead links without rerouting can all swallow messages.
+        """
+        return (
+            self.drop_rate == 0.0
+            and not self.drops
+            and not self.node_failures
+            and (self.reroute or not self.link_faults)
+        )
+
     def node_fail_time(self, node: int) -> float | None:
         for nf in self.node_failures:
             if nf.node == node:

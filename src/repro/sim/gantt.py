@@ -112,7 +112,16 @@ def render_gantt(
             result.phase_times.items(), key=lambda kv: kv[1][0]
         ):
             pos = min(width - 1, int(start / total * width)) if total else 0
-            marks[pos] = "^"
+            # Failure handling gets its own glyphs: D = a rank convicted a
+            # dead peer, R = the survivors entered a recovery round.  When
+            # marks collide on one cell, D outranks R outranks ^.
+            if name.startswith("detect"):
+                marks[pos] = "D"
+            elif name.startswith("recover"):
+                if marks[pos] != "D":
+                    marks[pos] = "R"
+            elif marks[pos] == " ":
+                marks[pos] = "^"
         lines.append("phases:  " + "".join(marks))
         lines.append(
             "         "
@@ -123,4 +132,8 @@ def render_gantt(
                 )
             )
         )
+        if "D" in marks or "R" in marks:
+            lines.append(
+                "         ^ phase start   D failure detected   R recovery round"
+            )
     return "\n".join(lines)

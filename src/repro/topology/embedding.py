@@ -20,6 +20,9 @@ subscripts.
 
 from __future__ import annotations
 
+from itertools import combinations
+from typing import Callable, Iterable
+
 from repro.errors import TopologyError
 from repro.topology.hypercube import Hypercube, Subcube
 from repro.util.bits import gray_code, gray_code_inverse, ilog2, is_power_of_two
@@ -30,7 +33,51 @@ __all__ = [
     "Grid3DEmbedding",
     "Grid3DRectEmbedding",
     "SubcubeGrid2D",
+    "largest_live_subcube",
 ]
+
+
+def largest_live_subcube(
+    cube: Hypercube,
+    alive: Iterable[int],
+    *,
+    require: Callable[[Subcube], bool] | None = None,
+) -> Subcube | None:
+    """Largest subcube of ``cube`` whose members are all in ``alive``.
+
+    Used by communicator recovery: after fail-stops, the survivors must be
+    regrouped onto a machine that is still a hypercube so the paper's
+    Gray-code embeddings keep their dilation-1 guarantee.  The search is a
+    pure function of its arguments and enumerates candidates in a fixed
+    order — descending dimension, then lexicographic free-dimension sets,
+    then ascending anchor — so every surviving rank computes the *same*
+    subcube from the same alive-set without further communication.
+
+    ``require`` optionally rejects candidates (e.g. "dimension divisible
+    by 3" for the 3-D algorithms); the first acceptable candidate wins.
+    Returns ``None`` when no alive node forms an acceptable subcube.
+    """
+    alive_set = frozenset(alive)
+    for node in alive_set:
+        cube._check_node(node)
+    k = cube.dimension
+    all_dims = range(k)
+    for d in range(k, -1, -1):
+        for free_dims in combinations(all_dims, d):
+            free_mask = 0
+            for dim in free_dims:
+                free_mask |= 1 << dim
+            fixed_dims = [dim for dim in all_dims if dim not in free_dims]
+            for bits in range(1 << (k - d)):
+                anchor = 0
+                for pos, dim in enumerate(fixed_dims):
+                    if bits >> pos & 1:
+                        anchor |= 1 << dim
+                sub = Subcube(cube, free_dims, anchor)
+                if all(m in alive_set for m in sub.members()):
+                    if require is None or require(sub):
+                        return sub
+    return None
 
 
 class RingEmbedding:

@@ -1,0 +1,167 @@
+"""Tests for the Huang–Abraham checksum wrapper: geometry, encode/decode
+algebra, and the end-to-end kill-a-rank acceptance scenarios."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import ABFTMatmul, get_algorithm
+from repro.algorithms.abft import abft_decode, abft_encode, abft_geometry
+from repro.errors import AlgorithmError, RankFailedError
+from repro.sim import FaultPlan, MachineConfig
+
+
+def int_pair(n: int, seed: int = 0) -> tuple[np.ndarray, np.ndarray]:
+    """Integer-valued float matrices: float64 sums/differences of small
+    integers are exact, so a recovered product must be bit-identical."""
+    rng = np.random.default_rng(seed)
+    A = rng.integers(-4, 5, (n, n)).astype(float)
+    B = rng.integers(-4, 5, (n, n)).astype(float)
+    return A, B
+
+
+class TestGeometry:
+    def test_square_grid(self):
+        g, e, m = abft_geometry("cannon", 12, 16)
+        assert (g, e, m) == (4, 4, 16)
+
+    def test_cubic_grid_rounds_to_row_groups(self):
+        g, e, m = abft_geometry("3d_all", 4, 8)
+        assert g == 2
+        assert m % (g * g) == 0
+
+    def test_rejects_tiny_grids(self):
+        with pytest.raises(AlgorithmError):
+            abft_geometry("cannon", 8, 1)
+
+
+class TestEncodeDecode:
+    def test_checksum_relations_hold(self):
+        A, B = int_pair(12, seed=3)
+        g, e, m = abft_geometry("cannon", 12, 16)
+        Ap, Bp = abft_encode(A, B, g, e)
+        Cp = Ap @ Bp
+        npad = (g - 1) * e
+        # row checksum: last block-row equals the sum of the others
+        for j in range(g):
+            block = Cp[npad:m, j * e:(j + 1) * e]
+            total = sum(
+                Cp[i * e:(i + 1) * e, j * e:(j + 1) * e] for i in range(g - 1)
+            )
+            assert np.array_equal(block, total)
+        # the true product lives in the top-left corner
+        assert np.array_equal(Cp[:12, :12], A @ B)
+
+    def test_decode_recovers_full_row_and_column(self):
+        A, B = int_pair(12, seed=4)
+        g, e, m = abft_geometry("cannon", 12, 16)
+        Ap, Bp = abft_encode(A, B, g, e)
+        Cp = Ap @ Bp
+        holed = Cp.copy()
+        # lose decode row 1 and decode column 2 entirely (7 of 16 blocks)
+        holed[e:2 * e, :] = np.nan
+        holed[:, 2 * e:3 * e] = np.nan
+        fixed, lost, unrecovered = abft_decode(holed, g, e)
+        assert lost == 2 * g - 1
+        assert unrecovered == 0
+        assert np.array_equal(fixed, Cp)
+
+    def test_two_disjoint_rows_and_columns_are_undecodable(self):
+        A, B = int_pair(12, seed=5)
+        g, e, m = abft_geometry("cannon", 12, 16)
+        Ap, Bp = abft_encode(A, B, g, e)
+        holed = (Ap @ Bp).copy()
+        for r in (0, 2):
+            holed[r * e:(r + 1) * e, :] = np.nan
+        for c in (0, 2):
+            holed[:, c * e:(c + 1) * e] = np.nan
+        _fixed, _lost, unrecovered = abft_decode(holed, g, e)
+        assert unrecovered > 0
+
+
+class TestEndToEnd:
+    """The acceptance scenarios: kill ranks mid-run, demand the exact
+    product back."""
+
+    def test_cannon_one_kill_recovers_exactly(self):
+        n = 12
+        A, B = int_pair(n, seed=0)
+        algo = get_algorithm("cannon")
+        cfg0 = MachineConfig.create(16, t_s=10.0, t_w=1.0)
+        base = ABFTMatmul(algo).run(A, B, cfg0)
+        plan = FaultPlan(seed=1).with_node_failure(
+            6, at=base.total_time * 0.3
+        )
+        run = ABFTMatmul(algo).run(A, B, cfg0.with_faults(plan))
+        assert run.mode == "abft"
+        assert run.machine == "full"
+        assert run.dead == (6,)
+        assert run.recovered
+        assert np.array_equal(run.C, A @ B)
+
+    def test_3d_all_one_kill_recovers_exactly(self):
+        n = 4
+        A, B = int_pair(n, seed=1)
+        algo = get_algorithm("3d_all")
+        cfg0 = MachineConfig.create(8, t_s=10.0, t_w=1.0)
+        base = ABFTMatmul(algo).run(A, B, cfg0)
+        plan = FaultPlan(seed=1).with_node_failure(
+            5, at=base.total_time * 0.4
+        )
+        run = ABFTMatmul(algo).run(A, B, cfg0.with_faults(plan))
+        assert run.mode == "abft"
+        assert run.dead == (5,)
+        assert run.recovered
+        assert np.array_equal(run.C, A @ B)
+
+    def test_two_kills_fall_back_to_checkpoint(self):
+        """Ranks 3 and 12 sit on distinct grid rows *and* columns, so the
+        checksum relations cannot pin the losses down — the wrapper must
+        restart on the surviving subcube and still be exact."""
+        n = 12
+        A, B = int_pair(n, seed=2)
+        algo = get_algorithm("cannon")
+        cfg0 = MachineConfig.create(16, t_s=10.0, t_w=1.0)
+        base = ABFTMatmul(algo).run(A, B, cfg0)
+        plan = (
+            FaultPlan(seed=1)
+            .with_node_failure(3, at=base.total_time * 0.3)
+            .with_node_failure(12, at=base.total_time * 0.5)
+        )
+        run = ABFTMatmul(algo).run(A, B, cfg0.with_faults(plan))
+        assert run.mode == "abft+checkpoint"
+        assert run.machine == "sub"
+        assert set(run.dead) == {3, 12}
+        assert run.attempt_time > 0
+        assert np.array_equal(run.C, A @ B)
+
+    def test_mode_none_raises_rank_failed(self):
+        """Recovery disabled: the run must fail with the *diagnosed*
+        error, not a hang or a generic timeout."""
+        n = 12
+        A, B = int_pair(n, seed=0)
+        algo = get_algorithm("cannon")
+        cfg0 = MachineConfig.create(16, t_s=10.0, t_w=1.0)
+        base = algo.run(A, B, cfg0)
+        plan = FaultPlan(seed=1).with_node_failure(
+            6, at=base.total_time * 0.3
+        )
+        with pytest.raises(RankFailedError):
+            ABFTMatmul(algo, mode="none").run(A, B, cfg0.with_faults(plan))
+
+    def test_fault_free_run_pays_only_augmentation(self):
+        n = 12
+        A, B = int_pair(n, seed=6)
+        algo = get_algorithm("cannon")
+        cfg0 = MachineConfig.create(16, t_s=10.0, t_w=1.0)
+        plain = algo.run(A, B, cfg0)
+        run = ABFTMatmul(algo).run(A, B, cfg0)
+        assert run.mode == "abft"
+        assert not run.recovered
+        assert np.array_equal(run.C, A @ B)
+        # n=12 grows to m=16: the overhead is the larger operand, not
+        # protocol chatter (the detector is disarmed without failures)
+        assert run.total_time < plain.total_time * (16 / 12) ** 2
+
+    def test_rejects_unknown_mode(self):
+        with pytest.raises(AlgorithmError):
+            ABFTMatmul(get_algorithm("cannon"), mode="wish")

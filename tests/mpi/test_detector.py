@@ -1,0 +1,220 @@
+"""Tests for the failure detector: probing, conviction, leases, and
+in-band substitution for fail-stopped peers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CommTimeoutError, CommunicatorError, RankFailedError
+from repro.mpi import FailureDetectorContext, LOST_PAYLOAD, lost_like
+from repro.mpi.reliable import ReliableContext
+from repro.sim import FaultPlan, MachineConfig, run_spmd
+
+CFG = MachineConfig.create(4, t_s=10.0, t_w=1.0)
+
+
+def faulty(p: int, plan: FaultPlan) -> MachineConfig:
+    return MachineConfig.create(p, t_s=10.0, t_w=1.0, faults=plan)
+
+
+class TestArming:
+    def test_inactive_without_node_failures(self):
+        """Drop rates alone do not arm detection: every call delegates."""
+        plan = FaultPlan(seed=1).with_drop_rate(0.1)
+
+        def prog(ctx):
+            det = FailureDetectorContext(ctx)
+            assert not det.active
+            out = yield from det.exchange(ctx.rank ^ 1, np.ones(4), tag=0)
+            return float(out.sum())
+
+        res = run_spmd(faulty(4, plan), prog)
+        assert all(v == 4.0 for v in res.results.values())
+
+    def test_active_with_node_failures(self):
+        plan = FaultPlan(seed=1).with_node_failure(3, at=1e9)
+
+        def prog(ctx):
+            det = FailureDetectorContext(ctx)
+            return det.active
+            yield  # pragma: no cover
+
+        res = run_spmd(faulty(4, plan), prog)
+        assert all(res.results.values())
+
+    def test_rejects_bad_on_dead(self):
+        class _Fake:
+            config = CFG
+            rank = 0
+
+        with pytest.raises(CommunicatorError):
+            FailureDetectorContext(ReliableContext(_Fake()), on_dead="panic")
+
+    def test_wraps_existing_reliable_context(self):
+        def prog(ctx):
+            rel = ReliableContext(ctx, max_retries=2)
+            det = FailureDetectorContext(rel)
+            data = yield from det.exchange(ctx.rank ^ 1, np.ones(2), tag=0)
+            return data.size
+
+        res = run_spmd(CFG, prog)
+        assert all(v == 2 for v in res.results.values())
+
+
+class TestProbing:
+    def test_probe_convicts_dead_and_clears_alive(self):
+        plan = FaultPlan(seed=1).with_node_failure(1, at=0.5)
+
+        def prog(ctx):
+            if ctx.rank != 0:
+                yield from ctx.elapse(100_000.0)
+                return None
+            det = FailureDetectorContext(ctx)
+            dead = yield from det.probe(1)
+            alive = yield from det.probe(2)
+            return (dead, alive, sorted(det.known_dead))
+
+        res = run_spmd(faulty(4, plan), prog)
+        assert res.results[0] == (False, True, [1])
+
+    def test_conviction_marks_detect_phase(self):
+        plan = FaultPlan(seed=1).with_node_failure(1, at=0.5)
+
+        def prog(ctx):
+            if ctx.rank != 0:
+                yield from ctx.elapse(100_000.0)
+                return None
+            det = FailureDetectorContext(ctx)
+            yield from det.probe(1)
+            return None
+
+        res = run_spmd(faulty(4, plan), prog)
+        assert "detect:1" in res.phase_times
+
+    def test_probe_self_is_alive(self):
+        plan = FaultPlan(seed=1).with_node_failure(3, at=1e9)
+
+        def prog(ctx):
+            det = FailureDetectorContext(ctx)
+            return (yield from det.probe(ctx.rank))
+
+        res = run_spmd(faulty(4, plan), prog)
+        assert all(res.results.values())
+
+
+class TestDeadPeerSemantics:
+    PLAN = FaultPlan(seed=1).with_node_failure(1, at=0.5)
+
+    def test_exchange_substitutes_nan_of_sent_shape(self):
+        def prog(ctx):
+            if ctx.rank != 0:
+                yield from ctx.elapse(100_000.0)
+                return None
+            det = FailureDetectorContext(ctx, on_dead="substitute")
+            got = yield from det.exchange(1, np.ones((2, 3)), tag=0)
+            return (got.shape, bool(np.isnan(got).all()))
+
+        res = run_spmd(faulty(4, self.PLAN), prog)
+        assert res.results[0] == ((2, 3), True)
+
+    def test_bare_recv_has_no_substitute(self):
+        def prog(ctx):
+            if ctx.rank != 0:
+                yield from ctx.elapse(100_000.0)
+                return None
+            det = FailureDetectorContext(ctx, on_dead="substitute")
+            with pytest.raises(RankFailedError):
+                yield from det.recv(1, tag=0)
+            return "raised"
+
+        res = run_spmd(faulty(4, self.PLAN), prog)
+        assert res.results[0] == "raised"
+
+    def test_raise_mode_raises_on_send_and_recv(self):
+        def prog(ctx):
+            if ctx.rank != 0:
+                yield from ctx.elapse(100_000.0)
+                return None
+            det = FailureDetectorContext(ctx, on_dead="raise")
+            with pytest.raises(RankFailedError) as exc:
+                yield from det.exchange(1, np.ones(4), tag=0)
+            assert exc.value.peer == 1
+            # conviction is cached: the next op fails immediately
+            with pytest.raises(RankFailedError):
+                yield from det.send(1, np.ones(4), tag=1)
+            return det.now
+
+        res = run_spmd(faulty(4, self.PLAN), prog)
+        assert res.results[0] is not None
+
+    def test_substitute_send_is_fire_and_forget(self):
+        def prog(ctx):
+            if ctx.rank != 0:
+                yield from ctx.elapse(100_000.0)
+                return None
+            det = FailureDetectorContext(ctx, on_dead="substitute")
+            yield from det.probe(1)
+            yield from det.send(1, np.ones(4), tag=0)  # must not raise
+            return "sent"
+
+        res = run_spmd(faulty(4, self.PLAN), prog)
+        assert res.results[0] == "sent"
+
+    def test_waitall_pairs_send_payload_as_template(self):
+        """A same-tag isend in the batch shapes the NaN substitute for
+        the dead peer's irecv — the ring-shift pattern."""
+
+        def prog(ctx):
+            if ctx.rank != 0:
+                yield from ctx.elapse(100_000.0)
+                return None
+            det = FailureDetectorContext(ctx, on_dead="substitute")
+            hs = yield from det.isend(1, np.ones((4, 2)), tag=7)
+            hr = yield from det.irecv(1, tag=7)
+            values = yield from det.waitall([hs, hr])
+            got = values[1]
+            return (got.shape, bool(np.isnan(got).all()))
+
+        res = run_spmd(faulty(4, self.PLAN), prog)
+        assert res.results[0] == ((4, 2), True)
+
+    def test_non_array_payload_becomes_lost_sentinel(self):
+        def prog(ctx):
+            if ctx.rank != 0:
+                yield from ctx.elapse(100_000.0)
+                return None
+            det = FailureDetectorContext(ctx, on_dead="substitute")
+            got = yield from det.exchange(1, {"k": np.ones(2)}, tag=0, nwords=2)
+            return got is LOST_PAYLOAD
+
+        res = run_spmd(faulty(4, self.PLAN), prog)
+        assert res.results[0] is True
+
+
+class TestLeases:
+    def test_alive_but_silent_peer_times_out_generically(self):
+        """A peer that is alive but never sends must not be convicted:
+        the lease ladder ends in CommTimeoutError, not RankFailedError."""
+        plan = FaultPlan(seed=1).with_node_failure(3, at=1e9)
+
+        def prog(ctx):
+            if ctx.rank == 1:
+                yield from ctx.elapse(200_000.0)  # alive, silent
+                return None
+            if ctx.rank != 0:
+                return None
+            det = FailureDetectorContext(ctx, max_leases=2)
+            try:
+                yield from det.recv(1, tag=0)
+            except CommTimeoutError as exc:
+                return "alive but silent" in str(exc)
+            return False
+
+        res = run_spmd(faulty(4, plan), prog)
+        assert res.results[0] is True
+
+
+def test_lost_like_shapes_and_nans():
+    out = lost_like(np.ones((3, 5)))
+    assert out.shape == (3, 5)
+    assert np.isnan(out).all()
+    assert repr(LOST_PAYLOAD) == "<LOST_PAYLOAD>"

@@ -43,10 +43,12 @@ class TestCleanMachine:
         assert res.results[0] == (0.0, 8)
 
     def test_ack_costs_a_zero_word_message(self):
-        """Reliability is not free: each remote send adds an ack hop."""
+        """The protocol is not free: each remote send adds an ack hop.
+        On a lossless machine the fast path skips it, so the protocol is
+        forced on for the measurement."""
 
         def prog(ctx):
-            rel = ReliableContext(ctx)
+            rel = ReliableContext(ctx, force_protocol=True)
             if ctx.rank == 0:
                 yield from rel.send(1, np.ones(5), tag=0)
             elif ctx.rank == 1:
@@ -60,7 +62,7 @@ class TestCleanMachine:
 
     def test_tag_discipline(self):
         def prog(ctx):
-            rel = ReliableContext(ctx)
+            rel = ReliableContext(ctx, force_protocol=True)
             if ctx.rank == 0:
                 with pytest.raises(CommunicatorError):
                     yield from rel.send(1, np.ones(1), tag=DATA_BASE)
@@ -303,7 +305,7 @@ class TestNonblockingAndPairwise:
 
     def test_waitall_rejects_mixed_handles(self):
         def prog(ctx):
-            rel = ReliableContext(ctx)
+            rel = ReliableContext(ctx, force_protocol=True)
             if ctx.rank == 0:
                 raw = yield from ctx.isend(1, np.ones(1))
                 reliable = yield from rel.isend(1, np.ones(1), tag=0)
@@ -370,6 +372,87 @@ class TestParallelUnderDegradation:
         assert all(v == 32.0 for v in healthy.results.values())
         assert degraded.results == healthy.results
         assert degraded.total_time > healthy.total_time
+
+
+class TestPassthroughFastPath:
+    """On a machine that cannot lose messages, the reliable layer must
+    cost nothing: it delegates verbatim instead of running the protocol."""
+
+    def test_passthrough_flag(self):
+        class _Fake:
+            config = CFG
+
+        assert ReliableContext(_Fake()).passthrough
+        assert not ReliableContext(_Fake(), force_protocol=True).passthrough
+
+        class _Lossy:
+            config = MachineConfig.create(
+                4, faults=FaultPlan(seed=1).with_drop_rate(0.1)
+            )
+
+        assert not ReliableContext(_Lossy()).passthrough
+
+        class _Empty:
+            config = MachineConfig.create(4, faults=FaultPlan(seed=1))
+
+        assert ReliableContext(_Empty()).passthrough
+
+    def test_fault_free_algorithm_cost_is_exactly_baseline(self):
+        """Acceptance: fault-free slowdown under ReliableContext is 1.0
+        (the protocol previously cost ~1.8x in acks)."""
+        from repro.algorithms.registry import get_algorithm
+
+        rng = np.random.default_rng(0)
+        A, B = rng.standard_normal((8, 8)), rng.standard_normal((8, 8))
+        cfg = MachineConfig.create(16)
+        for key in ("cannon", "fox", "hje"):
+            algo = get_algorithm(key)
+            plain = algo.run(A, B, cfg, verify=True)
+            rel = algo.run(
+                A, B, cfg, verify=True, context_factory=ReliableContext
+            )
+            assert rel.total_time == plain.total_time, key
+            assert rel.result.network.retransmissions == 0
+
+    def test_lossless_plan_also_fast_paths(self):
+        """A present-but-lossless plan (pure degradations) still takes the
+        fast path: degradation changes hop costs, not delivery."""
+        plan = FaultPlan().with_degraded_link(0, 1, 2.0)
+
+        def prog(ctx):
+            rel = ReliableContext(ctx)
+            assert rel.passthrough
+            if ctx.rank == 0:
+                yield from rel.send(1, np.ones(4), tag=0)
+            elif ctx.rank == 1:
+                yield from rel.recv(0, tag=0)
+            return None
+
+        res = run_spmd(faulty(4, plan), prog)
+        assert res.stats[1].messages_sent == 0  # no ack traffic
+
+    def test_sendrecv_with_timeout_still_bounded(self):
+        """The passthrough sendrecv keeps the timeout semantics a failure
+        detector depends on."""
+
+        def prog(ctx):
+            rel = ReliableContext(ctx)
+            if ctx.rank == 0:
+                try:
+                    yield from rel.sendrecv(
+                        1, np.ones(2), src=1, send_tag=0, recv_tag=0,
+                        timeout=200.0,
+                    )
+                except CommTimeoutError:
+                    return ("gave up", ctx.now)
+            if ctx.rank == 1:
+                yield from ctx.recv(0, tag=0)  # receives, never replies
+            return None
+
+        res = run_spmd(CFG, prog)
+        verdict, when = res.results[0]
+        assert verdict == "gave up"
+        assert when == pytest.approx(200.0)
 
 
 class TestThroughCommunicators:

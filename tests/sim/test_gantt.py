@@ -134,3 +134,38 @@ class TestGanttFaultMarks:
         art = render_gantt(res, width=40)
         assert "faults:" not in art
         assert "X node fail-stopped" not in art
+
+
+class TestRecoveryMarks:
+    def test_detect_and_recover_phases_get_their_own_glyphs(self):
+        plan = FaultPlan(seed=1).with_node_failure(1, at=0.5)
+
+        def prog(ctx):
+            from repro.mpi import FailureDetectorContext
+
+            if ctx.rank != 0:
+                yield from ctx.elapse(20_000.0)
+                return None
+            det = FailureDetectorContext(ctx)
+            yield from det.probe(1)          # convicts -> "detect:1" phase
+            yield from ctx.elapse(5_000.0)   # separate the marks' cells
+            det.phase("recover")
+            yield from ctx.elapse(10.0)
+            return None
+
+        res = run_spmd(
+            MachineConfig.create(4, t_s=10, t_w=1, faults=plan),
+            prog, trace=True,
+        )
+        art = render_gantt(res, width=60)
+        phase_line = next(l for l in art.splitlines() if l.startswith("phases:"))
+        assert "D" in phase_line
+        assert "R" in phase_line
+        assert "D failure detected" in art
+
+    def test_plain_phases_keep_the_caret(self):
+        res = traced_run()
+        art = render_gantt(res, width=40)
+        phase_line = next(l for l in art.splitlines() if l.startswith("phases:"))
+        assert "^" in phase_line
+        assert "D" not in phase_line
