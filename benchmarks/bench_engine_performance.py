@@ -4,14 +4,37 @@ Not a paper artefact — these keep the discrete-event core honest as the
 library evolves (events/second on reference workloads, scaling with rank
 count).  pytest-benchmark's statistics are the product here; no report
 file is written.
+
+Run directly for the CI perf-smoke gate::
+
+    PYTHONPATH=src python benchmarks/bench_engine_performance.py --smoke \
+        --jobs 2 --check
+
+``--check`` compares against the committed ``benchmarks/BENCH_engine.json``
+baseline and exits non-zero on a >25% regression; ``--update`` rewrites
+the baseline's ``after`` numbers after an intentional change.
 """
+
+import argparse
+import json
+import pathlib
+import sys
+import time
 
 import numpy as np
 import pytest
 
 from repro.algorithms import get_algorithm
+from repro.analysis.measure import measure_cell
+from repro.analysis.parallel import run_grid
+from repro.analysis.regions import region_map
 from repro.mpi import Comm
 from repro.sim import MachineConfig, PortModel, run_spmd
+
+BASELINE_PATH = pathlib.Path(__file__).parent / "BENCH_engine.json"
+
+#: tolerated slowdown vs the committed baseline before --check fails
+REGRESSION_THRESHOLD = 1.25
 
 
 @pytest.mark.parametrize("p", [64, 256, 1024], ids=lambda p: f"p{p}")
@@ -67,3 +90,153 @@ def test_cannon_many_steps(benchmark):
 
     run = benchmark(lambda: get_algorithm("cannon").run(A, B, cfg))
     assert np.allclose(run.C, A @ B)
+
+
+# ---------------------------------------------------------------------------
+# Standalone smoke runner (CI perf gate; see module docstring)
+# ---------------------------------------------------------------------------
+
+
+def _wl_pairwise():
+    def prog(ctx):
+        for k in range(10):
+            peer = ctx.rank ^ (1 << (k % ctx.config.dimension))
+            yield from ctx.exchange(peer, np.ones(4), tag=k)
+        return None
+
+    run_spmd(MachineConfig.create(256, t_s=1, t_w=1), prog)
+
+
+def _wl_allgather():
+    def prog(ctx):
+        from repro.collectives import allgather
+
+        comm = Comm(ctx, list(range(64)))
+        out = yield from allgather(comm, np.ones(8))
+        return len(out)
+
+    run_spmd(MachineConfig.create(64, t_s=1, t_w=1), prog)
+
+
+def _wl_cannon():
+    rng = np.random.default_rng(0)
+    A = rng.standard_normal((64, 64))
+    B = rng.standard_normal((64, 64))
+    get_algorithm("cannon").run(A, B, MachineConfig.create(256, t_s=150, t_w=3))
+
+
+def _wl_3d_all():
+    rng = np.random.default_rng(0)
+    A = rng.standard_normal((64, 64))
+    B = rng.standard_normal((64, 64))
+    get_algorithm("3d_all").run(A, B, MachineConfig.create(512, t_s=150, t_w=3))
+
+
+def _wl_fig13_panels():
+    for t_s in (150.0, 30.0, 5.0, 0.5):
+        region_map(PortModel.ONE_PORT, t_s, 3.0, log2_n_max=13, log2_p_max=20)
+
+
+_SWEEP_CELLS = [
+    ("cannon", 16, 16), ("cannon", 32, 64), ("3d_all", 16, 64),
+    ("3dd", 16, 64), ("berntsen", 16, 8), ("dns", 16, 64),
+    ("simple", 16, 16), ("fox", 16, 16),
+]
+
+
+def _wl_measured_sweep(jobs):
+    run_grid(
+        measure_cell,
+        [(k, n, p, PortModel.ONE_PORT) for k, n, p in _SWEEP_CELLS],
+        jobs=jobs,
+    )
+
+
+def _workloads(jobs):
+    return [
+        ("pairwise_p256", _wl_pairwise),
+        ("allgather_p64", _wl_allgather),
+        ("cannon_n64_p256", _wl_cannon),
+        ("3d_all_n64_p512", _wl_3d_all),
+        ("fig13_panels_x4", _wl_fig13_panels),
+        ("coeff_sweep_8cells", lambda: _wl_measured_sweep(1)),
+        (f"coeff_sweep_8cells_jobs{jobs}", lambda: _wl_measured_sweep(jobs)),
+    ]
+
+
+def _best_of(fn, reps):
+    best = float("inf")
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="engine perf smoke runner (CI gate)"
+    )
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="reduced repetitions (best of 2 instead of best of 5)",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=2,
+        help="worker processes for the parallel-sweep workload",
+    )
+    parser.add_argument(
+        "--check", action="store_true",
+        help="fail on a >25%% regression vs the committed baseline",
+    )
+    parser.add_argument(
+        "--update", action="store_true",
+        help="rewrite the committed baseline's 'after' numbers",
+    )
+    args = parser.parse_args(argv)
+
+    reps = 2 if args.smoke else 5
+    results = {}
+    for name, fn in _workloads(args.jobs):
+        results[name] = round(_best_of(fn, reps), 4)
+        print(f"{name:32s} {results[name]:8.4f}s")
+
+    baseline = (
+        json.loads(BASELINE_PATH.read_text()) if BASELINE_PATH.exists()
+        else {"workloads": {}}
+    )
+    if args.update:
+        for name, t in results.items():
+            entry = baseline["workloads"].setdefault(name, {})
+            entry["after"] = t
+        BASELINE_PATH.write_text(json.dumps(baseline, indent=1) + "\n")
+        print(f"baseline updated: {BASELINE_PATH}")
+        return 0
+    if args.check:
+        failed = []
+        for name, t in results.items():
+            # The jobs-suffixed sweep demonstrates parallel dispatch; its
+            # wall clock is dominated by pool start-up on small grids (and
+            # its name varies with --jobs), so it informs but never gates.
+            if "_jobs" in name:
+                continue
+            want = baseline["workloads"].get(name, {}).get("after")
+            if want is None:
+                continue
+            if t > want * REGRESSION_THRESHOLD:
+                failed.append((name, t, want))
+        if failed:
+            for name, t, want in failed:
+                print(
+                    f"REGRESSION: {name} took {t:.4f}s vs baseline "
+                    f"{want:.4f}s (>{REGRESSION_THRESHOLD:.0%})",
+                    file=sys.stderr,
+                )
+            return 1
+        print(f"perf check OK vs {BASELINE_PATH.name} "
+              f"(threshold {REGRESSION_THRESHOLD:.0%})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -17,7 +17,13 @@ from repro.algorithms import get_algorithm
 from repro.models.table2 import overhead_coefficients
 from repro.sim.machine import MachineConfig, PortModel, RoutingMode
 
-__all__ = ["measure_comm_time", "extract_coefficients", "measured_vs_model", "CoefficientComparison"]
+__all__ = [
+    "measure_comm_time",
+    "extract_coefficients",
+    "measure_cell",
+    "measured_vs_model",
+    "CoefficientComparison",
+]
 
 
 def _inputs(n: int, seed: int = 7) -> tuple[np.ndarray, np.ndarray]:
@@ -36,10 +42,17 @@ def measure_comm_time(
     routing: RoutingMode = RoutingMode.STORE_AND_FORWARD,
     verify: bool = False,
 ) -> float:
-    """Simulated communication time of one algorithm run (``t_c = 0``)."""
+    """Simulated communication time of one algorithm run (``t_c = 0``).
+
+    Payload copying is disabled unless the run verifies the product:
+    timings depend only on message *sizes*, never their contents, so the
+    measurement mode can safely share buffers (zero-copy) and skip the
+    deep-copy that dominates send issue on large matrices.
+    """
     A, B = _inputs(n)
     config = MachineConfig.create(
-        p, t_s=t_s, t_w=t_w, t_c=0.0, port_model=port, routing=routing
+        p, t_s=t_s, t_w=t_w, t_c=0.0, port_model=port, routing=routing,
+        copy_on_send=verify,
     )
     run = get_algorithm(key).run(A, B, config, verify=verify)
     return run.total_time
@@ -62,6 +75,20 @@ def extract_coefficients(
     a = measure_comm_time(key, n, p, port, t_s=1.0, t_w=0.0, routing=routing)
     b = measure_comm_time(key, n, p, port, t_s=0.0, t_w=1.0, routing=routing)
     return (a, b)
+
+
+def measure_cell(
+    task: tuple[str, int, int, PortModel],
+) -> tuple[str, int, int, tuple[float, float]]:
+    """:func:`extract_coefficients` over one plain-data task tuple.
+
+    The module-level worker for sharding a grid of ``(key, n, p, port)``
+    cells across processes with :func:`repro.analysis.parallel.run_grid`;
+    returns the cell identity along with the measured ``(a, b)`` pair so
+    the merged results are self-describing.
+    """
+    key, n, p, port = task
+    return (key, n, p, extract_coefficients(key, n, p, port))
 
 
 @dataclass

@@ -17,8 +17,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.analysis.parallel import run_grid
 from repro.errors import ModelError
-from repro.models.table2 import communication_overhead
+from repro.models.table2 import communication_overhead, resolve_overhead
 from repro.sim.machine import PortModel
 
 __all__ = [
@@ -112,6 +113,40 @@ class RegionMap:
         return won / total if total else 0.0
 
 
+def _map_row(
+    task: tuple[PortModel, float, float, float, tuple[float, ...], tuple[str, ...]],
+) -> tuple[list[str | None], list[float]]:
+    """One lattice row of a region map (module-level for run_grid workers).
+
+    Each call resolves its candidates' Table 2 dispatch locally — cheap
+    and cached per process — so the task tuple stays plain picklable data.
+    """
+    port, t_s, t_w, ln, log2_p, algos = task
+    evaluators = [
+        (key, fn)
+        for key, fn in ((k, resolve_overhead(k, port)) for k in algos)
+        if fn is not None
+    ]
+    n = 2.0 ** ln
+    nan = float("nan")
+    row_w: list[str | None] = []
+    row_t: list[float] = []
+    for lp in log2_p:
+        p = 2.0 ** lp
+        best_key: str | None = None
+        best_t = nan
+        for key, fn in evaluators:
+            coeffs = fn(n, p)
+            if coeffs is None:
+                continue
+            t = coeffs[0] * t_s + coeffs[1] * t_w
+            if best_key is None or t < best_t:
+                best_key, best_t = key, t
+        row_w.append(best_key)
+        row_t.append(best_t)
+    return row_w, row_t
+
+
 def region_map(
     port: PortModel,
     t_s: float,
@@ -122,27 +157,24 @@ def region_map(
     log2_n_min: int = 1,
     log2_p_min: int = 2,
     algorithms: tuple[str, ...] | None = None,
+    jobs: int = 1,
 ) -> RegionMap:
     """Compute the best-algorithm map on an integer log₂ lattice.
 
     Defaults cover ``n`` up to ``2¹³ = 8192`` and ``p`` up to ``2²⁰ ≈ 10⁶``
     (the paper's figures use similar log-log axes; points with ``p > n³``
-    have no applicable algorithm and map to ``None``).
+    have no applicable algorithm and map to ``None``).  ``jobs > 1``
+    shards the rows over worker processes (:func:`run_grid`); the map is
+    bit-identical for every ``jobs`` value.
     """
     if log2_n_min > log2_n_max or log2_p_min > log2_p_max:
         raise ModelError("empty lattice for region map")
     log2_n = [float(v) for v in range(log2_n_min, log2_n_max + 1)]
     log2_p = [float(v) for v in range(log2_p_min, log2_p_max + 1)]
     rm = RegionMap(port=port, t_s=t_s, t_w=t_w, log2_n=log2_n, log2_p=log2_p)
-    for ln in log2_n:
-        n = 2.0 ** ln
-        row_w: list[str | None] = []
-        row_t: list[float] = []
-        for lp in log2_p:
-            p = 2.0 ** lp
-            best = best_algorithm(n, p, port, t_s, t_w, algorithms)
-            row_w.append(best[0] if best else None)
-            row_t.append(best[1] if best else float("nan"))
+    algos = tuple(algorithms if algorithms is not None else candidates(port))
+    tasks = [(port, t_s, t_w, ln, tuple(log2_p), algos) for ln in log2_n]
+    for row_w, row_t in run_grid(_map_row, tasks, jobs=jobs):
         rm.winners.append(row_w)
         rm.times.append(row_t)
     return rm

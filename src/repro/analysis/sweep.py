@@ -2,17 +2,36 @@
 
 Utilities behind the "where does algorithm X overtake Y?" questions the
 paper answers with its region figures: 1-D sweeps along ``n``, ``p`` or
-``t_s`` with bisection for the crossover location.
+``t_s``/``t_w`` with bisection for the crossover location.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from repro.analysis.parallel import run_grid
 from repro.errors import ModelError
 from repro.models.table2 import communication_overhead
 from repro.sim.machine import PortModel
 
 __all__ = ["sweep", "crossover", "SweepPoint"]
+
+_VARIABLES = ("n", "p", "t_s", "t_w")
+
+
+def _with_variable(
+    variable: str, value: float, n: float, p: float, t_s: float, t_w: float
+) -> tuple[float, float, float, float]:
+    """The ``(n, p, t_s, t_w)`` tuple with ``variable`` overridden.
+
+    The single source of truth for "sweep one axis, pin the rest" —
+    :func:`sweep` and :func:`crossover` both build their model calls
+    through it.
+    """
+    if variable not in _VARIABLES:
+        raise ModelError(f"unknown sweep variable {variable!r}")
+    params = {"n": n, "p": p, "t_s": t_s, "t_w": t_w}
+    params[variable] = value
+    return params["n"], params["p"], params["t_s"], params["t_w"]
 
 
 @dataclass(frozen=True)
@@ -29,6 +48,19 @@ class SweepPoint:
         return min(valid, key=valid.get)
 
 
+def _sweep_cell(
+    task: tuple[tuple[str, ...], str, float, float, float, PortModel, float, float],
+) -> SweepPoint:
+    """Evaluate one sweep sample (module-level for run_grid workers)."""
+    algorithms, variable, value, n, p, port, t_s, t_w = task
+    vn, vp, vt_s, vt_w = _with_variable(variable, value, n, p, t_s, t_w)
+    times = {
+        key: communication_overhead(key, vn, vp, port, vt_s, vt_w)
+        for key in algorithms
+    }
+    return SweepPoint(value=value, times=times)
+
+
 def sweep(
     algorithms: tuple[str, ...],
     variable: str,
@@ -39,26 +71,22 @@ def sweep(
     port: PortModel = PortModel.ONE_PORT,
     t_s: float = 150.0,
     t_w: float = 3.0,
+    jobs: int = 1,
 ) -> list[SweepPoint]:
     """Evaluate the Table 2 overheads along one axis.
 
     ``variable`` is ``"n"``, ``"p"``, ``"t_s"`` or ``"t_w"``; the other
-    parameters stay fixed at the keyword values.
+    parameters stay fixed at the keyword values.  ``jobs > 1`` shards the
+    samples over worker processes (:func:`run_grid`) with results
+    identical to the sequential sweep.
     """
-    if variable not in ("n", "p", "t_s", "t_w"):
+    if variable not in _VARIABLES:
         raise ModelError(f"unknown sweep variable {variable!r}")
-    out = []
-    for value in values:
-        kwargs = {"n": n, "p": p, "t_s": t_s, "t_w": t_w}
-        kwargs[variable] = value
-        times = {
-            key: communication_overhead(
-                key, kwargs["n"], kwargs["p"], port, kwargs["t_s"], kwargs["t_w"]
-            )
-            for key in algorithms
-        }
-        out.append(SweepPoint(value=value, times=times))
-    return out
+    tasks = [
+        (tuple(algorithms), variable, value, n, p, port, t_s, t_w)
+        for value in values
+    ]
+    return run_grid(_sweep_cell, tasks, jobs=jobs)
 
 
 def crossover(
@@ -79,18 +107,16 @@ def crossover(
 
     Bisects ``[lo, hi]``; returns ``None`` when the sign of
     ``time_A - time_B`` does not change over the interval (no crossover)
-    or either model is inapplicable at an endpoint.
+    or either model is inapplicable at an endpoint.  Each point is
+    evaluated exactly once: the endpoint differences are computed up
+    front and the surviving endpoint's value is reused as the bracket
+    shrinks.
     """
 
     def diff(value: float) -> float | None:
-        kwargs = {"n": n, "p": p, "t_s": t_s, "t_w": t_w}
-        kwargs[variable] = value
-        ta = communication_overhead(
-            key_a, kwargs["n"], kwargs["p"], port, kwargs["t_s"], kwargs["t_w"]
-        )
-        tb = communication_overhead(
-            key_b, kwargs["n"], kwargs["p"], port, kwargs["t_s"], kwargs["t_w"]
-        )
+        vn, vp, vt_s, vt_w = _with_variable(variable, value, n, p, t_s, t_w)
+        ta = communication_overhead(key_a, vn, vp, port, vt_s, vt_w)
+        tb = communication_overhead(key_b, vn, vp, port, vt_s, vt_w)
         if ta is None or tb is None:
             return None
         return ta - tb
@@ -105,7 +131,6 @@ def crossover(
             return None
         if d_lo * d_mid <= 0:
             hi = mid
-            d_hi = d_mid
         else:
             lo = mid
             d_lo = d_mid

@@ -5,6 +5,7 @@ Subcommands
 ``run``          simulate one algorithm and report timing/volume/correctness
 ``compare``      tabulate all applicable algorithms at one (n, p) point
 ``figure``       render a Figure 13/14 region-map panel as ASCII
+``sweep``        tabulate model overheads along one parameter axis
 ``table2``       measured vs modelled (a, b) coefficients for one point
 ``trace``        run one algorithm and draw an ASCII Gantt chart
 ``scalability``  isoefficiency curves (n required to hold efficiency E)
@@ -137,13 +138,40 @@ def _cmd_figure(args) -> int:
     port = PortModel.ONE_PORT if args.figure == 13 else PortModel.MULTI_PORT
     t_s, t_w = PANELS[args.panel]
     rm = region_map(
-        port, t_s, t_w, log2_n_max=args.log2n, log2_p_max=args.log2p
+        port, t_s, t_w, log2_n_max=args.log2n, log2_p_max=args.log2p,
+        jobs=args.jobs,
     )
     title = (
         f"Figure {args.figure}({args.panel}): {port.value}, "
         f"t_s={t_s:g}, t_w={t_w:g}"
     )
     print(render_ascii(rm, title))
+    return 0
+
+
+def _cmd_sweep(args) -> int:
+    from repro.analysis.sweep import sweep
+
+    keys = tuple(args.algorithms or ["cannon", "berntsen", "3dd", "3d_all"])
+    points = sweep(
+        keys, args.variable, args.values,
+        n=args.n, p=args.p, port=_port(args.port),
+        t_s=args.ts, t_w=args.tw, jobs=args.jobs,
+    )
+    fixed = {"n": args.n, "p": args.p, "t_s": args.ts, "t_w": args.tw}
+    fixed.pop(args.variable)
+    print(
+        f"sweep over {args.variable} ({_port(args.port).value}; "
+        + ", ".join(f"{k}={v:g}" for k, v in fixed.items()) + ")"
+    )
+    print(f"{args.variable:>12s}" + "".join(f"{k:>14s}" for k in keys)
+          + f"{'best':>14s}")
+    for pt in points:
+        row = f"{pt.value:12g}"
+        for key in keys:
+            t = pt.times[key]
+            row += f"{t:14.1f}" if t is not None else f"{'-':>14s}"
+        print(row + f"{pt.best() or '-':>14s}")
     return 0
 
 
@@ -298,7 +326,26 @@ def build_parser() -> argparse.ArgumentParser:
     p_fig.add_argument("panel", choices=sorted(PANELS))
     p_fig.add_argument("--log2n", type=int, default=13)
     p_fig.add_argument("--log2p", type=int, default=20)
+    p_fig.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for the lattice sweep (same map for any value)",
+    )
     p_fig.set_defaults(func=_cmd_figure)
+
+    p_sw = sub.add_parser(
+        "sweep", help="tabulate model overheads along one parameter axis"
+    )
+    p_sw.add_argument("variable", choices=["n", "p", "t_s", "t_w"])
+    p_sw.add_argument("values", type=float, nargs="+")
+    p_sw.add_argument("-n", type=float, default=256)
+    p_sw.add_argument("-p", type=float, default=64)
+    p_sw.add_argument("--algorithms", nargs="*", choices=sorted(ALGORITHMS))
+    p_sw.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for the sweep (same table for any value)",
+    )
+    _add_machine_args(p_sw)
+    p_sw.set_defaults(func=_cmd_sweep)
 
     p_t2 = sub.add_parser("table2", help="measured vs modelled coefficients")
     p_t2.add_argument("-n", type=int, default=16)

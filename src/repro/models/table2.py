@@ -31,6 +31,7 @@ __all__ = [
     "OverheadModel",
     "OVERHEAD_MODELS",
     "overhead_coefficients",
+    "resolve_overhead",
     "communication_overhead",
     "structurally_applicable",
 ]
@@ -255,6 +256,72 @@ def structurally_applicable(key: str, n: float, p: float) -> bool:
     return p >= model.min_p and p <= n ** model.p_limit_exponent
 
 
+def _build_evaluator(
+    key: str, port: PortModel
+) -> Callable[[float, float], Coeffs | None] | None:
+    model = OVERHEAD_MODELS.get(key)
+    if model is None:
+        # The 2-D Diagonal stepping stone has no Table 2 row.
+        return None
+    min_p, p_exp = model.min_p, model.p_limit_exponent
+    if port is PortModel.ONE_PORT:
+        one = model.one_port
+        if one is None:  # HJE: no one-port entry
+            return None
+
+        def evaluate_one(n: float, p: float) -> Coeffs | None:
+            if p < min_p or p > n ** p_exp:
+                return None
+            return one(n, p)
+
+        return evaluate_one
+    multi = model.multi_port
+    if multi is None:  # pragma: no cover - no such row today
+        return None
+    cond = model.multi_port_condition
+    fallback = model.multi_port_fallback
+    fb_cond = model.fallback_condition
+    one = model.one_port
+
+    def evaluate_multi(n: float, p: float) -> Coeffs | None:
+        if p < min_p or p > n ** p_exp:
+            return None
+        if cond is None or cond(n, p):
+            return multi(n, p)
+        if fallback is not None and (fb_cond is None or fb_cond(n, p)):
+            return fallback(n, p)
+        return one(n, p) if one else multi(n, p)
+
+    return evaluate_multi
+
+
+#: resolved (key, port) -> evaluator; the registry is immutable so the
+#: cache can never go stale.
+_RESOLVED: dict[tuple[str, PortModel], Callable | None] = {}
+
+
+def resolve_overhead(
+    key: str, port: PortModel
+) -> Callable[[float, float], Coeffs | None] | None:
+    """Pre-resolve the Table 2 dispatch for one ``(algorithm, port)``.
+
+    Returns a callable ``(n, p) -> (a, b) | None`` behaving exactly like
+    ``overhead_coefficients(key, n, p, port)`` (minus the ``n, p >= 1``
+    domain check), with the registry lookup, port branching, and fallback
+    wiring resolved once instead of at every call.  Region maps evaluate
+    the same dispatch at thousands of lattice points, which makes this the
+    analytic layer's fast path.  Returns ``None`` when the combination can
+    never yield coefficients (unknown key, or HJE one-port).
+    """
+    cache_key = (key, port)
+    try:
+        return _RESOLVED[cache_key]
+    except KeyError:
+        fn = _build_evaluator(key, port)
+        _RESOLVED[cache_key] = fn
+        return fn
+
+
 def overhead_coefficients(
     key: str, n: float, p: float, port: PortModel
 ) -> Coeffs | None:
@@ -266,23 +333,8 @@ def overhead_coefficients(
     fallbacks rather than ``None``.
     """
     check_np(n, p)
-    model = OVERHEAD_MODELS.get(key)
-    if model is None:
-        # The 2-D Diagonal stepping stone has no Table 2 row.
-        return None
-    if not structurally_applicable(key, n, p):
-        return None
-    if port is PortModel.ONE_PORT:
-        return model.one_port(n, p) if model.one_port else None
-    if model.multi_port is None:  # pragma: no cover - no such row today
-        return None
-    if model.multi_port_condition is None or model.multi_port_condition(n, p):
-        return model.multi_port(n, p)
-    if model.multi_port_fallback is not None and (
-        model.fallback_condition is None or model.fallback_condition(n, p)
-    ):
-        return model.multi_port_fallback(n, p)
-    return model.one_port(n, p) if model.one_port else model.multi_port(n, p)
+    fn = resolve_overhead(key, port)
+    return fn(n, p) if fn is not None else None
 
 
 def communication_overhead(

@@ -28,6 +28,7 @@ from __future__ import annotations
 
 import heapq
 import itertools
+from collections import deque
 from typing import Any, Callable, Generator
 
 import numpy as np
@@ -54,13 +55,22 @@ from repro.sim.ops import (
 from repro.sim.ports import ContentionTracker
 from repro.sim.process import ANY_SOURCE, ANY_TAG, ProcessContext
 from repro.sim.tracing import NetworkStats, RankStats, RunResult, TraceRecord
-from repro.topology.routing import fault_tolerant_hops
+from repro.topology.routing import RouteCache
 
 __all__ = ["Engine", "run_spmd"]
 
 ProgramFactory = Callable[[ProcessContext], Generator]
 
 Task = Any  # int (main program of a rank) or tuple (rank, k) for sub-tasks
+
+# Event kinds, interned as small ints: events are (time, seq, kind, payload)
+# tuples and the sequence number already breaks every tie, so the kind is
+# never compared — integers keep the tuples small and the dispatch cheap.
+_RESUME = 0
+_HOP_READY = 1
+_HOP_DONE = 2
+_RECV_TIMEOUT = 3
+_NODE_FAIL = 4
 
 
 def task_rank(task: Task) -> int:
@@ -163,7 +173,14 @@ class Engine:
     ):
         self.config = config
         self.tracker = ContentionTracker(config)
+        self.routes = RouteCache(config.cube)
         self.trace_enabled = trace
+        # Hot-path caches: plain floats/bools beat attribute chains in the
+        # per-hop inner loops (see _start_hop/_finish_hop).
+        self._t_s = config.params.t_s
+        self._t_w = config.params.t_w
+        self._cut_through = config.routing is RoutingMode.CUT_THROUGH
+        self._store_forward = config.routing is RoutingMode.STORE_AND_FORWARD
         self.trace: list[TraceRecord] = []
         self.faults: FaultState | None = (
             FaultState(config.faults) if config.faults is not None else None
@@ -203,7 +220,11 @@ class Engine:
         self._barrier_waiting: dict[int, float] = {}
         self._phase_marks: dict[int, list[tuple[str, float]]] = {r: [] for r in range(n)}
 
-        self._events: list[tuple[float, int, str, tuple]] = []
+        self._events: list[tuple[float, int, int, tuple]] = []
+        # Same-time fast lane: events scheduled *at* the clock's current
+        # time bypass the heap (see _schedule for the ordering argument).
+        self._ready: deque[tuple[float, int, int, tuple]] = deque()
+        self._now = 0.0
         self._seq = itertools.count()
         self._ran = False
 
@@ -221,7 +242,7 @@ class Engine:
         if self.faults is not None:
             for nf in self.faults.plan.node_failures:
                 if 0 <= nf.node < self.config.num_nodes:
-                    self._schedule(nf.time, "node_fail", (nf.node,))
+                    self._schedule(nf.time, _NODE_FAIL, (nf.node,))
         for rank in range(self.config.num_nodes):
             ctx = ProcessContext(rank, self)
             gen = program(ctx)
@@ -230,34 +251,46 @@ class Engine:
                     "program must be a generator function (did you forget yield?)"
                 )
             self._gens[rank] = gen
-            self._schedule(0.0, "resume", (rank, None))
+            self._schedule(0.0, _RESUME, (rank, None))
 
-        while self._events:
-            time, _, kind, payload = heapq.heappop(self._events)
+        events = self._events
+        ready = self._ready
+        heappop = heapq.heappop
+        max_events = self.max_events
+        max_virtual_time = self.max_virtual_time
+        while events or ready:
+            # The fast lane holds same-time events in FIFO (= sequence)
+            # order; the full (time, seq) comparison picks exactly the
+            # event heappop would have.
+            if ready and (not events or ready[0] < events[0]):
+                time, _, kind, payload = ready.popleft()
+            else:
+                time, _, kind, payload = heappop(events)
+            self._now = time
             self._events_processed += 1
-            if self.max_events is not None and self._events_processed > self.max_events:
+            if max_events is not None and self._events_processed > max_events:
                 raise LivelockError(
                     "max_events", self._events_processed, time,
                     self._progress_snapshot(),
                 )
-            if self.max_virtual_time is not None and time > self.max_virtual_time:
+            if max_virtual_time is not None and time > max_virtual_time:
                 raise LivelockError(
                     "max_virtual_time", self._events_processed, time,
                     self._progress_snapshot(),
                 )
-            if kind == "resume":
+            if kind == _RESUME:
                 task, value = payload
                 self._step(task, time, value)
-            elif kind == "hop_ready":
+            elif kind == _HOP_READY:
                 (transfer, hop_index, handle) = payload
                 self._start_hop(transfer, hop_index, handle, time)
-            elif kind == "hop_done":
+            elif kind == _HOP_DONE:
                 (transfer, hop_index, handle) = payload
                 self._finish_hop(transfer, hop_index, handle, time)
-            elif kind == "recv_timeout":
+            elif kind == _RECV_TIMEOUT:
                 (rank, handle) = payload
                 self._expire_recv(rank, handle, time)
-            elif kind == "node_fail":
+            elif kind == _NODE_FAIL:
                 (node,) = payload
                 self._fail_node(node, time)
             else:  # pragma: no cover - defensive
@@ -327,8 +360,27 @@ class Engine:
     # internals
     # ------------------------------------------------------------------
 
-    def _schedule(self, time: float, kind: str, payload: tuple) -> None:
-        heapq.heappush(self._events, (time, next(self._seq), kind, payload))
+    def _schedule(self, time: float, kind: int, payload: tuple) -> None:
+        """Enqueue an event, batching same-time events past the heap.
+
+        Events landing exactly at the clock's current time go to the FIFO
+        fast lane instead of the heap.  This preserves the heap's order:
+        every event already *in* the heap at the current time carries a
+        smaller sequence number than any new same-time arrival (sequence
+        numbers are globally increasing, and heap entries at this time
+        were necessarily pushed earlier), and the fast lane itself is FIFO
+        by construction — so same-time events still fire in sequence
+        order, and the main loop's ``ready[0] < events[0]`` comparison
+        restores the global (time, seq) order across the two queues.  The
+        guard on ``ready[0][0]`` keeps the lane homogeneous in time even
+        if the clock ever revisits an earlier instant (barrier releases
+        can schedule into the past of the *event* clock).
+        """
+        ready = self._ready
+        if time == self._now and (not ready or ready[0][0] == time):
+            ready.append((time, next(self._seq), kind, payload))
+        else:
+            heapq.heappush(self._events, (time, next(self._seq), kind, payload))
 
     def _step(
         self, task: Task, time: float, value: Any, throw: BaseException | None = None
@@ -373,7 +425,10 @@ class Engine:
                 value = None
                 now = self._task_time[task]
 
-                if isinstance(op, SendOp):
+                # Exact-class dispatch: ops are final (never subclassed), and
+                # `__class__ is` beats isinstance() on this hottest of loops.
+                cls = op.__class__
+                if cls is SendOp:
                     handle = self._issue_send(task, op, now)
                     if op.blocking:
                         if handle.done:
@@ -384,7 +439,7 @@ class Engine:
                     value = handle
                     continue
 
-                if isinstance(op, RecvOp):
+                if cls is RecvOp:
                     handle = self._issue_recv(task, op, now)
                     if op.blocking:
                         if handle.done:
@@ -395,7 +450,7 @@ class Engine:
                     value = handle
                     continue
 
-                if isinstance(op, WaitOp):
+                if cls is WaitOp:
                     waiter = _Waiter(op.handles, "wait")
                     if waiter.ready():
                         value = waiter.resume_value()
@@ -403,7 +458,7 @@ class Engine:
                     self._blocked[task] = waiter
                     return
 
-                if isinstance(op, ElapseOp):
+                if cls is ElapseOp:
                     self.stats[rank].flops += op.flops
                     self.stats[rank].compute_time += op.duration
                     if op.duration > 0:
@@ -414,11 +469,11 @@ class Engine:
                                     {"flops": op.flops},
                                 )
                             )
-                        self._schedule(now + op.duration, "resume", (task, None))
+                        self._schedule(now + op.duration, _RESUME, (task, None))
                         return
                     continue
 
-                if isinstance(op, ParallelOp):
+                if cls is ParallelOp:
                     children = []
                     for slot, sub in enumerate(op.generators):
                         if not hasattr(sub, "send"):
@@ -436,10 +491,10 @@ class Engine:
                         continue
                     self._parallel[task] = _ParallelWait(children)
                     for child in children:
-                        self._schedule(now, "resume", (child, None))
+                        self._schedule(now, _RESUME, (child, None))
                     return
 
-                if isinstance(op, BarrierOp):
+                if cls is BarrierOp:
                     if isinstance(task, tuple):
                         raise SimulationError(
                             "barrier may only be called from a rank's main program"
@@ -468,7 +523,7 @@ class Engine:
                 del self._parallel[parent]
                 values = [pw.values[i] for i in range(len(pw.values))]
                 resume_at = max(self._task_time[parent], pw.latest)
-                self._schedule(resume_at, "resume", (parent, values))
+                self._schedule(resume_at, _RESUME, (parent, values))
             return
         self.results[task] = value
         self.done.add(task)
@@ -488,7 +543,7 @@ class Engine:
         if len(self._barrier_waiting) >= n_active:
             release = max(self._barrier_waiting.values())
             for r in self._barrier_waiting:
-                self._schedule(release, "resume", (r, None))
+                self._schedule(release, _RESUME, (r, None))
             self._barrier_waiting = {}
 
     def _fail_subtask(self, child: Task, exc: BaseException) -> None:
@@ -626,7 +681,9 @@ class Engine:
         """Route ``msg`` and schedule its first hop (fault-aware)."""
         fs = self.faults
         if fs is None:
-            hops = self.config.cube.route_hops(msg.src, msg.dst)
+            # Healthy machine: routes never change, so every transfer on the
+            # same (src, dst) pair shares one immutable cached hop tuple.
+            hops: list | tuple = self.routes.healthy(msg.src, msg.dst)
         elif fs.node_failed(msg.dst, now):
             # Destination already fail-stopped: the message is lost in the
             # void but the send itself costs the sender nothing extra.
@@ -638,12 +695,12 @@ class Engine:
             def alive(a: int, b: int) -> bool:
                 return not fs.link_dead(a, b, now)
 
-            hops = self.config.cube.route_hops(msg.src, msg.dst)
+            cached = self.routes.healthy(msg.src, msg.dst)
             # Strict mode keeps the native route; _start_hop raises
             # LinkFailedError when the message reaches the dead link.
-            if fs.plan.reroute and not all(alive(u, v) for u, v in hops):
-                hops = fault_tolerant_hops(
-                    self.config.cube, msg.src, msg.dst, alive
+            if fs.plan.reroute and not all(alive(u, v) for u, v in cached):
+                cached = self.routes.detour(
+                    msg.src, msg.dst, alive, fs.route_epoch(now)
                 )
                 self._hops_rerouted += 1
                 if self.trace_enabled:
@@ -651,11 +708,14 @@ class Engine:
                         TraceRecord(
                             "reroute", now, now, msg.src,
                             {"msg": msg.msg_id, "dead": None,
-                             "via": hops[0][1] if hops else msg.dst,
+                             "via": cached[0][1] if cached else msg.dst,
                              "src": msg.src, "dst": msg.dst},
                         )
                     )
-        self._schedule(now, "hop_ready", (_Transfer(msg, hops), 0, handle))
+            # Fault mode may splice a detour tail in-place mid-flight
+            # (_start_hop), so each transfer needs its own mutable copy.
+            hops = list(cached)
+        self._schedule(now, _HOP_READY, (_Transfer(msg, hops), 0, handle))
 
     def _start_hop(
         self, transfer: _Transfer, hop_index: int, handle: Handle, time: float
@@ -683,11 +743,14 @@ class Engine:
             if fs.link_dead(u, v, time):
                 if not fs.plan.reroute:
                     raise LinkFailedError(u, v, time)
-                # Detour: recompute the surviving route from here.  Raises
-                # UnreachableError when the surviving graph disconnects.
-                tail = fault_tolerant_hops(
-                    self.config.cube, u, msg.dst,
+                # Detour: recompute the surviving route from here (cached
+                # per fault epoch — the dead-link set is constant within
+                # one).  Raises UnreachableError when the surviving graph
+                # disconnects.
+                tail = self.routes.detour(
+                    u, msg.dst,
                     lambda a, b: not fs.link_dead(a, b, time),
+                    fs.route_epoch(time),
                 )
                 dead = (u, v)
                 hops[hop_index:] = tail
@@ -702,7 +765,10 @@ class Engine:
                         )
                     )
             tw_factor = fs.degradation(u, v, time)
-        duration = self.config.params.hop_time(msg.nwords, tw_factor)
+        if tw_factor == 1.0:
+            duration = self._t_s + self._t_w * msg.nwords
+        else:
+            duration = self.config.params.hop_time(msg.nwords, tw_factor)
         start = self.tracker.reserve_hop(u, v, time, duration)
         if self.trace_enabled:
             info = {"to": v, "msg": msg.msg_id, "words": msg.nwords,
@@ -715,18 +781,18 @@ class Engine:
         if fs is not None and fs.roll_drop(u, v, start):
             self._lose_message(transfer, v, start, start + duration, "drop")
         if (
-            self.config.routing is RoutingMode.CUT_THROUGH
+            self._cut_through
             and hop_index < len(hops) - 1
             and not transfer.dropped
         ):
             # Virtual cut-through: the next link sees the header t_s after
             # this hop starts transmitting; the payload streams behind it.
             self._schedule(
-                start + self.config.params.t_s,
-                "hop_ready",
+                start + self._t_s,
+                _HOP_READY,
                 (transfer, hop_index + 1, handle),
             )
-        self._schedule(start + duration, "hop_done", (transfer, hop_index, handle))
+        self._schedule(start + duration, _HOP_DONE, (transfer, hop_index, handle))
 
     def _finish_hop(
         self, transfer: _Transfer, hop_index: int, handle: Handle, time: float
@@ -739,8 +805,8 @@ class Engine:
             return
         if hop_index == len(hops) - 1:
             self._deliver(msg, time)
-        elif self.config.routing is RoutingMode.STORE_AND_FORWARD:
-            self._schedule(time, "hop_ready", (transfer, hop_index + 1, handle))
+        elif self._store_forward:
+            self._schedule(time, _HOP_READY, (transfer, hop_index + 1, handle))
 
     # -- receives ----------------------------------------------------------
 
@@ -750,15 +816,19 @@ class Engine:
         tag_s = "ANY" if op.tag == -1 else op.tag
         handle = Handle("recv", task, detail=f"recv src={src_s} tag={tag_s}")
         box = self._mailbox[rank]
+        src_f, tag_f = op.src, op.tag
         for i, (arrival, msg) in enumerate(box):
-            if self._matches(op.src, op.tag, msg):
+            # _matches, inlined: this runs for every queued message.
+            if (src_f == ANY_SOURCE or src_f == msg.src) and (
+                tag_f == ANY_TAG or tag_f == msg.tag
+            ):
                 box.pop(i)
                 self._count_receive(rank, msg)
                 handle.complete(max(now, arrival), msg.data)
                 return handle
         self._pending_recvs[rank].append((op.src, op.tag, handle))
         if op.timeout is not None:
-            self._schedule(now + op.timeout, "recv_timeout", (rank, handle))
+            self._schedule(now + op.timeout, _RECV_TIMEOUT, (rank, handle))
         return handle
 
     def _expire_recv(self, rank: int, handle: Handle, time: float) -> None:
@@ -809,8 +879,12 @@ class Engine:
             ack_handle.complete(time)  # no task waits on the NIC's send
             self._inject(ack, ack_handle, time)
         pending = self._pending_recvs[msg.dst]
+        msg_src, msg_tag = msg.src, msg.tag
         for i, (src_f, tag_f, handle) in enumerate(pending):
-            if self._matches(src_f, tag_f, msg):
+            # _matches, inlined: runs once per delivery over all waiters.
+            if (src_f == ANY_SOURCE or src_f == msg_src) and (
+                tag_f == ANY_TAG or tag_f == msg_tag
+            ):
                 pending.pop(i)
                 self._count_receive(msg.dst, msg)
                 handle.complete(time, msg.data)
@@ -830,7 +904,7 @@ class Engine:
             self._task_time[task],
             max(h.completion_time for h in waiter.handles),
         )
-        self._schedule(resume_at, "resume", (task, waiter.resume_value()))
+        self._schedule(resume_at, _RESUME, (task, waiter.resume_value()))
 
     # -- phases --------------------------------------------------------------
 

@@ -26,6 +26,7 @@ never sacrifices reproducibility.
 
 from __future__ import annotations
 
+import bisect
 import math
 from dataclasses import dataclass, replace
 
@@ -310,16 +311,37 @@ class FaultState:
     The engine creates one per run; plans themselves are never mutated.
     """
 
-    __slots__ = ("plan", "_rng")
+    __slots__ = ("plan", "_rng", "_epoch_edges")
 
     def __init__(self, plan: FaultPlan):
         self.plan = plan
         self._rng = np.random.default_rng(plan.seed)
+        # Times at which the dead-link set can change: link-fault window
+        # edges and node fail-stop instants.  Between consecutive edges the
+        # set is constant, which is what lets the engine cache detour
+        # routes per (src, dst, epoch) — see route_epoch.
+        edges = set()
+        for lf in plan.link_faults:
+            edges.add(lf.start)
+            if math.isfinite(lf.end):
+                edges.add(lf.end)
+        for nf in plan.node_failures:
+            edges.add(nf.time)
+        self._epoch_edges = sorted(edges)
 
     # Pure delegations ----------------------------------------------------
 
     def link_dead(self, u: int, v: int, time: float) -> bool:
         return self.plan.link_dead(u, v, time)
+
+    def route_epoch(self, time: float) -> int:
+        """Index of the piecewise-constant dead-link interval holding ``time``.
+
+        ``link_dead(u, v, t)`` is the same function of ``(u, v)`` for every
+        ``t`` with the same epoch, so fault-tolerant routes may be memoized
+        per ``(src, dst, epoch)`` (:class:`repro.topology.routing.RouteCache`).
+        """
+        return bisect.bisect_right(self._epoch_edges, time)
 
     def node_failed(self, node: int, time: float) -> bool:
         return self.plan.node_failed(node, time)

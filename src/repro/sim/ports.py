@@ -83,6 +83,9 @@ class ContentionTracker:
         self.config = config
         self._send_port: dict[int, Resource] = {}
         self._channel: dict[tuple[int, int], Resource] = {}
+        # hop -> resource list, validated once then reused for every
+        # message crossing the same directional link (engine fast path)
+        self._hop_cache: dict[tuple[int, int], list[Resource]] = {}
         if config.port_model is PortModel.ONE_PORT:
             for node in config.cube.nodes():
                 self._send_port[node] = Resource(f"send_port[{node}]")
@@ -96,17 +99,40 @@ class ContentionTracker:
         return res
 
     def hop_resources(self, u: int, v: int) -> list[Resource]:
-        """Resources a hop ``u -> v`` must hold for its duration."""
-        if not self.config.cube.are_neighbors(u, v):
-            raise SimulationError(f"hop {u}->{v} is not a hypercube link")
-        resources = [self._channel_resource(u, v)]
-        if self.config.port_model is PortModel.ONE_PORT:
-            resources.append(self._send_port[u])
+        """Resources a hop ``u -> v`` must hold for its duration (cached)."""
+        key = (u, v)
+        resources = self._hop_cache.get(key)
+        if resources is None:
+            if not self.config.cube.are_neighbors(u, v):
+                raise SimulationError(f"hop {u}->{v} is not a hypercube link")
+            resources = [self._channel_resource(u, v)]
+            if self.config.port_model is PortModel.ONE_PORT:
+                resources.append(self._send_port[u])
+            self._hop_cache[key] = resources
         return resources
 
     def reserve_hop(self, u: int, v: int, ready: float, duration: float) -> float:
-        """Reserve the hop ``u -> v``; returns its start time."""
-        return ResourceSet.reserve(self.hop_resources(u, v), ready, duration)
+        """Reserve the hop ``u -> v``; returns its start time.
+
+        Semantically ``ResourceSet.reserve(hop_resources(u, v), ...)``, but
+        inlined over the cached resource list — this runs once per hop of
+        every message, making it the hottest contention-tracking path.
+        """
+        resources = self._hop_cache.get((u, v))
+        if resources is None:
+            resources = self.hop_resources(u, v)
+        if duration < 0:
+            raise SimulationError(f"negative hold duration on hop {u}->{v}")
+        start = ready
+        for r in resources:
+            if r.next_free > start:
+                start = r.next_free
+        end = start + duration
+        for r in resources:
+            r.next_free = end
+            r.busy_time += duration
+            r.reservations += 1
+        return start
 
     # -- statistics ----------------------------------------------------
 

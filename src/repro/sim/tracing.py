@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Any
 
@@ -131,3 +132,62 @@ class RunResult:
     def phase_duration(self, name: str) -> float:
         start, end = self.phase_times[name]
         return end - start
+
+    # -- golden-trace support ------------------------------------------------
+
+    def trace_lines(self) -> list[str]:
+        """Canonical serialization of the run's event timeline.
+
+        One line per :class:`TraceRecord` — ``kind start end rank info`` —
+        with floats rendered via ``repr`` (bit-exact round-trip) and info
+        keys sorted, followed by per-rank stat lines, the phase table and
+        the headline totals.  Two runs produce identical ``trace_lines``
+        iff every traced event, event time, rank counter and phase
+        boundary matches exactly; this is the substrate of
+        :meth:`trace_digest` and of the committed golden fixtures under
+        ``tests/golden/``.  Requires the run to have been traced
+        (``trace=True``) for the event section to be non-empty.
+        """
+        lines = [
+            "{} {!r} {!r} {} {}".format(
+                rec.kind, rec.start, rec.end, rec.rank,
+                ",".join(f"{k}={rec.info[k]!r}" for k in sorted(rec.info)),
+            )
+            for rec in self.trace
+        ]
+        for rank in sorted(self.stats):
+            s = self.stats[rank]
+            lines.append(
+                f"rank {rank} sent={s.messages_sent}/{s.words_sent} "
+                f"recv={s.messages_received}/{s.words_received} "
+                f"flops={s.flops!r} compute={s.compute_time!r} "
+                f"finish={s.finish_time!r}"
+            )
+        for name in sorted(self.phase_times):
+            start, end = self.phase_times[name]
+            lines.append(f"phase {name} {start!r} {end!r}")
+        lines.append(f"total {self.total_time!r}")
+        lines.append(
+            f"network drops={self.network.messages_dropped} "
+            f"reroutes={self.network.hops_rerouted} "
+            f"retrans={self.network.retransmissions} "
+            f"busy={self.network.total_channel_busy!r}"
+        )
+        if self.failed_ranks:
+            lines.append(f"failed {list(self.failed_ranks)}")
+        return lines
+
+    def trace_digest(self) -> str:
+        """SHA-256 hex digest of :meth:`trace_lines`.
+
+        A compact fingerprint of the full event timeline: any engine
+        change that perturbs a single event time, event ordering, rank
+        counter or phase boundary changes the digest.  The golden-trace
+        regression suite (``tests/golden/test_golden_traces.py``) compares
+        this against committed fixtures for every registered algorithm.
+        """
+        h = hashlib.sha256()
+        for line in self.trace_lines():
+            h.update(line.encode())
+            h.update(b"\n")
+        return h.hexdigest()

@@ -40,6 +40,7 @@ __all__ = [
     "ecube_next_hop_avoiding",
     "fault_tolerant_path",
     "fault_tolerant_hops",
+    "RouteCache",
 ]
 
 LinkPredicate = Callable[[int, int], bool]
@@ -170,3 +171,65 @@ def fault_tolerant_hops(
     """The (from, to) hop pairs of :func:`fault_tolerant_path`."""
     nodes = fault_tolerant_path(topology, src, dest, alive)
     return list(zip(nodes[:-1], nodes[1:]))
+
+
+# ---------------------------------------------------------------------------
+# Route caching
+# ---------------------------------------------------------------------------
+
+
+class RouteCache:
+    """Memoized routes for one topology: the engine's per-message fast path.
+
+    Routing is deterministic, so the hop list for a ``(src, dst)`` pair
+    never changes on a healthy machine — yet the engine used to recompute
+    the e-cube walk for *every* message.  :meth:`healthy` computes each
+    pair once and returns an immutable tuple shared by all transfers.
+
+    Under a fault plan the dead-link set is a piecewise-constant function
+    of time: it only changes at fault window edges and node fail-stop
+    times.  :meth:`detour` therefore memoizes fault-tolerant routes per
+    ``(src, dst, plan-epoch)``, where the *epoch* (see
+    :meth:`repro.sim.faults.FaultState.route_epoch`) counts how many such
+    edges lie at or before the current time.  Within an epoch the alive
+    predicate is constant, so the cached detour is exactly what
+    :func:`fault_tolerant_hops` would have recomputed.
+
+    The cache is scoped to whoever owns it (the engine builds one per
+    run), so no staleness can leak between machines or fault plans.
+    """
+
+    __slots__ = ("topology", "_healthy", "_detours")
+
+    def __init__(self, topology):
+        self.topology = topology
+        self._healthy: dict[tuple[int, int], tuple[tuple[int, int], ...]] = {}
+        self._detours: dict[
+            tuple[int, int, int], tuple[tuple[int, int], ...]
+        ] = {}
+
+    def healthy(self, src: int, dst: int) -> tuple[tuple[int, int], ...]:
+        """The topology's native route ``src -> dst`` (cached, immutable)."""
+        key = (src, dst)
+        hops = self._healthy.get(key)
+        if hops is None:
+            hops = tuple(self.topology.route_hops(src, dst))
+            self._healthy[key] = hops
+        return hops
+
+    def detour(
+        self, src: int, dst: int, alive: LinkPredicate, epoch: int
+    ) -> tuple[tuple[int, int], ...]:
+        """A surviving route ``src -> dst`` under ``alive``, cached per epoch.
+
+        ``alive`` must be constant within ``epoch`` (the caller derives the
+        epoch from the same fault plan that backs the predicate).  Raises
+        :class:`~repro.errors.UnreachableError`, uncached, when the
+        surviving graph disconnects the pair.
+        """
+        key = (src, dst, epoch)
+        hops = self._detours.get(key)
+        if hops is None:
+            hops = tuple(fault_tolerant_hops(self.topology, src, dst, alive))
+            self._detours[key] = hops
+        return hops

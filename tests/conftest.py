@@ -18,6 +18,22 @@ settings.register_profile(
 settings.load_profile("repro")
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--regen-golden",
+        action="store_true",
+        default=False,
+        help="regenerate the committed golden-trace fixtures instead of "
+        "comparing against them (use after an intentional engine change)",
+    )
+
+
+@pytest.fixture
+def regen_golden(request):
+    """True when the run should rewrite golden fixtures (--regen-golden)."""
+    return request.config.getoption("--regen-golden")
+
+
 @pytest.fixture(params=[PortModel.ONE_PORT, PortModel.MULTI_PORT], ids=["one-port", "multi-port"])
 def port_model(request):
     return request.param

@@ -1,0 +1,174 @@
+"""Golden-trace regression gate for the discrete-event engine.
+
+Every registered algorithm is executed (traced) on small one-port and
+multi-port machines at ``p ∈ {8, 64}`` plus a handful of extra cases
+(cut-through routing, a rerouted link fault), and the resulting
+:meth:`~repro.sim.tracing.RunResult.trace_digest` is compared against the
+committed fixture ``tests/golden/golden_traces.json``.
+
+The digest covers the full serialized event timeline — (rank, event kind,
+start/end time, payload metadata) per hop/compute/fault event, per-rank
+counters, phase boundaries, and the makespan — so *any* engine change that
+perturbs a single event time or reorders two events fails this suite
+loudly.  The fixtures were generated from the pre-optimization engine; the
+fast-path work (route caching, event batching, dispatch interning) is
+required to keep them bit-identical.
+
+Intentional behaviour changes regenerate the fixtures with::
+
+    PYTHONPATH=src python -m pytest tests/golden --regen-golden
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+import numpy as np
+import pytest
+
+from repro.algorithms import ALGORITHMS, get_algorithm
+from repro.sim import FaultPlan, MachineConfig, PortModel, RoutingMode
+
+GOLDEN_PATH = pathlib.Path(__file__).parent / "golden_traces.json"
+
+#: candidate matrix sizes, smallest applicable one is used per algorithm
+_CANDIDATE_NS = (4, 6, 8, 9, 12, 16, 24, 27, 32, 48, 64)
+
+#: machine parameters shared by every golden case; t_c > 0 so compute
+#: events land in the timeline too
+_PARAMS = {"t_s": 7.0, "t_w": 3.0, "t_c": 0.5}
+
+
+def _pick_n(key: str, p: int) -> int | None:
+    algo = ALGORITHMS[key]
+    for n in _CANDIDATE_NS:
+        if algo.applicable(n, p):
+            return n
+    return None
+
+
+def _base_cases() -> list[tuple[str, str, int, int, PortModel, RoutingMode]]:
+    """(case_id, key, n, p, port, routing) for the registry sweep."""
+    cases = []
+    for key in sorted(ALGORITHMS):
+        for p in (8, 64):
+            n = _pick_n(key, p)
+            if n is None:
+                continue
+            for port in (PortModel.ONE_PORT, PortModel.MULTI_PORT):
+                case_id = f"{key}-n{n}-p{p}-{port.value}-sf"
+                cases.append(
+                    (case_id, key, n, p, port, RoutingMode.STORE_AND_FORWARD)
+                )
+    # Cut-through routing pins the pipelined-hop scheduling path.
+    for key in ("cannon", "3d_all"):
+        n = _pick_n(key, 64)
+        if n is not None:
+            cases.append(
+                (
+                    f"{key}-n{n}-p64-one-port-ct",
+                    key, n, 64, PortModel.ONE_PORT, RoutingMode.CUT_THROUGH,
+                )
+            )
+    return cases
+
+
+CASES = _base_cases()
+
+
+def _run_case(key: str, n: int, p: int, port: PortModel, routing: RoutingMode):
+    rng = np.random.default_rng(0)
+    A = rng.standard_normal((n, n))
+    B = rng.standard_normal((n, n))
+    config = MachineConfig.create(
+        p, port_model=port, routing=routing, **_PARAMS
+    )
+    return get_algorithm(key).run(A, B, config, verify=True, trace=True)
+
+
+def _run_fault_case():
+    """A rerouted-link-fault run: pins the detour path of the route layer."""
+    rng = np.random.default_rng(0)
+    A = rng.standard_normal((8, 8))
+    B = rng.standard_normal((8, 8))
+    plan = FaultPlan(seed=5).with_link_fault(0, 1, start=0.0)
+    config = MachineConfig.create(16, faults=plan, **_PARAMS)
+    return get_algorithm("cannon").run(A, B, config, verify=True, trace=True)
+
+
+FAULT_CASE_ID = "cannon-n8-p16-one-port-sf-linkfault"
+
+
+def _load_fixtures() -> dict:
+    if not GOLDEN_PATH.exists():
+        return {}
+    return json.loads(GOLDEN_PATH.read_text())
+
+
+def _record(run) -> dict:
+    res = run.result
+    return {
+        "digest": res.trace_digest(),
+        "total_time": res.total_time,
+        "events": len(res.trace),
+        "messages": res.total_messages(),
+        "words": res.total_words_sent(),
+    }
+
+
+def _check_or_regen(case_id: str, run, regen: bool) -> None:
+    fixtures = _load_fixtures()
+    got = _record(run)
+    if regen:
+        fixtures[case_id] = got
+        GOLDEN_PATH.write_text(
+            json.dumps(fixtures, indent=1, sort_keys=True) + "\n"
+        )
+        return
+    if case_id not in fixtures:
+        pytest.fail(
+            f"no golden fixture for {case_id!r}; run pytest tests/golden "
+            "--regen-golden to record it"
+        )
+    want = fixtures[case_id]
+    assert got["total_time"] == want["total_time"], (
+        f"{case_id}: makespan changed {want['total_time']!r} -> "
+        f"{got['total_time']!r}"
+    )
+    assert got == want, (
+        f"{case_id}: event timeline diverged from the committed golden "
+        f"trace ({want['events']} events, digest {want['digest'][:12]}…) — "
+        "an engine change perturbed event times or ordering.  If the "
+        "change is intentional, regenerate with --regen-golden."
+    )
+
+
+@pytest.mark.parametrize(
+    "case_id,key,n,p,port,routing", CASES, ids=[c[0] for c in CASES]
+)
+def test_golden_trace(case_id, key, n, p, port, routing, regen_golden):
+    run = _run_case(key, n, p, port, routing)
+    _check_or_regen(case_id, run, regen_golden)
+
+
+def test_golden_trace_rerouted_fault(regen_golden):
+    run = _run_fault_case()
+    assert run.result.network.hops_rerouted > 0  # the detour actually fired
+    _check_or_regen(FAULT_CASE_ID, run, regen_golden)
+
+
+def test_trace_digest_is_order_and_time_sensitive():
+    """The digest moves when an event time or ordering moves (sanity)."""
+    run = _run_case("cannon", 8, 16, PortModel.ONE_PORT,
+                    RoutingMode.STORE_AND_FORWARD)
+    res = run.result
+    base = res.trace_digest()
+    rec = res.trace[0]
+    shifted = type(rec)(rec.kind, rec.start + 1e-9, rec.end, rec.rank, rec.info)
+    res.trace[0] = shifted
+    assert res.trace_digest() != base
+    res.trace[0] = rec
+    assert res.trace_digest() == base
+    res.trace[0], res.trace[1] = res.trace[1], res.trace[0]
+    assert res.trace_digest() != base

@@ -14,8 +14,11 @@ than in the makespan, where it legitimately may not.
 import numpy as np
 
 from repro.algorithms import get_algorithm
+from repro.analysis.measure import measure_cell
+from repro.analysis.parallel import run_grid
+from repro.analysis.regions import region_map
 from repro.mpi import ReliableContext
-from repro.sim import FaultPlan, MachineConfig
+from repro.sim import FaultPlan, MachineConfig, PortModel
 from repro.sim.faults import FaultState
 
 
@@ -112,3 +115,85 @@ class TestDropRateDivergence:
         disarmed = FaultState(FaultPlan(seed=3))
         assert any(armed.roll_drop(0, 1, 0.0) for _ in range(50))
         assert not any(disarmed.roll_drop(0, 1, 0.0) for _ in range(50))
+
+
+def _faulty_cell(task):
+    """One seeded lossy simulation, reduced to comparable plain data.
+
+    Module-level so run_grid can ship it to worker processes; returns the
+    trace digest alongside the timing so even a single reordered event in
+    a worker would be caught, not just a moved makespan.
+    """
+    key, n, p, plan_seed, rate = task
+    plan = FaultPlan(seed=plan_seed).with_drop_rate(rate)
+    rng = np.random.default_rng(0)
+    A, B = rng.standard_normal((n, n)), rng.standard_normal((n, n))
+    cfg = MachineConfig.create(p, t_s=10.0, t_w=1.0, faults=plan)
+    run = get_algorithm(key).run(
+        A, B, cfg, verify=True, context_factory=ReliableContext,
+        trace=True, max_events=5_000_000,
+    )
+    net = run.result.network
+    return (
+        run.total_time,
+        run.result.trace_digest(),
+        net.messages_dropped,
+        net.retransmissions,
+    )
+
+
+class TestParallelExecutorDeterminism:
+    """run_grid sharding must be invisible: any jobs count, same bits.
+
+    Worker processes each rebuild their own engines, route caches, and
+    seeded fault streams, so parallel evaluation of a grid has to return
+    exactly the sequential results in the sequential order.
+    """
+
+    def test_region_maps_identical_across_jobs(self):
+        maps = [
+            region_map(
+                PortModel.ONE_PORT, 150.0, 3.0,
+                log2_n_max=8, log2_p_max=12, jobs=jobs,
+            )
+            for jobs in (1, 4)
+        ]
+        assert maps[0].winners == maps[1].winners
+        # bit-identical per-cell times (repr compares NaN cells too —
+        # inapplicable points are NaN and NaN != NaN under ==)
+        assert repr(maps[0].times) == repr(maps[1].times)
+
+    def test_measured_coefficients_identical_across_jobs(self):
+        cells = [
+            ("cannon", 8, 16, PortModel.ONE_PORT),
+            ("cannon", 8, 16, PortModel.MULTI_PORT),
+            ("3d_all", 8, 8, PortModel.ONE_PORT),
+            ("fox", 8, 16, PortModel.ONE_PORT),
+            ("dns", 8, 8, PortModel.ONE_PORT),
+        ]
+        sequential = run_grid(measure_cell, cells, jobs=1)
+        parallel = run_grid(measure_cell, cells, jobs=4)
+        assert sequential == parallel
+
+    def test_seeded_fault_runs_identical_across_jobs(self):
+        cells = [
+            ("cannon", 8, 16, seed, rate)
+            for seed in (0, 7)
+            for rate in (0.0, 0.05)
+        ]
+        sequential = run_grid(_faulty_cell, cells, jobs=1)
+        parallel = run_grid(_faulty_cell, cells, jobs=4)
+        assert sequential == parallel
+        # sanity: the lossy cells really did exercise the fault machinery
+        assert any(dropped > 0 for _t, _d, dropped, _r in sequential)
+
+    def test_chunking_never_changes_results(self):
+        cells = list(range(11))
+        expected = [c * c for c in cells]
+        for chunk_size in (1, 2, 3, 11, 100):
+            got = run_grid(_square, cells, jobs=3, chunk_size=chunk_size)
+            assert got == expected
+
+
+def _square(x):
+    return x * x
