@@ -13,18 +13,24 @@ Run directly for the CI perf-smoke gate::
 ``--check`` compares against the committed ``benchmarks/BENCH_engine.json``
 baseline and exits non-zero on a >25% regression; ``--update`` rewrites
 the baseline's ``after`` numbers after an intentional change.
+``--cache-check`` instead verifies the result cache in an ephemeral
+directory: cold-computed and warm-served Figure 13 artefacts must be
+bit-identical and the warm fetch faster than the cold one.
 """
 
 import argparse
 import json
 import pathlib
+import shutil
 import sys
+import tempfile
 import time
 
 import numpy as np
 import pytest
 
 from repro.algorithms import get_algorithm
+from repro.analysis.cache import ResultCache, cached_coefficients, cached_figure
 from repro.analysis.measure import measure_cell
 from repro.analysis.parallel import run_grid
 from repro.analysis.regions import region_map
@@ -137,6 +143,70 @@ def _wl_fig13_panels():
         region_map(PortModel.ONE_PORT, t_s, 3.0, log2_n_max=13, log2_p_max=20)
 
 
+#: oversized figure lattice for the vectorization / cache workloads — big
+#: enough that per-point Python dispatch (the 'before' numbers) dominates
+_BIG_LATTICE = {"log2_n_max": 60, "log2_p_max": 120}
+
+
+def _wl_fig13_panels_big():
+    """Figure 13 panels on a 60x119 lattice (vectorized backend)."""
+    for t_s in (150.0, 30.0, 5.0, 0.5):
+        region_map(PortModel.ONE_PORT, t_s, 3.0, **_BIG_LATTICE)
+
+
+def _wl_fig13_cache_cold():
+    """Big-lattice Figure 13 into a fresh cache: compute + store."""
+    root = tempfile.mkdtemp(prefix="repro-bench-cache-")
+    try:
+        cached_figure(ResultCache(root), 13, **_BIG_LATTICE)
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+
+
+_WARM_ROOT: str | None = None
+
+
+def _prime_warm_cache() -> None:
+    """Populate the shared cache the warm workloads read from."""
+    global _WARM_ROOT
+    if _WARM_ROOT is None:
+        _WARM_ROOT = tempfile.mkdtemp(prefix="repro-bench-cache-")
+        cache = ResultCache(_WARM_ROOT)
+        cached_figure(cache, 13, **_BIG_LATTICE)
+        for key, n, p in _SWEEP_CELLS:
+            cached_coefficients(cache, key, n, p, PortModel.ONE_PORT)
+
+
+def _wl_fig13_cache_warm():
+    """Big-lattice Figure 13 from a primed cache: one digest + one read."""
+    _prime_warm_cache()
+    cached_figure(ResultCache(_WARM_ROOT), 13, **_BIG_LATTICE)
+
+
+def _wl_coeff_cache_cold():
+    """Simulation-measured (a, b) coefficients into a fresh cache.
+
+    The cold side runs the actual simulator (two runs per cell), so this
+    pair shows the cache's headline win: seconds of simulation served
+    back as a sub-millisecond read.
+    """
+    root = tempfile.mkdtemp(prefix="repro-bench-cache-")
+    try:
+        cache = ResultCache(root)
+        for key, n, p in _SWEEP_CELLS:
+            cached_coefficients(cache, key, n, p, PortModel.ONE_PORT)
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+
+
+def _wl_coeff_cache_warm():
+    """The same coefficient cells served from the primed cache."""
+    _prime_warm_cache()
+    cache = ResultCache(_WARM_ROOT)
+    for key, n, p in _SWEEP_CELLS:
+        cached_coefficients(cache, key, n, p, PortModel.ONE_PORT)
+
+
 _SWEEP_CELLS = [
     ("cannon", 16, 16), ("cannon", 32, 64), ("3d_all", 16, 64),
     ("3dd", 16, 64), ("berntsen", 16, 8), ("dns", 16, 64),
@@ -159,6 +229,11 @@ def _workloads(jobs):
         ("cannon_n64_p256", _wl_cannon),
         ("3d_all_n64_p512", _wl_3d_all),
         ("fig13_panels_x4", _wl_fig13_panels),
+        ("fig13_panels_x4_big", _wl_fig13_panels_big),
+        ("fig13_cache_cold", _wl_fig13_cache_cold),
+        ("fig13_cache_warm", _wl_fig13_cache_warm),
+        ("coeff_cache_cold", _wl_coeff_cache_cold),
+        ("coeff_cache_warm", _wl_coeff_cache_warm),
         ("coeff_sweep_8cells", lambda: _wl_measured_sweep(1)),
         (f"coeff_sweep_8cells_jobs{jobs}", lambda: _wl_measured_sweep(jobs)),
     ]
@@ -171,6 +246,49 @@ def _best_of(fn, reps):
         fn()
         best = min(best, time.perf_counter() - t0)
     return best
+
+
+def _cache_check() -> int:
+    """Assert the cache serves bit-identical artefacts, faster than cold.
+
+    Runs entirely in an ephemeral directory: computes the big-lattice
+    Figure 13 panels directly, then cold (populate) and warm (serve)
+    through the cache, and checks all three agree array-for-array and that
+    the warm fetch beats the cold one.  Returns a process exit code.
+    """
+    root = tempfile.mkdtemp(prefix="repro-cache-check-")
+    try:
+        direct = cached_figure(None, 13, **_BIG_LATTICE)
+        t0 = time.perf_counter()
+        cold = cached_figure(ResultCache(root), 13, **_BIG_LATTICE)
+        t_cold = time.perf_counter() - t0
+        t_warm = _best_of(
+            lambda: cached_figure(ResultCache(root), 13, **_BIG_LATTICE), 3
+        )
+        warm = cached_figure(ResultCache(root), 13, **_BIG_LATTICE)
+        for panel in direct:
+            for name, other in (("cold", cold[panel]), ("warm", warm[panel])):
+                same = np.array_equal(
+                    direct[panel].winner_idx, other.winner_idx
+                ) and np.array_equal(
+                    direct[panel].times, other.times, equal_nan=True
+                )
+                if not same:
+                    print(
+                        f"CACHE CHECK FAILED: {name} panel {panel!r} is not "
+                        f"bit-identical to the direct computation",
+                        file=sys.stderr,
+                    )
+                    return 1
+        print(f"cache check: cold {t_cold:.4f}s, warm {t_warm:.4f}s "
+              f"({t_cold / t_warm:.1f}x), artefacts bit-identical")
+        if t_warm >= t_cold:
+            print("CACHE CHECK FAILED: warm fetch not faster than cold",
+                  file=sys.stderr)
+            return 1
+        return 0
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
 
 
 def main(argv=None):
@@ -193,13 +311,27 @@ def main(argv=None):
         "--update", action="store_true",
         help="rewrite the committed baseline's 'after' numbers",
     )
+    parser.add_argument(
+        "--cache-check", action="store_true",
+        help="only verify cold/warm cache bit-identity and warm speed-up "
+             "(ephemeral cache dir), then exit",
+    )
     args = parser.parse_args(argv)
+
+    if args.cache_check:
+        return _cache_check()
 
     reps = 2 if args.smoke else 5
     results = {}
-    for name, fn in _workloads(args.jobs):
-        results[name] = round(_best_of(fn, reps), 4)
-        print(f"{name:32s} {results[name]:8.4f}s")
+    try:
+        for name, fn in _workloads(args.jobs):
+            if name.endswith("_warm"):
+                _prime_warm_cache()  # priming stays outside the timing
+            results[name] = round(_best_of(fn, reps), 4)
+            print(f"{name:32s} {results[name]:8.4f}s")
+    finally:
+        if _WARM_ROOT is not None:
+            shutil.rmtree(_WARM_ROOT, ignore_errors=True)
 
     baseline = (
         json.loads(BASELINE_PATH.read_text()) if BASELINE_PATH.exists()
@@ -218,7 +350,10 @@ def main(argv=None):
             # The jobs-suffixed sweep demonstrates parallel dispatch; its
             # wall clock is dominated by pool start-up on small grids (and
             # its name varies with --jobs), so it informs but never gates.
-            if "_jobs" in name:
+            # The cache workloads are mkdtemp/disk-bound sub-10ms timings —
+            # far too noisy for a 25% relative gate; --cache-check asserts
+            # their invariants (bit-identity, warm < cold) robustly instead.
+            if "_jobs" in name or "_cache_" in name:
                 continue
             want = baseline["workloads"].get(name, {}).get("after")
             if want is None:

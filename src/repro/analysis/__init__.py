@@ -13,6 +13,14 @@ from repro.analysis.figures import (
     figure14,
     render_ascii,
 )
+from repro.analysis.cache import (
+    ResultCache,
+    cached_coefficients,
+    cached_figure,
+    cached_region_map,
+    cached_sweep,
+    engine_fingerprint,
+)
 from repro.analysis.measure import (
     extract_coefficients,
     measure_comm_time,
@@ -35,6 +43,12 @@ __all__ = [
     "figure13",
     "figure14",
     "render_ascii",
+    "ResultCache",
+    "cached_coefficients",
+    "cached_figure",
+    "cached_region_map",
+    "cached_sweep",
+    "engine_fingerprint",
     "extract_coefficients",
     "measure_comm_time",
     "measured_vs_model",

@@ -1,0 +1,457 @@
+"""Persistent content-addressed cache for analysis artefacts.
+
+Region maps, sweep curves, and simulation measurements are pure functions
+of their task parameters — yet every ``figure``/``sweep``/benchmark
+invocation recomputed identical grids from scratch.  This module stores
+those results on disk, **addressed by the SHA-256 of a canonical-JSON task
+descriptor**, so a warm re-run of Figure 13/14 is a file read.
+
+Key scheme
+----------
+An entry's address is ``sha256(canonical_json(envelope))`` where the
+envelope is::
+
+    {"engine": <engine fingerprint>, "kind": <artefact kind>,
+     "task": <descriptor>, "v": CACHE_SCHEMA_VERSION}
+
+* ``task`` is the caller-supplied descriptor: every parameter the result
+  depends on (algorithm set, port model, ``t_s``/``t_w``, lattice bounds,
+  seeds and fault-plan parameters for simulation-backed artefacts, …).
+  :func:`canonical_json` sorts keys, forbids non-finite floats, and uses
+  compact separators, so logically-equal descriptors digest identically.
+* ``kind`` namespaces artefact families (``"region_map"``, ``"sweep"``,
+  ``"coefficients"``, …) so two families can never collide on a
+  coincidentally-equal descriptor.
+* ``engine`` is :func:`engine_fingerprint`: a digest over the committed
+  golden-trace fixtures (which pin the simulator's full event timeline)
+  plus the analytic-model sources.  Any engine or model change — even one
+  the golden suite would catch — changes every key, so **a stale engine
+  can never serve hits**; there is no invalidation logic to get wrong,
+  old entries simply become unreachable (``prune`` reclaims them).
+* ``v`` guards the payload serialization format itself.
+
+Entries are self-describing pickles (``{"kind", "descriptor", "payload",
+"created"}``) stored under ``<root>/objects/<aa>/<digest>.pkl``; corrupt
+or truncated files are treated as misses and rewritten.  The default root
+is ``$REPRO_CACHE_DIR``, else ``$XDG_CACHE_HOME/repro-hypercube-mm``,
+else ``~/.cache/repro-hypercube-mm``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+import os
+import pathlib
+import pickle
+import time
+from typing import Any, Callable
+
+from repro.errors import ModelError
+from repro.sim.machine import PortModel
+
+__all__ = [
+    "CACHE_SCHEMA_VERSION",
+    "canonical_json",
+    "task_digest",
+    "engine_fingerprint",
+    "ResultCache",
+    "cached_region_map",
+    "cached_figure",
+    "cached_sweep",
+    "cached_coefficients",
+]
+
+#: bump when the entry/payload layout changes (invalidates every key)
+CACHE_SCHEMA_VERSION = 1
+
+#: environment override for the cache directory
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+#: source files whose behaviour the cached artefacts depend on; hashed
+#: into the engine fingerprint alongside the golden-trace fixtures
+_FINGERPRINT_SOURCES = (
+    "sim/engine.py",
+    "sim/faults.py",
+    "models/table2.py",
+    "models/table2_vec.py",
+)
+
+
+def _canon(obj: Any) -> Any:
+    """Reduce a descriptor to canonical JSON-safe data (or raise)."""
+    if isinstance(obj, dict):
+        out = {}
+        for k, v in obj.items():
+            if not isinstance(k, str):
+                raise ModelError(f"descriptor keys must be strings, got {k!r}")
+            out[k] = _canon(v)
+        return out
+    if isinstance(obj, (list, tuple)):
+        return [_canon(v) for v in obj]
+    if isinstance(obj, PortModel):
+        return obj.value
+    if isinstance(obj, bool) or obj is None or isinstance(obj, (int, str)):
+        return obj
+    if isinstance(obj, float):
+        if not math.isfinite(obj):
+            raise ModelError(f"descriptor floats must be finite, got {obj!r}")
+        return obj
+    raise ModelError(f"unsupported descriptor value {obj!r}")
+
+
+def canonical_json(obj: Any) -> str:
+    """Deterministic JSON: sorted keys, compact, finite floats only.
+
+    Tuples become lists and :class:`PortModel` its string value, so
+    logically-equal descriptors always serialize to the same bytes (the
+    property the content addressing relies on).
+    """
+    return json.dumps(
+        _canon(obj), sort_keys=True, separators=(",", ":"), allow_nan=False
+    )
+
+
+def task_digest(envelope: Any) -> str:
+    """SHA-256 hex digest of the canonical-JSON form of ``envelope``."""
+    return hashlib.sha256(canonical_json(envelope).encode()).hexdigest()
+
+
+_FINGERPRINT: str | None = None
+
+
+def engine_fingerprint() -> str:
+    """Digest pinning the engine + analytic-model version (memoized).
+
+    Hashes the golden-trace fixture (``tests/golden/golden_traces.json``,
+    when the source tree is present — it is the committed bit-exact
+    summary of the engine's behaviour) together with the source bytes of
+    the simulator core and the Table 2 scalar/vector models.  Cache keys
+    embed this digest, so any change to those files orphans every
+    existing entry rather than risking a stale hit.
+    """
+    global _FINGERPRINT
+    if _FINGERPRINT is None:
+        h = hashlib.sha256()
+        pkg_root = pathlib.Path(__file__).resolve().parents[1]
+        for rel in _FINGERPRINT_SOURCES:
+            path = pkg_root / rel
+            h.update(rel.encode())
+            h.update(path.read_bytes())
+        golden = pkg_root.parents[1] / "tests" / "golden" / "golden_traces.json"
+        if golden.is_file():
+            h.update(b"golden_traces.json")
+            h.update(golden.read_bytes())
+        _FINGERPRINT = h.hexdigest()
+    return _FINGERPRINT
+
+
+_MISS = object()
+
+
+class ResultCache:
+    """Content-addressed on-disk store for analysis results.
+
+    ``get``/``put`` address entries by descriptor digest (see the module
+    docstring for the key scheme); :meth:`fetch` is the memoization
+    helper the cached wrappers build on.  A cache constructed with
+    ``enabled=False`` is a transparent no-op (every ``get`` misses,
+    ``put`` discards), which lets call sites thread one object through
+    unconditionally.
+    """
+
+    def __init__(self, root: str | os.PathLike | None = None, *, enabled: bool = True):
+        """Open (or lazily create) the cache rooted at ``root``.
+
+        ``root=None`` resolves ``$REPRO_CACHE_DIR``, then
+        ``$XDG_CACHE_HOME/repro-hypercube-mm``, then
+        ``~/.cache/repro-hypercube-mm``.  Nothing is written until the
+        first :meth:`put`.
+        """
+        if root is None:
+            root = os.environ.get(CACHE_DIR_ENV)
+        if root is None:
+            xdg = os.environ.get("XDG_CACHE_HOME")
+            base = pathlib.Path(xdg) if xdg else pathlib.Path.home() / ".cache"
+            root = base / "repro-hypercube-mm"
+        self.root = pathlib.Path(root)
+        self.enabled = enabled
+        self.hits = 0
+        self.misses = 0
+
+    # -- addressing ---------------------------------------------------------
+
+    def _envelope(self, kind: str, descriptor: dict) -> dict:
+        return {
+            "engine": engine_fingerprint(),
+            "kind": kind,
+            "task": descriptor,
+            "v": CACHE_SCHEMA_VERSION,
+        }
+
+    def _path(self, digest: str) -> pathlib.Path:
+        return self.root / "objects" / digest[:2] / f"{digest}.pkl"
+
+    # -- store --------------------------------------------------------------
+
+    def get(self, kind: str, descriptor: dict, default: Any = None) -> Any:
+        """The cached payload for ``(kind, descriptor)``, or ``default``.
+
+        Unreadable or corrupt entries count as misses (and are left for
+        the next :meth:`put` to overwrite).
+        """
+        value = self._load(kind, descriptor)
+        return default if value is _MISS else value
+
+    def _load(self, kind: str, descriptor: dict) -> Any:
+        if not self.enabled:
+            return _MISS
+        path = self._path(task_digest(self._envelope(kind, descriptor)))
+        try:
+            with open(path, "rb") as fh:
+                entry = pickle.load(fh)
+            payload = entry["payload"]
+        except (OSError, pickle.UnpicklingError, EOFError, KeyError,
+                AttributeError, ImportError, IndexError):
+            self.misses += 1
+            return _MISS
+        self.hits += 1
+        return payload
+
+    def put(self, kind: str, descriptor: dict, payload: Any) -> pathlib.Path | None:
+        """Store ``payload`` under its descriptor digest (atomically).
+
+        Returns the entry path, or ``None`` when the cache is disabled.
+        The write goes to a temporary sibling and is renamed into place,
+        so concurrent readers never observe a truncated entry.
+        """
+        if not self.enabled:
+            return None
+        path = self._path(task_digest(self._envelope(kind, descriptor)))
+        path.parent.mkdir(parents=True, exist_ok=True)
+        entry = {
+            "kind": kind,
+            "descriptor": descriptor,
+            "payload": payload,
+            "created": time.time(),
+        }
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        with open(tmp, "wb") as fh:
+            pickle.dump(entry, fh, protocol=pickle.HIGHEST_PROTOCOL)
+        os.replace(tmp, path)
+        return path
+
+    def fetch(
+        self, kind: str, descriptor: dict, compute: Callable[[], Any]
+    ) -> Any:
+        """``get`` or — on a miss — ``compute()``, ``put``, and return.
+
+        The memoization primitive: results flow through unchanged, so a
+        warm fetch is bit-identical to the cold one that populated it.
+        """
+        value = self._load(kind, descriptor)
+        if value is _MISS:
+            value = compute()
+            self.put(kind, descriptor, value)
+        return value
+
+    # -- maintenance --------------------------------------------------------
+
+    def _entries(self) -> list[pathlib.Path]:
+        objects = self.root / "objects"
+        if not objects.is_dir():
+            return []
+        return sorted(objects.glob("*/*.pkl"))
+
+    def stats(self) -> dict:
+        """Entry count, total bytes, per-kind breakdown, session hit/miss."""
+        by_kind: dict[str, int] = {}
+        total = 0
+        entries = self._entries()
+        for path in entries:
+            total += path.stat().st_size
+            try:
+                with open(path, "rb") as fh:
+                    kind = pickle.load(fh).get("kind", "?")
+            except Exception:
+                kind = "(corrupt)"
+            by_kind[kind] = by_kind.get(kind, 0) + 1
+        return {
+            "root": str(self.root),
+            "entries": len(entries),
+            "bytes": total,
+            "by_kind": dict(sorted(by_kind.items())),
+            "session_hits": self.hits,
+            "session_misses": self.misses,
+        }
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        removed = 0
+        for path in self._entries():
+            path.unlink(missing_ok=True)
+            removed += 1
+        return removed
+
+    def prune(
+        self,
+        *,
+        max_age_days: float | None = None,
+        max_bytes: int | None = None,
+    ) -> int:
+        """Expire old entries and/or shrink the store to a byte budget.
+
+        Entries older than ``max_age_days`` (by mtime) are removed first;
+        then, if the store still exceeds ``max_bytes``, the oldest
+        survivors go until it fits.  Returns the number removed.
+        """
+        entries = [(p.stat().st_mtime, p.stat().st_size, p) for p in self._entries()]
+        entries.sort()
+        removed = 0
+        if max_age_days is not None:
+            cutoff = time.time() - max_age_days * 86400.0
+            keep = []
+            for mtime, size, path in entries:
+                if mtime < cutoff:
+                    path.unlink(missing_ok=True)
+                    removed += 1
+                else:
+                    keep.append((mtime, size, path))
+            entries = keep
+        if max_bytes is not None:
+            total = sum(size for _, size, _ in entries)
+            for _, size, path in entries:
+                if total <= max_bytes:
+                    break
+                path.unlink(missing_ok=True)
+                total -= size
+                removed += 1
+        return removed
+
+
+# ---------------------------------------------------------------------------
+# cached wrappers around the analysis layer
+# ---------------------------------------------------------------------------
+
+
+def _lattice_descriptor(
+    port: PortModel,
+    t_s: float,
+    t_w: float,
+    *,
+    log2_n_max: int = 13,
+    log2_p_max: int = 20,
+    log2_n_min: int = 1,
+    log2_p_min: int = 2,
+    algorithms: tuple[str, ...] | None = None,
+    backend: str = "vector",
+) -> dict:
+    from repro.analysis.regions import candidates
+
+    algos = tuple(algorithms if algorithms is not None else candidates(port))
+    return {
+        "port": port,
+        "t_s": float(t_s),
+        "t_w": float(t_w),
+        "log2_n_min": log2_n_min,
+        "log2_n_max": log2_n_max,
+        "log2_p_min": log2_p_min,
+        "log2_p_max": log2_p_max,
+        "algorithms": list(algos),
+        "backend": backend,
+    }
+
+
+def cached_region_map(cache, port, t_s, t_w, **kwargs):
+    """:func:`repro.analysis.regions.region_map` through a result cache.
+
+    ``cache=None`` (or a disabled cache) computes directly.  ``jobs`` is
+    deliberately *not* part of the key — the map is proven bit-identical
+    for every jobs value, so all of them share one entry.
+    """
+    from repro.analysis.regions import region_map
+
+    if cache is None:
+        return region_map(port, t_s, t_w, **kwargs)
+    jobs = kwargs.pop("jobs", 1)
+    descriptor = _lattice_descriptor(port, t_s, t_w, **kwargs)
+    return cache.fetch(
+        "region_map",
+        descriptor,
+        lambda: region_map(port, t_s, t_w, jobs=jobs, **kwargs),
+    )
+
+
+def cached_figure(cache, figure: int, **kwargs):
+    """A whole Figure 13/14 panel set (one cache entry for all panels).
+
+    Caching the four panels as a single entry makes the warm path one
+    digest + one read, which is what gets the warm ``figure`` re-run to
+    near-instant.
+    """
+    from repro.analysis.figures import PANELS
+    from repro.analysis.figures import figure13, figure14
+
+    if figure not in (13, 14):
+        raise ModelError(f"unknown figure {figure!r} (expected 13 or 14)")
+    build = figure13 if figure == 13 else figure14
+    if cache is None:
+        return build(**kwargs)
+    port = PortModel.ONE_PORT if figure == 13 else PortModel.MULTI_PORT
+    jobs = kwargs.pop("jobs", 1)
+    descriptor = {
+        "figure": figure,
+        "panels": {
+            panel: [t_s, t_w] for panel, (t_s, t_w) in sorted(PANELS.items())
+        },
+        "lattice": _lattice_descriptor(port, 0.0, 0.0, **kwargs),
+    }
+    return cache.fetch(
+        "figure_panels", descriptor, lambda: build(jobs=jobs, **kwargs)
+    )
+
+
+def cached_sweep(cache, algorithms, variable, values, **kwargs):
+    """:func:`repro.analysis.sweep.sweep` through a result cache."""
+    from repro.analysis.sweep import sweep
+
+    if cache is None:
+        return sweep(algorithms, variable, values, **kwargs)
+    jobs = kwargs.pop("jobs", 1)
+    port = kwargs.get("port", PortModel.ONE_PORT)
+    descriptor = {
+        "algorithms": list(algorithms),
+        "variable": variable,
+        "values": [float(v) for v in values],
+        "n": float(kwargs.get("n", 256)),
+        "p": float(kwargs.get("p", 64)),
+        "port": port,
+        "t_s": float(kwargs.get("t_s", 150.0)),
+        "t_w": float(kwargs.get("t_w", 3.0)),
+        "backend": kwargs.get("backend", "vector"),
+    }
+    return cache.fetch(
+        "sweep",
+        descriptor,
+        lambda: sweep(algorithms, variable, values, jobs=jobs, **kwargs),
+    )
+
+
+def cached_coefficients(cache, key: str, n: int, p: int, port: PortModel):
+    """Measured ``(a, b)`` coefficients through a result cache.
+
+    Wraps :func:`repro.analysis.measure.extract_coefficients` — a
+    simulation-backed artefact, so the engine fingerprint in the key is
+    what keeps entries honest across engine changes.
+    """
+    from repro.analysis.measure import extract_coefficients
+
+    if cache is None:
+        return extract_coefficients(key, n, p, port)
+    descriptor = {"algorithm": key, "n": int(n), "p": int(p), "port": port}
+    return cache.fetch(
+        "coefficients",
+        descriptor,
+        lambda: extract_coefficients(key, n, p, port),
+    )

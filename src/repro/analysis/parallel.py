@@ -37,11 +37,33 @@ R = TypeVar("R")
 def default_jobs() -> int:
     """Worker count used when a caller asks for "parallel" without a number.
 
-    Half the visible CPUs (at least one): sweeps are CPU-bound pure Python,
-    so hyper-sibling oversubscription buys nothing, and leaving headroom
-    keeps interactive use pleasant.
+    Precedence, highest first:
+
+    1. ``REPRO_JOBS`` environment variable — used verbatim when it parses
+       as a positive integer (malformed or non-positive values are
+       ignored and fall through);
+    2. the CPU *affinity* mask (``os.sched_getaffinity(0)`` where the
+       platform provides it) — a container or ``taskset`` pinning sees
+       the CPUs it was actually given, not the whole machine;
+    3. ``os.cpu_count()`` as the last resort.
+
+    The visible-CPU count from (2)/(3) is halved (at least one): sweeps
+    are CPU-bound pure Python, so hyper-sibling oversubscription buys
+    nothing, and leaving headroom keeps interactive use pleasant.
     """
-    return max(1, (os.cpu_count() or 2) // 2)
+    env = os.environ.get("REPRO_JOBS")
+    if env is not None:
+        try:
+            jobs = int(env)
+        except ValueError:
+            jobs = 0
+        if jobs > 0:
+            return jobs
+    try:
+        visible = len(os.sched_getaffinity(0))
+    except (AttributeError, OSError):  # pragma: no cover - non-Linux
+        visible = os.cpu_count() or 2
+    return max(1, visible // 2)
 
 
 def _run_chunk(fn: Callable[[C], R], chunk: Sequence[C]) -> list[R]:

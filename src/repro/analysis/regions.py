@@ -11,15 +11,23 @@ machines only — Table 2 has no one-port entry for it), Berntsen, 3DD and
 3D All; Algorithm Simple is excluded for its space cost, DNS and 3D
 All_Trans because 3DD / 3D All dominate them everywhere (we verify that
 domination in the claims benchmark rather than assuming it).
+
+The whole lattice is evaluated in one shot by the vectorized backend
+(:mod:`repro.models.table2_vec`); ``backend="scalar"`` forces the original
+per-point loop, which stays in place as the reference oracle the
+equivalence tests compare against.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.analysis.parallel import run_grid
 from repro.errors import ModelError
 from repro.models.table2 import communication_overhead, resolve_overhead
+from repro.models.table2_vec import winner_grids
 from repro.sim.machine import PortModel
 
 __all__ = [
@@ -51,7 +59,8 @@ def best_algorithm(
     """The least-communication-overhead algorithm at ``(n, p)``.
 
     Returns ``(key, modelled_time)`` or ``None`` if no candidate is
-    applicable (e.g. ``p > n³``).
+    applicable (e.g. ``p > n³``).  This is the scalar per-point query;
+    whole-lattice maps go through :func:`region_map`.
     """
     algos = algorithms if algorithms is not None else candidates(port)
     best: tuple[str, float] | None = None
@@ -64,12 +73,15 @@ def best_algorithm(
     return best
 
 
-@dataclass
+@dataclass(eq=False)
 class RegionMap:
-    """Best-algorithm map over a (log₂ n, log₂ p) lattice.
+    """Best-algorithm map over a (log₂ n, log₂ p) lattice, array-backed.
 
-    ``winners[i][j]`` is the winning key (or ``None``) for
-    ``n = 2**log2_n[i]`` and ``p = 2**log2_p[j]``.
+    ``winner_idx[i, j]`` indexes ``algorithms`` (``-1`` = no algorithm
+    applicable) and ``times[i, j]`` is the winning modelled time (``NaN``
+    at holes) for ``n = 2**log2_n[i]`` and ``p = 2**log2_p[j]``.  The
+    :attr:`winners` view renders the same data as nested lists of keys
+    (``None`` at holes) for presentation code.
     """
 
     port: PortModel
@@ -77,49 +89,84 @@ class RegionMap:
     t_w: float
     log2_n: list[float]
     log2_p: list[float]
-    winners: list[list[str | None]] = field(default_factory=list)
-    times: list[list[float]] = field(default_factory=list)
+    algorithms: tuple[str, ...]
+    winner_idx: np.ndarray
+    times: np.ndarray
+    _winners: list[list[str | None]] | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
+
+    @property
+    def winners(self) -> list[list[str | None]]:
+        """Winning keys as nested lists (``None`` where nothing applies)."""
+        if self._winners is None:
+            lut = list(self.algorithms)
+            self._winners = [
+                [None if k < 0 else lut[k] for k in row]
+                for row in self.winner_idx
+            ]
+        return self._winners
 
     def counts(self) -> dict[str, int]:
-        """How many lattice points each algorithm wins."""
-        out: dict[str, int] = {}
-        for row in self.winners:
-            for w in row:
-                if w is not None:
-                    out[w] = out.get(w, 0) + 1
-        return out
+        """How many lattice points each algorithm wins (vectorized)."""
+        won = self.winner_idx[self.winner_idx >= 0]
+        tally = np.bincount(won, minlength=len(self.algorithms))
+        return {
+            key: int(c) for key, c in zip(self.algorithms, tally) if c
+        }
 
     def winner_at(self, log2n: float, log2p: float) -> str | None:
-        i = self.log2_n.index(log2n)
-        j = self.log2_p.index(log2p)
-        return self.winners[i][j]
+        """The winning key at one lattice point (``None`` at a hole).
+
+        Raises :class:`~repro.errors.ModelError` for off-lattice
+        coordinates, naming the coordinate and the lattice bounds.
+        """
+        try:
+            i = self.log2_n.index(log2n)
+            j = self.log2_p.index(log2p)
+        except ValueError:
+            raise ModelError(
+                f"point (log2_n={log2n:g}, log2_p={log2p:g}) is not on the "
+                f"region-map lattice: log2_n spans [{self.log2_n[0]:g}, "
+                f"{self.log2_n[-1]:g}] and log2_p spans [{self.log2_p[0]:g}, "
+                f"{self.log2_p[-1]:g}] in unit steps"
+            ) from None
+        k = int(self.winner_idx[i, j])
+        return None if k < 0 else self.algorithms[k]
 
     def fraction_won(self, key: str, *, where=None) -> float:
         """Fraction of applicable lattice points won by ``key``.
 
-        ``where(n, p)`` optionally restricts the region.
+        ``where(n, p)`` optionally restricts the region.  The unrestricted
+        tally is a pure array reduction; a ``where`` predicate is evaluated
+        per lattice point (it is an arbitrary callable).
         """
-        total = 0
-        won = 0
-        for i, ln in enumerate(self.log2_n):
-            for j, lp in enumerate(self.log2_p):
-                w = self.winners[i][j]
-                if w is None:
-                    continue
-                if where is not None and not where(2.0 ** ln, 2.0 ** lp):
-                    continue
-                total += 1
-                won += w == key
-        return won / total if total else 0.0
+        applicable = self.winner_idx >= 0
+        if where is not None:
+            selected = np.array(
+                [
+                    [bool(where(2.0 ** ln, 2.0 ** lp)) for lp in self.log2_p]
+                    for ln in self.log2_n
+                ]
+            )
+            applicable = applicable & selected
+        total = int(applicable.sum())
+        if not total:
+            return 0.0
+        if key not in self.algorithms:
+            return 0.0
+        k = self.algorithms.index(key)
+        won = int(((self.winner_idx == k) & applicable).sum())
+        return won / total
 
 
 def _map_row(
     task: tuple[PortModel, float, float, float, tuple[float, ...], tuple[str, ...]],
 ) -> tuple[list[str | None], list[float]]:
-    """One lattice row of a region map (module-level for run_grid workers).
+    """One lattice row of a region map — the scalar reference oracle.
 
-    Each call resolves its candidates' Table 2 dispatch locally — cheap
-    and cached per process — so the task tuple stays plain picklable data.
+    Kept as the ``backend="scalar"`` path (and ``run_grid`` worker): the
+    vectorized backend is required to reproduce this loop bit for bit.
     """
     port, t_s, t_w, ln, log2_p, algos = task
     evaluators = [
@@ -158,23 +205,52 @@ def region_map(
     log2_p_min: int = 2,
     algorithms: tuple[str, ...] | None = None,
     jobs: int = 1,
+    backend: str = "vector",
 ) -> RegionMap:
     """Compute the best-algorithm map on an integer log₂ lattice.
 
     Defaults cover ``n`` up to ``2¹³ = 8192`` and ``p`` up to ``2²⁰ ≈ 10⁶``
     (the paper's figures use similar log-log axes; points with ``p > n³``
-    have no applicable algorithm and map to ``None``).  ``jobs > 1``
-    shards the rows over worker processes (:func:`run_grid`); the map is
-    bit-identical for every ``jobs`` value.
+    have no applicable algorithm and map to ``None``).
+
+    ``backend="vector"`` (default) evaluates the whole lattice in one shot
+    through :func:`repro.models.table2_vec.winner_grids`;
+    ``backend="scalar"`` runs the original per-point loop, sharding rows
+    over ``jobs`` worker processes (:func:`run_grid`).  Both backends —
+    and every ``jobs`` value — produce bit-identical maps (``jobs`` is
+    accepted but irrelevant for the vectorized backend, which outruns any
+    process pool on these lattice sizes).
     """
     if log2_n_min > log2_n_max or log2_p_min > log2_p_max:
         raise ModelError("empty lattice for region map")
+    if backend not in ("vector", "scalar"):
+        raise ModelError(f"unknown region-map backend {backend!r}")
     log2_n = [float(v) for v in range(log2_n_min, log2_n_max + 1)]
     log2_p = [float(v) for v in range(log2_p_min, log2_p_max + 1)]
-    rm = RegionMap(port=port, t_s=t_s, t_w=t_w, log2_n=log2_n, log2_p=log2_p)
     algos = tuple(algorithms if algorithms is not None else candidates(port))
-    tasks = [(port, t_s, t_w, ln, tuple(log2_p), algos) for ln in log2_n]
-    for row_w, row_t in run_grid(_map_row, tasks, jobs=jobs):
-        rm.winners.append(row_w)
-        rm.times.append(row_t)
-    return rm
+    if backend == "vector":
+        n_values = [2.0 ** ln for ln in log2_n]
+        p_values = [2.0 ** lp for lp in log2_p]
+        winner_idx, times = winner_grids(
+            algos, n_values, p_values, port, t_s, t_w
+        )
+    else:
+        tasks = [(port, t_s, t_w, ln, tuple(log2_p), algos) for ln in log2_n]
+        index = {key: k for k, key in enumerate(algos)}
+        rows_w: list[list[int]] = []
+        rows_t: list[list[float]] = []
+        for row_w, row_t in run_grid(_map_row, tasks, jobs=jobs):
+            rows_w.append([-1 if w is None else index[w] for w in row_w])
+            rows_t.append(row_t)
+        winner_idx = np.array(rows_w, dtype=np.int16)
+        times = np.array(rows_t)
+    return RegionMap(
+        port=port,
+        t_s=t_s,
+        t_w=t_w,
+        log2_n=log2_n,
+        log2_p=log2_p,
+        algorithms=algos,
+        winner_idx=winner_idx,
+        times=times,
+    )

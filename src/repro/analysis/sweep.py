@@ -3,14 +3,25 @@
 Utilities behind the "where does algorithm X overtake Y?" questions the
 paper answers with its region figures: 1-D sweeps along ``n``, ``p`` or
 ``t_s``/``t_w`` with bisection for the crossover location.
+
+Sweeps along ``n`` or ``p`` evaluate the whole value axis in one shot
+through the vectorized backend (:mod:`repro.models.table2_vec`); sweeps
+along ``t_s``/``t_w`` resolve the Table 2 coefficients once per algorithm
+(they do not vary along those axes) and expand the linear form per value.
+Both produce results bit-identical to the original per-point loop, which
+remains available as ``backend="scalar"`` for the equivalence tests.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from repro.analysis.parallel import run_grid
+
+import numpy as np
+
 from repro.errors import ModelError
-from repro.models.table2 import communication_overhead
+from repro.models.params import check_np
+from repro.models.table2 import communication_overhead, resolve_overhead
+from repro.models.table2_vec import overhead_grid
 from repro.sim.machine import PortModel
 
 __all__ = ["sweep", "crossover", "SweepPoint"]
@@ -42,23 +53,56 @@ class SweepPoint:
     times: dict[str, float | None]
 
     def best(self) -> str | None:
+        """The least-time applicable algorithm at this sample (or None)."""
         valid = {k: v for k, v in self.times.items() if v is not None}
         if not valid:
             return None
         return min(valid, key=valid.get)
 
 
-def _sweep_cell(
-    task: tuple[tuple[str, ...], str, float, float, float, PortModel, float, float],
-) -> SweepPoint:
-    """Evaluate one sweep sample (module-level for run_grid workers)."""
-    algorithms, variable, value, n, p, port, t_s, t_w = task
-    vn, vp, vt_s, vt_w = _with_variable(variable, value, n, p, t_s, t_w)
-    times = {
-        key: communication_overhead(key, vn, vp, port, vt_s, vt_w)
-        for key in algorithms
-    }
-    return SweepPoint(value=value, times=times)
+def _axis_times(
+    algorithms: tuple[str, ...],
+    variable: str,
+    values: list[float],
+    n: float,
+    p: float,
+    port: PortModel,
+    t_s: float,
+    t_w: float,
+) -> dict[str, list[float | None]]:
+    """Per-algorithm time columns along the swept axis (vectorized)."""
+    out: dict[str, list[float | None]] = {}
+    if variable in ("n", "p"):
+        n_values = values if variable == "n" else [n]
+        p_values = values if variable == "p" else [p]
+        for vn in n_values:
+            for vp in p_values:
+                check_np(vn, vp)
+        for key in algorithms:
+            grid = overhead_grid(key, n_values, p_values, port, t_s, t_w)
+            if grid is None:
+                out[key] = [None] * len(values)
+                continue
+            column = grid[:, 0] if variable == "n" else grid[0, :]
+            out[key] = [
+                None if np.isnan(t) else float(t) for t in column
+            ]
+    else:
+        # t_s / t_w axes: the (a, b) pair is constant along the sweep, so
+        # resolve it once and expand the linear form a·t_s + b·t_w.
+        check_np(n, p)
+        for key in algorithms:
+            fn = resolve_overhead(key, port)
+            coeffs = fn(n, p) if fn is not None else None
+            if coeffs is None:
+                out[key] = [None] * len(values)
+                continue
+            a, b = coeffs
+            if variable == "t_s":
+                out[key] = [a * v + b * t_w for v in values]
+            else:
+                out[key] = [a * t_s + b * v for v in values]
+    return out
 
 
 def sweep(
@@ -72,21 +116,41 @@ def sweep(
     t_s: float = 150.0,
     t_w: float = 3.0,
     jobs: int = 1,
+    backend: str = "vector",
 ) -> list[SweepPoint]:
     """Evaluate the Table 2 overheads along one axis.
 
     ``variable`` is ``"n"``, ``"p"``, ``"t_s"`` or ``"t_w"``; the other
-    parameters stay fixed at the keyword values.  ``jobs > 1`` shards the
-    samples over worker processes (:func:`run_grid`) with results
-    identical to the sequential sweep.
+    parameters stay fixed at the keyword values.  The default backend
+    evaluates the whole axis through the vectorized grid evaluators;
+    ``backend="scalar"`` runs the original per-point loop.  Both are
+    bit-identical, as is the result for every ``jobs`` value (the
+    parameter is kept for interface stability; these 1-D sweeps are far
+    cheaper than any process-pool dispatch).
     """
     if variable not in _VARIABLES:
         raise ModelError(f"unknown sweep variable {variable!r}")
-    tasks = [
-        (tuple(algorithms), variable, value, n, p, port, t_s, t_w)
-        for value in values
+    if backend not in ("vector", "scalar"):
+        raise ModelError(f"unknown sweep backend {backend!r}")
+    algorithms = tuple(algorithms)
+    if backend == "scalar":
+        points = []
+        for value in values:
+            vn, vp, vt_s, vt_w = _with_variable(variable, value, n, p, t_s, t_w)
+            times = {
+                key: communication_overhead(key, vn, vp, port, vt_s, vt_w)
+                for key in algorithms
+            }
+            points.append(SweepPoint(value=value, times=times))
+        return points
+    columns = _axis_times(algorithms, variable, values, n, p, port, t_s, t_w)
+    return [
+        SweepPoint(
+            value=value,
+            times={key: columns[key][i] for key in algorithms},
+        )
+        for i, value in enumerate(values)
     ]
-    return run_grid(_sweep_cell, tasks, jobs=jobs)
 
 
 def crossover(
@@ -109,17 +173,23 @@ def crossover(
     ``time_A - time_B`` does not change over the interval (no crossover)
     or either model is inapplicable at an endpoint.  Each point is
     evaluated exactly once: the endpoint differences are computed up
-    front and the surviving endpoint's value is reused as the bracket
-    shrinks.
+    front, the surviving endpoint's value is reused as the bracket
+    shrinks, and the Table 2 dispatch for both algorithms is resolved
+    once for the whole bisection rather than per midpoint.
     """
+    if variable not in _VARIABLES:
+        raise ModelError(f"unknown sweep variable {variable!r}")
+    fn_a = resolve_overhead(key_a, port)
+    fn_b = resolve_overhead(key_b, port)
 
     def diff(value: float) -> float | None:
         vn, vp, vt_s, vt_w = _with_variable(variable, value, n, p, t_s, t_w)
-        ta = communication_overhead(key_a, vn, vp, port, vt_s, vt_w)
-        tb = communication_overhead(key_b, vn, vp, port, vt_s, vt_w)
-        if ta is None or tb is None:
+        check_np(vn, vp)
+        ca = fn_a(vn, vp) if fn_a is not None else None
+        cb = fn_b(vn, vp) if fn_b is not None else None
+        if ca is None or cb is None:
             return None
-        return ta - tb
+        return (ca[0] * vt_s + ca[1] * vt_w) - (cb[0] * vt_s + cb[1] * vt_w)
 
     d_lo, d_hi = diff(lo), diff(hi)
     if d_lo is None or d_hi is None or d_lo * d_hi > 0:

@@ -12,20 +12,31 @@ Subcommands
 ``faults``       degradation sweep on a lossy machine (reliable delivery)
 ``recover``      node fail-stop recovery sweep (ABFT / checkpoint restart)
 ``report``       regenerate the paper's full evaluation in one run
+``cache``        inspect or maintain the persistent result cache
 ``list``         list the available algorithms
+
+``figure``, ``sweep``, ``table2`` and ``faults`` accept ``--cache`` /
+``--no-cache`` (and ``--cache-dir``) to serve repeat invocations from the
+persistent content-addressed result cache; ``REPRO_CACHE=1`` flips the
+default on.  Cached and computed outputs are bit-identical.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 import numpy as np
 
 from repro import ALGORITHMS, MachineConfig, PortModel, get_algorithm
+from repro.analysis.cache import (
+    ResultCache,
+    cached_coefficients,
+    cached_region_map,
+    cached_sweep,
+)
 from repro.analysis.figures import PANELS, render_ascii
-from repro.analysis.measure import measured_vs_model
-from repro.analysis.regions import region_map
 from repro.analysis.scalability import isoefficiency_curve
 from repro.errors import NotApplicableError, ReproError
 from repro.models.table2 import overhead_coefficients
@@ -54,6 +65,35 @@ def _machine(args) -> MachineConfig:
         port_model=_port(args.port),
         routing=_routing(getattr(args, "routing", "sf")),
     )
+
+
+def _cache_default() -> bool:
+    """Whether caching is on without an explicit flag (REPRO_CACHE env)."""
+    return os.environ.get("REPRO_CACHE", "").lower() in ("1", "true", "yes", "on")
+
+
+def _add_cache_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--cache", dest="use_cache", action="store_true",
+        default=_cache_default(),
+        help="serve/store this result via the persistent result cache",
+    )
+    p.add_argument(
+        "--no-cache", dest="use_cache", action="store_false",
+        help="bypass the result cache (overrides REPRO_CACHE=1)",
+    )
+    p.add_argument(
+        "--cache-dir", default=None,
+        help="cache directory (default: $REPRO_CACHE_DIR or "
+             "~/.cache/repro-hypercube-mm)",
+    )
+
+
+def _cache(args) -> ResultCache | None:
+    """The ResultCache for this invocation, or None when caching is off."""
+    if not getattr(args, "use_cache", False):
+        return None
+    return ResultCache(args.cache_dir)
 
 
 def _add_machine_args(p: argparse.ArgumentParser) -> None:
@@ -137,9 +177,9 @@ def _cmd_compare(args) -> int:
 def _cmd_figure(args) -> int:
     port = PortModel.ONE_PORT if args.figure == 13 else PortModel.MULTI_PORT
     t_s, t_w = PANELS[args.panel]
-    rm = region_map(
-        port, t_s, t_w, log2_n_max=args.log2n, log2_p_max=args.log2p,
-        jobs=args.jobs,
+    rm = cached_region_map(
+        _cache(args), port, t_s, t_w,
+        log2_n_max=args.log2n, log2_p_max=args.log2p, jobs=args.jobs,
     )
     title = (
         f"Figure {args.figure}({args.panel}): {port.value}, "
@@ -150,11 +190,9 @@ def _cmd_figure(args) -> int:
 
 
 def _cmd_sweep(args) -> int:
-    from repro.analysis.sweep import sweep
-
     keys = tuple(args.algorithms or ["cannon", "berntsen", "3dd", "3d_all"])
-    points = sweep(
-        keys, args.variable, args.values,
+    points = cached_sweep(
+        _cache(args), keys, args.variable, args.values,
         n=args.n, p=args.p, port=_port(args.port),
         t_s=args.ts, t_w=args.tw, jobs=args.jobs,
     )
@@ -177,17 +215,18 @@ def _cmd_sweep(args) -> int:
 
 def _cmd_table2(args) -> int:
     port = _port(args.port)
+    cache = _cache(args)
     print(f"n={args.n} p={args.p} {port.value}")
     print(f"{'algorithm':22s} {'measured (a, b)':>24s} {'Table 2 (a, b)':>24s}")
     for key in sorted(ALGORITHMS):
         algo = ALGORITHMS[key]
         if not algo.applicable(args.n, args.p):
             continue
-        cmp = measured_vs_model(key, args.n, args.p, port)
-        ma, mb = cmp.measured
+        ma, mb = cached_coefficients(cache, key, args.n, args.p, port)
+        coeffs = overhead_coefficients(key, args.n, args.p, port)
         model = (
-            f"({cmp.model[0]:9.1f}, {cmp.model[1]:9.1f})"
-            if cmp.model
+            f"({coeffs[0]:9.1f}, {coeffs[1]:9.1f})"
+            if coeffs
             else f"{'-':>22s}"
         )
         print(f"{algo.name:22s}  ({ma:9.1f}, {mb:9.1f})  {model}")
@@ -252,11 +291,31 @@ def _cmd_faults(args) -> int:
         f"t_w={args.tw:g} plan_seed={args.plan_seed}"
         + (" + transient link fault" if args.transient else "")
     )
-    points = degradation_sweep(
-        keys, args.n, args.p, args.drop_rates,
-        seed=args.seed, plan_seed=args.plan_seed, plan=plan,
-        t_s=args.ts, t_w=args.tw, port_model=_port(args.port),
-    )
+
+    def compute():
+        return degradation_sweep(
+            keys, args.n, args.p, args.drop_rates,
+            seed=args.seed, plan_seed=args.plan_seed, plan=plan,
+            t_s=args.ts, t_w=args.tw, port_model=_port(args.port),
+        )
+
+    cache = _cache(args)
+    if cache is None:
+        points = compute()
+    else:
+        descriptor = {
+            "algorithms": list(keys),
+            "n": args.n,
+            "p": args.p,
+            "drop_rates": [float(r) for r in args.drop_rates],
+            "seed": args.seed,
+            "plan_seed": args.plan_seed,
+            "transient": bool(args.transient),
+            "t_s": float(args.ts),
+            "t_w": float(args.tw),
+            "port": _port(args.port),
+        }
+        points = cache.fetch("degradation_sweep", descriptor, compute)
     print(format_resilience_table(points))
     return 0
 
@@ -280,6 +339,26 @@ def _cmd_recover(args) -> int:
         t_s=args.ts, t_w=args.tw, port_model=_port(args.port),
     )
     print(format_recovery_table(points))
+    return 0
+
+
+def _cmd_cache(args) -> int:
+    cache = ResultCache(args.cache_dir)
+    if args.action == "stats":
+        stats = cache.stats()
+        print(f"cache root : {stats['root']}")
+        print(f"entries    : {stats['entries']}")
+        print(f"size       : {stats['bytes']} bytes")
+        for kind, count in stats["by_kind"].items():
+            print(f"  {kind:20s} {count}")
+        return 0
+    if args.action == "clear":
+        print(f"removed {cache.clear()} cache entr(ies) from {cache.root}")
+        return 0
+    removed = cache.prune(
+        max_age_days=args.max_age_days, max_bytes=args.max_bytes
+    )
+    print(f"pruned {removed} cache entr(ies) from {cache.root}")
     return 0
 
 
@@ -330,6 +409,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--jobs", type=int, default=1,
         help="worker processes for the lattice sweep (same map for any value)",
     )
+    _add_cache_args(p_fig)
     p_fig.set_defaults(func=_cmd_figure)
 
     p_sw = sub.add_parser(
@@ -345,12 +425,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes for the sweep (same table for any value)",
     )
     _add_machine_args(p_sw)
+    _add_cache_args(p_sw)
     p_sw.set_defaults(func=_cmd_sweep)
 
     p_t2 = sub.add_parser("table2", help="measured vs modelled coefficients")
     p_t2.add_argument("-n", type=int, default=16)
     p_t2.add_argument("-p", type=int, default=16)
     _add_machine_args(p_t2)
+    _add_cache_args(p_t2)
     p_t2.set_defaults(func=_cmd_table2)
 
     p_tr = sub.add_parser("trace", help="draw an ASCII Gantt chart of a run")
@@ -389,6 +471,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_fl.add_argument("--algorithms", nargs="*", choices=sorted(ALGORITHMS))
     _add_machine_args(p_fl)
+    _add_cache_args(p_fl)
     p_fl.set_defaults(func=_cmd_faults)
 
     p_rc = sub.add_parser(
@@ -414,6 +497,25 @@ def build_parser() -> argparse.ArgumentParser:
     p_rc.add_argument("--algorithms", nargs="*", choices=sorted(ALGORITHMS))
     _add_machine_args(p_rc)
     p_rc.set_defaults(func=_cmd_recover)
+
+    p_ca = sub.add_parser(
+        "cache", help="inspect or maintain the persistent result cache"
+    )
+    p_ca.add_argument("action", choices=["stats", "clear", "prune"])
+    p_ca.add_argument(
+        "--cache-dir", default=None,
+        help="cache directory (default: $REPRO_CACHE_DIR or "
+             "~/.cache/repro-hypercube-mm)",
+    )
+    p_ca.add_argument(
+        "--max-age-days", type=float, default=None,
+        help="prune: drop entries older than this many days",
+    )
+    p_ca.add_argument(
+        "--max-bytes", type=int, default=None,
+        help="prune: shrink the store to this byte budget (oldest first)",
+    )
+    p_ca.set_defaults(func=_cmd_cache)
 
     p_rep = sub.add_parser(
         "report", help="regenerate the paper's full evaluation"

@@ -12,6 +12,12 @@ from repro.models.table2 import (
     communication_overhead,
     overhead_coefficients,
 )
+from repro.models.table2_vec import (
+    LatticeAxes,
+    coefficient_grids,
+    overhead_grid,
+    winner_grids,
+)
 from repro.models.table3 import SPACE_MODELS, SpaceModel, overall_space, processor_limit
 
 __all__ = [
@@ -23,6 +29,10 @@ __all__ = [
     "OverheadModel",
     "communication_overhead",
     "overhead_coefficients",
+    "LatticeAxes",
+    "coefficient_grids",
+    "overhead_grid",
+    "winner_grids",
     "SPACE_MODELS",
     "SpaceModel",
     "overall_space",

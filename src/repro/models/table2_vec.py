@@ -1,0 +1,383 @@
+"""Vectorized Table 2: coefficient *grids* over whole (n, p) lattices.
+
+:mod:`repro.models.table2` evaluates one ``(n, p)`` point per call; region
+maps (Figures 13/14) evaluate the same closed forms at thousands of lattice
+points, which makes the pure-Python dispatch the analytic layer's hot loop.
+This module produces the full ``(a, b)`` coefficient grids for a lattice in
+one shot: applicability conditions, multi-port fallback chains, and the
+``p > n³`` holes become boolean masks, and winner selection becomes a
+masked argmin.
+
+Bit-exactness contract
+----------------------
+Every cell of every grid is **bit-identical** (``==``, not ``allclose``) to
+what :func:`repro.models.table2.resolve_overhead` computes at that point,
+including which cells are holes (``NaN`` here, ``None`` there).  Two rules
+make that hold by construction:
+
+* The transcendental primitives (``p**0.5``, ``p**(1/3)``, ``log₂``, …)
+  are *not* vectorized: they are computed per lattice **axis** with the
+  same Python scalar expressions as the scalar path (``pow``/``log2`` are
+  not guaranteed identically rounded between libm entry points, so we do
+  not mix implementations).  The axes are tiny — the 13×19 default lattice
+  needs 19 square roots, not 247.
+* Everything combined *across* axes uses only IEEE-exact elementwise ops
+  (``+ - * /`` and comparisons), each correctly rounded and therefore
+  identical to the scalar evaluation order, which every formula here
+  transcribes operator for operator.
+
+The scalar path stays the reference oracle: the equivalence suite
+(``tests/models/test_table2_vec.py``) asserts bit-identity for every
+``(algorithm, port)`` pair over the default lattice, and the region-map
+layer can be forced back onto the scalar path with ``backend="scalar"``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.models.params import lg
+from repro.models.table2 import OVERHEAD_MODELS
+from repro.sim.machine import PortModel
+
+__all__ = [
+    "LatticeAxes",
+    "coefficient_grids",
+    "overhead_grid",
+    "winner_grids",
+]
+
+
+class LatticeAxes:
+    """Per-axis primitive vectors for one ``(n_values, p_values)`` lattice.
+
+    Holds every power/log primitive the Table 2 formulas need, computed
+    with Python scalar arithmetic (see the module docstring for why), as
+    NumPy vectors: ``p``-derived primitives are rows of shape ``(P,)``,
+    ``n``-derived ones columns of shape ``(N, 1)``, so formula code
+    broadcasts them straight into ``(N, P)`` grids.
+    """
+
+    def __init__(self, n_values, p_values):
+        """Build the axes from iterables of ``n`` and ``p`` values."""
+        n = [float(v) for v in n_values]
+        p = [float(v) for v in p_values]
+        self.shape = (len(n), len(p))
+        #: n as a column, p as a row
+        self.n = np.array(n)[:, None]
+        self.p = np.array(p)
+        #: n² as a column (exactly the scalar path's ``n * n``)
+        self.n2 = self.n * self.n
+        # p-derived primitives, Python-scalar computed per axis value;
+        # each expression matches the scalar formulas' inline spelling.
+        self.sq = np.array([v ** 0.5 for v in p])
+        self.cb = np.array([v ** (1 / 3) for v in p])
+        self.p23 = np.array([v ** (2 / 3) for v in p])
+        self.p43 = np.array([v ** (4 / 3) for v in p])
+        self.lgp = np.array([lg(v) for v in p])
+        self.lgsq = np.array([lg(v ** 0.5) for v in p])
+        self.lgcb = np.array([lg(v ** (1 / 3)) for v in p])
+        self._n_pow: dict[float, np.ndarray] = {}
+        self._n_list = n
+
+    def n_pow(self, exponent: float) -> np.ndarray:
+        """``n ** exponent`` as a column (Python scalar pow, memoized)."""
+        col = self._n_pow.get(exponent)
+        if col is None:
+            col = np.array([v ** exponent for v in self._n_list])[:, None]
+            self._n_pow[exponent] = col
+        return col
+
+
+# ---------------------------------------------------------------------------
+# vectorized formulas — operator-for-operator transcriptions of table2.py
+# (``ax.sq`` = p**0.5, ``ax.cb`` = p**(1/3), ``ax.p23`` = p**(2/3), …)
+# ---------------------------------------------------------------------------
+
+
+def _v_simple_one(ax):
+    return (ax.lgp, 2 * ax.n * ax.n / ax.sq * (1 - 1 / ax.sq))
+
+
+def _v_cannon_one(ax):
+    return (
+        2 * (ax.sq - 1) + ax.lgp,
+        ax.n * ax.n / ax.sq * (2 - 2 / ax.sq + ax.lgp / ax.sq),
+    )
+
+
+def _v_berntsen_one(ax):
+    return (
+        2 * (ax.cb - 1) + ax.lgp,
+        ax.n * ax.n / ax.p23 * (3 * (1 - 1 / ax.cb) + 2 * ax.lgp / (3 * ax.cb)),
+    )
+
+
+def _v_dns_one(ax):
+    return (5 / 3 * ax.lgp, ax.n * ax.n / ax.p23 * (5 / 3) * ax.lgp)
+
+
+def _v_3dd_one(ax):
+    return (4 / 3 * ax.lgp, ax.n * ax.n / ax.p23 * (4 / 3) * ax.lgp)
+
+
+def _v_all_trans_one(ax):
+    return (
+        4 / 3 * ax.lgp,
+        ax.n * ax.n / ax.p23 * (3 * (1 - 1 / ax.cb) + ax.lgp / 3),
+    )
+
+
+def _v_3d_all_one(ax):
+    return (
+        4 / 3 * ax.lgp,
+        ax.n * ax.n / ax.p23 * (3 * (1 - 1 / ax.cb) + ax.lgp / (6 * ax.cb)),
+    )
+
+
+def _v_simple_multi(ax):
+    return (
+        ax.lgp / 2,
+        ax.n * ax.n / (ax.sq * ax.lgsq) * (1 - 1 / ax.sq),
+    )
+
+
+def _v_cannon_multi(ax):
+    return (
+        ax.sq - 1 + ax.lgp / 2,
+        ax.n * ax.n / ax.sq * (1 - 1 / ax.sq + ax.lgp / (2 * ax.sq)),
+    )
+
+
+def _v_hje_multi(ax):
+    return (
+        ax.sq - 1 + ax.lgp / 2,
+        ax.n * ax.n / ax.sq
+        * (2 / ax.lgp - 2 / (ax.sq * ax.lgp) + ax.lgp / (2 * ax.sq)),
+    )
+
+
+def _v_berntsen_multi(ax):
+    return (
+        ax.cb - 1 + 2 / 3 * ax.lgp,
+        ax.n * ax.n / ax.p23
+        * ((1 + 3 / ax.lgp) * (1 - 1 / ax.cb) + ax.lgp / (3 * ax.cb)),
+    )
+
+
+def _v_dns_multi(ax):
+    return (4 / 3 * ax.lgp, 4 * ax.n * ax.n / ax.p23)
+
+
+def _v_3dd_multi(ax):
+    return (ax.lgp, 3 * ax.n * ax.n / ax.p23)
+
+
+def _v_all_trans_multi(ax):
+    return (
+        ax.lgp,
+        ax.n * ax.n / ax.p23 * (6 / ax.lgp * (1 - 1 / ax.cb) + 1),
+    )
+
+
+def _v_3d_all_multi_full(ax):
+    return (
+        ax.lgp,
+        ax.n * ax.n / ax.p23 * (6 / ax.lgp * (1 - 1 / ax.cb) + 1 / (2 * ax.cb)),
+    )
+
+
+def _v_3d_all_multi_partial(ax):
+    return (
+        ax.lgp,
+        ax.n * ax.n / ax.p23
+        * (6 / ax.lgp * (1 - 1 / ax.cb) + ax.lgp / (6 * ax.cb)),
+    )
+
+
+# conditions (Table 2 last column) as (N, P) boolean masks
+
+
+def _m_cond_simple(ax):
+    return ax.n2 >= np.array([v * lg(v ** 0.5) for v in ax.p])
+
+
+def _m_cond_hje(ax):
+    return ax.n >= np.array([v ** 0.5 * lg(v ** 0.5) for v in ax.p])
+
+
+def _m_cond_p_logcb(ax):
+    return ax.n2 >= np.array([v * lg(v ** (1 / 3)) for v in ax.p])
+
+
+def _m_cond_p23_logcb(ax):
+    return ax.n2 >= np.array([v ** (2 / 3) * lg(v ** (1 / 3)) for v in ax.p])
+
+
+def _m_cond_3d_all_full(ax):
+    return ax.n2 >= np.array([v ** (4 / 3) * lg(v ** (1 / 3)) for v in ax.p])
+
+
+@dataclass(frozen=True)
+class _VecModel:
+    """Vectorized Table 2 row; structure mirrors ``OverheadModel``."""
+
+    key: str
+    one_port: Callable | None
+    multi_port: Callable | None
+    multi_port_condition: Callable | None = None
+    multi_port_fallback: Callable | None = None
+    fallback_condition: Callable | None = None
+
+
+_VEC_MODELS: dict[str, _VecModel] = {
+    m.key: m
+    for m in [
+        _VecModel("simple", _v_simple_one, _v_simple_multi, _m_cond_simple),
+        _VecModel("cannon", _v_cannon_one, _v_cannon_multi, None),
+        _VecModel("hje", None, _v_hje_multi, _m_cond_hje),
+        _VecModel("berntsen", _v_berntsen_one, _v_berntsen_multi, _m_cond_p_logcb),
+        _VecModel("dns", _v_dns_one, _v_dns_multi, _m_cond_p23_logcb),
+        _VecModel("3dd", _v_3dd_one, _v_3dd_multi, _m_cond_p23_logcb),
+        _VecModel(
+            "3d_all_trans", _v_all_trans_one, _v_all_trans_multi, _m_cond_p_logcb
+        ),
+        _VecModel(
+            "3d_all", _v_3d_all_one, _v_3d_all_multi_full, _m_cond_3d_all_full,
+            multi_port_fallback=_v_3d_all_multi_partial,
+            fallback_condition=_m_cond_p_logcb,
+        ),
+    ]
+}
+
+assert set(_VEC_MODELS) == set(OVERHEAD_MODELS), "vector registry out of sync"
+
+
+def _grids_of(fn, ax) -> tuple[np.ndarray, np.ndarray]:
+    """Evaluate one formula pair and broadcast both grids to ``ax.shape``."""
+    a, b = fn(ax)
+    return np.broadcast_to(a, ax.shape), np.broadcast_to(b, ax.shape)
+
+
+def coefficient_grids(
+    key: str,
+    n_values,
+    p_values,
+    port: PortModel,
+    *,
+    axes: LatticeAxes | None = None,
+) -> tuple[np.ndarray, np.ndarray] | None:
+    """Table 2 ``(a, b)`` grids over a lattice, or ``None`` for no entry.
+
+    Returns two float arrays of shape ``(len(n_values), len(p_values))``
+    with ``NaN`` at every cell where :func:`~repro.models.table2
+    .overhead_coefficients` would return ``None`` (the ``p < min_p`` /
+    ``p > n^k`` structural holes).  Returns ``None`` when the combination
+    can never yield coefficients (unknown key, or HJE one-port) — exactly
+    when :func:`~repro.models.table2.resolve_overhead` returns ``None``.
+
+    ``axes`` lets callers share one :class:`LatticeAxes` across the whole
+    algorithm set instead of recomputing the primitives per algorithm.
+    """
+    model = OVERHEAD_MODELS.get(key)
+    if model is None:
+        return None
+    vec = _VEC_MODELS[key]
+    if port is PortModel.ONE_PORT and vec.one_port is None:
+        return None
+    ax = axes if axes is not None else LatticeAxes(n_values, p_values)
+    # Formula cells outside the structural domain are computed then masked;
+    # divisions there may hit lg(p) = 0 etc., hence the errstate guard.
+    with np.errstate(all="ignore"):
+        applicable = (ax.p >= model.min_p) & (
+            ax.p <= ax.n_pow(model.p_limit_exponent)
+        )
+        if port is PortModel.ONE_PORT:
+            a, b = _grids_of(vec.one_port, ax)
+        else:
+            a, b = _grids_of(vec.multi_port, ax)
+            if vec.multi_port_condition is not None:
+                cond = vec.multi_port_condition(ax)
+                # fallback chain: degraded multi-port row, then one-port,
+                # then (HJE) the multi-port row itself — as in table2.py
+                fb_a = fb_b = None
+                if vec.multi_port_fallback is not None:
+                    fb_a, fb_b = _grids_of(vec.multi_port_fallback, ax)
+                    fb_ok = (
+                        vec.fallback_condition(ax)
+                        if vec.fallback_condition is not None
+                        else np.ones(ax.shape, dtype=bool)
+                    )
+                if vec.one_port is not None:
+                    one_a, one_b = _grids_of(vec.one_port, ax)
+                else:
+                    one_a, one_b = a, b
+                if fb_a is not None:
+                    one_a = np.where(fb_ok, fb_a, one_a)
+                    one_b = np.where(fb_ok, fb_b, one_b)
+                a = np.where(cond, a, one_a)
+                b = np.where(cond, b, one_b)
+        a = np.where(applicable, a, np.nan)
+        b = np.where(applicable, b, np.nan)
+    return a, b
+
+
+def overhead_grid(
+    key: str,
+    n_values,
+    p_values,
+    port: PortModel,
+    t_s: float,
+    t_w: float,
+    *,
+    axes: LatticeAxes | None = None,
+) -> np.ndarray | None:
+    """Modelled communication-time grid ``a·t_s + b·t_w`` (``NaN`` holes).
+
+    ``None`` when the ``(key, port)`` combination has no Table 2 entry;
+    otherwise bit-identical per cell to the scalar
+    :func:`~repro.models.table2.communication_overhead`.
+    """
+    grids = coefficient_grids(key, n_values, p_values, port, axes=axes)
+    if grids is None:
+        return None
+    a, b = grids
+    return a * t_s + b * t_w
+
+
+def winner_grids(
+    algorithms: tuple[str, ...],
+    n_values,
+    p_values,
+    port: PortModel,
+    t_s: float,
+    t_w: float,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Masked-argmin winner selection over a candidate set.
+
+    Returns ``(winner_idx, times)`` of shape ``(len(n_values),
+    len(p_values))``: ``winner_idx[i, j]`` indexes into ``algorithms``
+    (``-1`` where no candidate applies) and ``times[i, j]`` is the winning
+    modelled time (``NaN`` at holes).  Ties resolve to the earliest
+    algorithm in ``algorithms`` — the same rule as the scalar loop's
+    strict ``<`` comparison — so the result is bit-identical to
+    :func:`repro.analysis.regions.best_algorithm` applied cellwise.
+    """
+    ax = LatticeAxes(n_values, p_values)
+    stack = np.full((len(algorithms),) + ax.shape, np.inf)
+    any_applicable = np.zeros(ax.shape, dtype=bool)
+    for k, key in enumerate(algorithms):
+        t = overhead_grid(key, n_values, p_values, port, t_s, t_w, axes=ax)
+        if t is None:
+            continue
+        valid = ~np.isnan(t)
+        stack[k][valid] = t[valid]
+        any_applicable |= valid
+    winner_idx = np.where(
+        any_applicable, np.argmin(stack, axis=0), -1
+    ).astype(np.int16)
+    times = np.where(any_applicable, np.min(stack, axis=0), np.nan)
+    return winner_idx, times

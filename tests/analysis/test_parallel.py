@@ -1,0 +1,63 @@
+"""Tests for worker-count selection (``default_jobs``).
+
+``run_grid``'s bit-identity across jobs/chunk sizes is pinned by the
+replay-determinism suite; this module covers the ``default_jobs``
+precedence chain: ``REPRO_JOBS`` env override, then the CPU affinity
+mask, then ``os.cpu_count()``, with the visible-CPU count halved.
+"""
+
+import os
+
+import pytest
+
+import repro.analysis.parallel as parallel_mod
+from repro.analysis.parallel import default_jobs
+
+
+class TestDefaultJobs:
+    def test_env_override_wins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "7")
+        assert default_jobs() == 7
+
+    @pytest.mark.parametrize("bad", ["0", "-3", "two", "", "1.5"])
+    def test_malformed_env_values_fall_through(self, monkeypatch, bad):
+        monkeypatch.setenv("REPRO_JOBS", bad)
+        jobs = default_jobs()
+        assert jobs >= 1
+        # same answer as no env var at all
+        monkeypatch.delenv("REPRO_JOBS")
+        assert jobs == default_jobs()
+
+    def test_affinity_mask_is_honoured(self, monkeypatch):
+        monkeypatch.delenv("REPRO_JOBS", raising=False)
+        monkeypatch.setattr(
+            os, "sched_getaffinity", lambda pid: set(range(8)), raising=False
+        )
+        assert default_jobs() == 4  # 8 visible CPUs, halved
+
+    def test_halving_floors_at_one(self, monkeypatch):
+        monkeypatch.delenv("REPRO_JOBS", raising=False)
+        monkeypatch.setattr(
+            os, "sched_getaffinity", lambda pid: {0}, raising=False
+        )
+        assert default_jobs() == 1
+
+    def test_cpu_count_fallback(self, monkeypatch):
+        monkeypatch.delenv("REPRO_JOBS", raising=False)
+
+        def no_affinity(pid):
+            raise OSError("no affinity on this platform")
+
+        monkeypatch.setattr(os, "sched_getaffinity", no_affinity, raising=False)
+        monkeypatch.setattr(os, "cpu_count", lambda: 6)
+        assert default_jobs() == 3
+
+    def test_env_beats_affinity(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "2")
+        monkeypatch.setattr(
+            os, "sched_getaffinity", lambda pid: set(range(64)), raising=False
+        )
+        assert default_jobs() == 2
+
+    def test_exported(self):
+        assert "default_jobs" in parallel_mod.__all__

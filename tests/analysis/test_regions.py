@@ -110,6 +110,36 @@ class TestRegionMap:
         with pytest.raises(ModelError):
             region_map(ONE, 150, 3, log2_n_min=5, log2_n_max=4)
 
+    def test_winner_at_off_lattice_names_point_and_bounds(self):
+        """Off-lattice queries raise ModelError citing coordinate + bounds."""
+        rm = region_map(ONE, 150, 3, log2_n_max=6, log2_p_max=8)
+        with pytest.raises(ModelError) as exc:
+            rm.winner_at(99.0, 2.0)
+        msg = str(exc.value)
+        assert "log2_n=99" in msg
+        assert "[1, 6]" in msg
+        assert "[2, 8]" in msg
+        with pytest.raises(ModelError) as exc:
+            rm.winner_at(3.5, 3.0)  # non-integer: between lattice points
+        assert "log2_n=3.5" in str(exc.value)
+
+    def test_winner_at_hole_returns_none(self):
+        rm = region_map(ONE, 150, 3, log2_n_max=6, log2_p_max=12)
+        # p = 2^12 > n³ = 2^9 at n = 2^3: structural hole
+        assert rm.winner_at(3.0, 12.0) is None
+
+    def test_counts_is_dict_of_positive_ints(self):
+        rm = region_map(ONE, 150, 3, log2_n_max=6, log2_p_max=8)
+        counts = rm.counts()
+        assert counts
+        for key, c in counts.items():
+            assert key in rm.algorithms
+            assert isinstance(c, int) and c > 0
+
+    def test_fraction_won_unknown_key_is_zero(self):
+        rm = region_map(ONE, 150, 3, log2_n_max=5, log2_p_max=6)
+        assert rm.fraction_won("nope") == 0.0
+
     def test_times_match_winner(self):
         from repro.models.table2 import communication_overhead
 
