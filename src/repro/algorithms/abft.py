@@ -32,23 +32,47 @@ back to coordinated checkpoint/restart
 The run itself uses the failure detector in ``substitute`` mode:
 survivors finish with NaN-poisoned blocks rather than aborting, which
 is what makes the lost region identifiable at collect time.
+
+Beyond erasures, the same checksum relations support Huang–Abraham
+**error correction** for *silent* corruption (no NaN marker, no failed
+rank — just a wrong block): a corrupted decode block at unknown position
+leaves a nonzero residual in exactly one checksum row and one checksum
+column, so intersecting the inconsistent lines locates it and the clean
+line relation reconstructs it (:func:`abft_correct_errors`).  Patterns
+the residuals cannot pin down — two corrupted blocks sharing a decode
+row or column — fall back to checkpoint/restart like undecodable
+erasures.  Combining an erasure and a silent corruption in the same
+decode line is outside the coverage: the erasure reconstruction would
+bake the corruption into the rebuilt block.
 """
 
 from __future__ import annotations
 
 import math
+from dataclasses import replace
 from typing import Any
 
 import numpy as np
 
 from repro.algorithms.base import MatmulAlgorithm
-from repro.errors import AlgorithmError, CommTimeoutError, RankFailedError
+from repro.errors import (
+    AlgorithmError,
+    CommTimeoutError,
+    CorruptionError,
+    RankFailedError,
+)
 from repro.mpi.checkpoint import CheckpointedMatmul, RecoveryRun
 from repro.mpi.detector import FailureDetectorContext, lost_like
 from repro.sim.engine import run_spmd
 from repro.sim.machine import MachineConfig
 
-__all__ = ["ABFTMatmul", "abft_geometry", "abft_encode", "abft_decode"]
+__all__ = [
+    "ABFTMatmul",
+    "abft_geometry",
+    "abft_encode",
+    "abft_decode",
+    "abft_correct_errors",
+]
 
 #: algorithms whose decode grid follows the ∛p (3-D) layout
 _CUBIC_KEYS = frozenset(
@@ -172,6 +196,105 @@ def abft_decode(
     return C, total_lost, unrecovered
 
 
+def _line_bad(res: np.ndarray, tol: float) -> bool:
+    """True iff a checksum-line residual is inconsistent (non-finite
+    entries count as inconsistent; ``nan > tol`` alone would not)."""
+    if not np.isfinite(res).all():
+        return True
+    return float(np.abs(res).max()) > tol
+
+
+def _errors_match(er: np.ndarray, ec: np.ndarray, tol: float) -> bool:
+    """True iff the row- and column-derived error hypotheses agree.
+
+    Non-finite entries (a flipped exponent can push a word to inf/nan)
+    must agree exactly in position and value; finite entries within
+    ``tol``.  ``er - ec`` alone would turn matching infs into NaNs.
+    """
+    fin_r = np.isfinite(er)
+    if not np.array_equal(fin_r, np.isfinite(ec)):
+        return False
+    if not np.array_equal(er[~fin_r], ec[~fin_r], equal_nan=True):
+        return False
+    if fin_r.any() and float(np.abs(er[fin_r] - ec[fin_r]).max()) > tol:
+        return False
+    return True
+
+
+def abft_correct_errors(
+    C: np.ndarray, g: int, e: int, *, tol: float | None = None
+) -> tuple[np.ndarray, int, int]:
+    """Locate and correct silently corrupted ``e × e`` decode blocks of
+    the augmented product (on a copy).
+
+    A corruption +E in block ``(r, c)`` leaves residual ``E`` in checksum
+    row ``r`` and checksum column ``c`` (sign-flipped when the corrupted
+    block *is* the line's checksum block), so the corrupted position is
+    the intersection of the inconsistent row and column whose
+    sign-adjusted error hypotheses agree.  The located block is then
+    reconstructed from its clean row relation — erasure decode at a
+    position the residuals discovered — which also repairs non-finite
+    corruption that subtraction could not.  Iterates for multiple errors
+    in distinct rows and columns; co-linear errors (two corrupted blocks
+    sharing a decode line) are ambiguous and left for the caller's
+    fallback.
+
+    ``tol`` separates float rounding noise from injected errors; the
+    default is ``1e-8 · max(1, |C|_max)``.  Returns ``(C_fixed,
+    corrected, suspect)`` — blocks corrected, and inconsistent checksum
+    lines remaining at the fixpoint (0 means all clean).
+    """
+    C = np.array(C, dtype=float)
+    if tol is None:
+        finite = C[np.isfinite(C)]
+        scale = float(np.abs(finite).max()) if finite.size else 1.0
+        tol = 1e-8 * max(1.0, scale)
+
+    def blk(r: int, c: int) -> np.ndarray:
+        return C[r * e:(r + 1) * e, c * e:(c + 1) * e]
+
+    corrected = 0
+    while True:
+        row_res = [
+            np.sum([blk(r, c) for c in range(g - 1)], axis=0) - blk(r, g - 1)
+            for r in range(g)
+        ]
+        col_res = [
+            np.sum([blk(r, c) for r in range(g - 1)], axis=0) - blk(g - 1, c)
+            for c in range(g)
+        ]
+        bad_rows = [r for r in range(g) if _line_bad(row_res[r], tol)]
+        bad_cols = [c for c in range(g) if _line_bad(col_res[c], tol)]
+        if not bad_rows and not bad_cols:
+            return C, corrected, 0
+        matches = []
+        for r in bad_rows:
+            for c in bad_cols:
+                er = row_res[r] if c < g - 1 else -row_res[r]
+                ec = col_res[c] if r < g - 1 else -col_res[c]
+                if _errors_match(er, ec, tol):
+                    matches.append((r, c))
+        row_uses = {r: sum(1 for m in matches if m[0] == r) for r, _ in matches}
+        col_uses = {c: sum(1 for m in matches if m[1] == c) for _, c in matches}
+        progress = False
+        for r, c in matches:
+            # Only unambiguous locations: a row or column claimed by two
+            # candidate positions cannot be trusted this round.
+            if row_uses[r] != 1 or col_uses[c] != 1:
+                continue
+            if c == g - 1:
+                val = np.sum([blk(r, j) for j in range(g - 1)], axis=0)
+            else:
+                val = blk(r, g - 1) - np.sum(
+                    [blk(r, j) for j in range(g - 1) if j != c], axis=0
+                )
+            blk(r, c)[:] = val
+            corrected += 1
+            progress = True
+        if not progress:
+            return C, corrected, len(bad_rows) + len(bad_cols)
+
+
 class ABFTMatmul:
     """Run a :class:`~repro.algorithms.base.MatmulAlgorithm` with
     node-failure recovery.
@@ -186,11 +309,26 @@ class ABFTMatmul:
         (detection only: a fail-stop raises
         :class:`~repro.errors.RankFailedError`).
     checkpoint_fallback:
-        In ``"abft"`` mode, whether an undecodable loss pattern falls
-        back to checkpoint/restart (default) or raises.
+        In ``"abft"`` mode, whether an undecodable loss pattern (or an
+        ambiguous corruption pattern) falls back to checkpoint/restart
+        (default) or raises.
     detector_opts:
         Extra keyword arguments for each rank's
         :class:`~repro.mpi.detector.FailureDetectorContext`.
+    correct_errors:
+        In ``"abft"`` mode, run :func:`abft_correct_errors` on the
+        decoded product to locate and repair silently corrupted blocks
+        (default).  Patterns the residuals cannot disambiguate follow
+        ``checkpoint_fallback``.
+    residual_tol:
+        Tolerance separating rounding noise from injected errors in the
+        checksum residuals (default: ``1e-8 · max(1, |C|_max)``).
+    context_factory:
+        Optional wrapper applied to each rank's raw context *under* the
+        failure detector — e.g.
+        :class:`~repro.mpi.integrity.IntegrityContext` for end-to-end
+        message integrity alongside ABFT compute protection.  Also
+        forwarded to the checkpoint fallback.
     """
 
     MODES = ("abft", "checkpoint", "none")
@@ -203,6 +341,9 @@ class ABFTMatmul:
         checkpoint_fallback: bool = True,
         detector_opts: dict | None = None,
         max_epochs: int | None = None,
+        correct_errors: bool = True,
+        residual_tol: float | None = None,
+        context_factory=None,
     ):
         if mode not in self.MODES:
             raise AlgorithmError(
@@ -213,6 +354,9 @@ class ABFTMatmul:
         self.checkpoint_fallback = checkpoint_fallback
         self.detector_opts = dict(detector_opts or {})
         self.max_epochs = max_epochs
+        self.correct_errors = correct_errors
+        self.residual_tol = residual_tol
+        self.context_factory = context_factory
 
     # -- harness -----------------------------------------------------------
 
@@ -237,6 +381,7 @@ class ABFTMatmul:
                 self.algorithm,
                 max_epochs=self.max_epochs,
                 detector_opts=self.detector_opts,
+                context_factory=self.context_factory,
             ).run(
                 A, B, config, trace=trace,
                 max_events=max_events, max_virtual_time=max_virtual_time,
@@ -258,9 +403,11 @@ class ABFTMatmul:
         initial = algo.distribute_inputs(A, B, config.cube)
         opts = dict(self.detector_opts)
         opts["on_dead"] = "raise"
+        factory = self.context_factory
 
         def spmd(ctx):
-            det = FailureDetectorContext(ctx, **opts)
+            base = ctx if factory is None else factory(ctx)
+            det = FailureDetectorContext(base, **opts)
             return algo.program(det, n, initial.get(ctx.rank, {}))
 
         result = run_spmd(config, spmd, **run_kwargs)
@@ -280,12 +427,14 @@ class ABFTMatmul:
         initial = algo.distribute_inputs(Ap, Bp, config.cube)
         opts = dict(self.detector_opts)
         opts.setdefault("on_dead", "substitute")
+        factory = self.context_factory
 
         def spmd(ctx):
-            det = FailureDetectorContext(ctx, **opts)
+            base = ctx if factory is None else factory(ctx)
+            det = FailureDetectorContext(base, **opts)
             try:
                 return (yield from algo.program(det, m, initial.get(ctx.rank, {})))
-            except (RankFailedError, CommTimeoutError):
+            except (RankFailedError, CommTimeoutError, CorruptionError):
                 # This rank's block is unrecoverable in-band; mark it lost
                 # and let the checksum decode (or the fallback) handle it.
                 return None
@@ -307,28 +456,52 @@ class ABFTMatmul:
 
         dead = tuple(sorted(set(range(p)) - set(result.results)))
         Cfix, n_lost, n_unrecovered = abft_decode(Cp, g, e)
+        n_corrected = 0
+        undecodable = n_unrecovered > 0
+        ambiguous = False
+        if not undecodable and self.correct_errors:
+            Cfix, n_corrected, n_suspect = abft_correct_errors(
+                Cfix, g, e, tol=self.residual_tol
+            )
+            ambiguous = n_suspect > 0
 
-        if n_unrecovered == 0:
+        if not undecodable and not ambiguous:
             return RecoveryRun(
                 algorithm=algo.key, n=n, config=config,
                 C=Cfix[:n, :n], result=result,
                 mode="abft", dead=dead, machine="full",
-                recovered=n_lost > 0,
+                recovered=n_lost > 0 or n_corrected > 0,
             )
 
         if not self.checkpoint_fallback:
-            raise RankFailedError(
-                -1, -1,
+            if undecodable:
+                raise RankFailedError(
+                    -1, -1,
+                    detail=(
+                        f"ABFT decode left {n_unrecovered}/{g * g} blocks "
+                        f"unrecovered (dead ranks {list(dead)})"
+                    ),
+                )
+            raise CorruptionError(
                 detail=(
-                    f"ABFT decode left {n_unrecovered}/{g * g} blocks "
-                    f"unrecovered (dead ranks {list(dead)})"
+                    "ABFT error correction could not locate the corrupted "
+                    "blocks (co-linear or inconsistent residual pattern)"
                 ),
             )
+        plan = config.faults
+        if plan is not None and plan.node_corruptions:
+            # NodeCorruption is a one-shot transient and the restart runs
+            # *after* the failed attempt (attempt_time accounts for it), so
+            # the planned compute transients are already spent — replaying
+            # them on the fallback's fresh FaultState would corrupt the
+            # restart with faults that have already fired.
+            config = config.with_faults(replace(plan, node_corruptions=()))
         ckpt = CheckpointedMatmul(
             algo, max_epochs=self.max_epochs,
             detector_opts={
                 k: v for k, v in self.detector_opts.items() if k != "on_dead"
             },
+            context_factory=self.context_factory,
         ).run(A, B, config, **run_kwargs)
         ckpt.mode = "abft+checkpoint"
         ckpt.attempt_time = result.total_time

@@ -13,6 +13,13 @@ from repro.analysis.figures import (
     figure14,
     render_ascii,
 )
+from repro.analysis.chaos import (
+    STACKS,
+    format_report,
+    minimize_atoms,
+    run_campaign,
+    sample_atoms,
+)
 from repro.analysis.cache import (
     ResultCache,
     cached_coefficients,
@@ -57,4 +64,9 @@ __all__ = [
     "isoefficiency_n",
     "crossover",
     "sweep",
+    "STACKS",
+    "sample_atoms",
+    "run_campaign",
+    "minimize_atoms",
+    "format_report",
 ]

@@ -32,7 +32,9 @@ envelope is::
 
 Entries are self-describing pickles (``{"kind", "descriptor", "payload",
 "created"}``) stored under ``<root>/objects/<aa>/<digest>.pkl``; corrupt
-or truncated files are treated as misses and rewritten.  The default root
+or truncated files are treated as misses and rewritten — ``stats``
+reports them under their own count and ``prune`` deletes them
+unconditionally.  The default root
 is ``$REPRO_CACHE_DIR``, else ``$XDG_CACHE_HOME/repro-hypercube-mm``,
 else ``~/.cache/repro-hypercube-mm``.
 """
@@ -264,23 +266,47 @@ class ResultCache:
             return []
         return sorted(objects.glob("*/*.pkl"))
 
+    @staticmethod
+    def _entry_kind(path: pathlib.Path) -> str | None:
+        """The entry's artefact kind, or ``None`` when the file is corrupt.
+
+        A corrupt entry is one that cannot be unpickled into the
+        self-describing dict (truncated write, bit rot, foreign file) —
+        exactly the files :meth:`get` silently treats as misses.
+        """
+        try:
+            with open(path, "rb") as fh:
+                entry = pickle.load(fh)
+            if not isinstance(entry, dict) or "payload" not in entry:
+                return None
+            return str(entry.get("kind", "?"))
+        except Exception:
+            return None
+
     def stats(self) -> dict:
-        """Entry count, total bytes, per-kind breakdown, session hit/miss."""
+        """Entry count, total bytes, per-kind breakdown, session hit/miss.
+
+        Corrupt object files — entries :meth:`get` would reject — are
+        reported under their own ``corrupt`` count (and as ``(corrupt)``
+        in the per-kind breakdown) so operators can see dead weight that
+        never serves a hit; ``prune`` deletes them.
+        """
         by_kind: dict[str, int] = {}
         total = 0
+        corrupt = 0
         entries = self._entries()
         for path in entries:
             total += path.stat().st_size
-            try:
-                with open(path, "rb") as fh:
-                    kind = pickle.load(fh).get("kind", "?")
-            except Exception:
+            kind = self._entry_kind(path)
+            if kind is None:
+                corrupt += 1
                 kind = "(corrupt)"
             by_kind[kind] = by_kind.get(kind, 0) + 1
         return {
             "root": str(self.root),
             "entries": len(entries),
             "bytes": total,
+            "corrupt": corrupt,
             "by_kind": dict(sorted(by_kind.items())),
             "session_hits": self.hits,
             "session_misses": self.misses,
@@ -302,13 +328,22 @@ class ResultCache:
     ) -> int:
         """Expire old entries and/or shrink the store to a byte budget.
 
-        Entries older than ``max_age_days`` (by mtime) are removed first;
-        then, if the store still exceeds ``max_bytes``, the oldest
-        survivors go until it fits.  Returns the number removed.
+        Corrupt object files go unconditionally — they can never serve a
+        hit, only waste bytes and alarm ``stats``.  Then entries older
+        than ``max_age_days`` (by mtime) are removed; then, if the store
+        still exceeds ``max_bytes``, the oldest survivors go until it
+        fits.  Returns the number removed.
         """
-        entries = [(p.stat().st_mtime, p.stat().st_size, p) for p in self._entries()]
-        entries.sort()
+        entries = []
         removed = 0
+        for p in self._entries():
+            if self._entry_kind(p) is None:
+                p.unlink(missing_ok=True)
+                removed += 1
+            else:
+                st = p.stat()
+                entries.append((st.st_mtime, st.st_size, p))
+        entries.sort()
         if max_age_days is not None:
             cutoff = time.time() - max_age_days * 86400.0
             keep = []

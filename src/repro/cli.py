@@ -11,6 +11,7 @@ Subcommands
 ``scalability``  isoefficiency curves (n required to hold efficiency E)
 ``faults``       degradation sweep on a lossy machine (reliable delivery)
 ``recover``      node fail-stop recovery sweep (ABFT / checkpoint restart)
+``chaos``        randomized fault campaign with minimized reproducers
 ``report``       regenerate the paper's full evaluation in one run
 ``cache``        inspect or maintain the persistent result cache
 ``list``         list the available algorithms
@@ -349,6 +350,7 @@ def _cmd_cache(args) -> int:
         print(f"cache root : {stats['root']}")
         print(f"entries    : {stats['entries']}")
         print(f"size       : {stats['bytes']} bytes")
+        print(f"corrupt    : {stats['corrupt']}")
         for kind, count in stats["by_kind"].items():
             print(f"  {kind:20s} {count}")
         return 0
@@ -358,7 +360,51 @@ def _cmd_cache(args) -> int:
     removed = cache.prune(
         max_age_days=args.max_age_days, max_bytes=args.max_bytes
     )
-    print(f"pruned {removed} cache entr(ies) from {cache.root}")
+    print(f"pruned {removed} cache entr(ies) from {cache.root} "
+          f"(corrupt entries always go)")
+    return 0
+
+
+def _cmd_chaos(args) -> int:
+    import json as _json
+
+    from repro.analysis.chaos import format_report, run_campaign
+
+    atom_subset = None
+    if args.atoms is not None:
+        atom_subset = [int(i) for i in args.atoms.split(",") if i != ""]
+        if args.only_trial is None:
+            print("error: --atoms requires --only-trial", file=sys.stderr)
+            return 1
+    report = run_campaign(
+        trials=args.trials,
+        seed=args.seed,
+        stack=args.stack,
+        algorithm=args.algorithm,
+        n=args.n,
+        p=args.p,
+        jobs=args.jobs,
+        minimize=not args.no_minimize,
+        check_replay=not args.no_replay_check,
+        only_trial=args.only_trial,
+        atom_subset=atom_subset,
+    )
+    print(format_report(report))
+    if args.json:
+        with open(args.json, "w") as fh:
+            _json.dump(report, fh, indent=2, default=repr)
+        print(f"report written to {args.json}")
+    if args.require_clean and report["violations"]:
+        print(
+            f"error: --require-clean but {len(report['violations'])} "
+            f"violation(s) found",
+            file=sys.stderr,
+        )
+        return 1
+    if args.require_violation and not report["violations"]:
+        print("error: --require-violation but the campaign was clean",
+              file=sys.stderr)
+        return 1
     return 0
 
 
@@ -497,6 +543,57 @@ def build_parser() -> argparse.ArgumentParser:
     p_rc.add_argument("--algorithms", nargs="*", choices=sorted(ALGORITHMS))
     _add_machine_args(p_rc)
     p_rc.set_defaults(func=_cmd_recover)
+
+    p_ch = sub.add_parser(
+        "chaos",
+        help="randomized fault-injection campaign with minimized reproducers",
+    )
+    p_ch.add_argument("--trials", type=int, default=25)
+    p_ch.add_argument("--seed", type=int, default=0, help="campaign seed")
+    p_ch.add_argument(
+        "--stack", choices=["none", "reliable", "integrity", "protected"],
+        default="none", help="protection stack the algorithm runs under",
+    )
+    p_ch.add_argument(
+        "--algorithm", choices=sorted(ALGORITHMS), default="cannon"
+    )
+    p_ch.add_argument("-n", type=int, default=8)
+    p_ch.add_argument("-p", type=int, default=16)
+    p_ch.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes (same report and digest for any value)",
+    )
+    p_ch.add_argument(
+        "--only-trial", type=int, default=None,
+        help="replay a single trial instead of the whole campaign",
+    )
+    p_ch.add_argument(
+        "--atoms", default=None,
+        help="comma-separated fault-atom indices to keep (with --only-trial; "
+             "this is the reproducer form the minimizer emits)",
+    )
+    p_ch.add_argument(
+        "--no-minimize", action="store_true",
+        help="skip delta-debugging the failing trials' fault sets",
+    )
+    p_ch.add_argument(
+        "--no-replay-check", action="store_true",
+        help="skip the same-seed bit-identical replay invariant",
+    )
+    p_ch.add_argument(
+        "--json", default=None, metavar="FILE",
+        help="also write the full JSON report to FILE",
+    )
+    p_ch.add_argument(
+        "--require-clean", action="store_true",
+        help="exit 1 if any violation is found (CI gate)",
+    )
+    p_ch.add_argument(
+        "--require-violation", action="store_true",
+        help="exit 1 if NO violation is found (CI sanity check that the "
+             "oracle catches unprotected corruption)",
+    )
+    p_ch.set_defaults(func=_cmd_chaos)
 
     p_ca = sub.add_parser(
         "cache", help="inspect or maintain the persistent result cache"

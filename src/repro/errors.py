@@ -16,6 +16,7 @@ __all__ = [
     "LivelockError",
     "CommunicatorError",
     "CommTimeoutError",
+    "CorruptionError",
     "RankFailedError",
     "LinkFailedError",
     "DistributionError",
@@ -176,6 +177,42 @@ class CommTimeoutError(CommunicatorError):
             f"rank {rank}: receive from src={src_s} tag={tag_s} timed out "
             f"after {timeout:g} time units{extra}"
         )
+
+
+class CorruptionError(CommunicatorError):
+    """Silent data corruption persisted past every correction attempt.
+
+    Raised by :class:`~repro.mpi.integrity.IntegrityContext` when the
+    receiver's CRC check keeps rejecting retransmitted copies of a message
+    (the retry cap is exhausted), and by
+    :class:`~repro.algorithms.abft.ABFTMatmul` when the checksum residuals
+    flag corruption the row/column relations cannot locate and no fallback
+    is allowed.  The distinction from :class:`CommTimeoutError` matters:
+    a timeout means *silence* (maybe transient), a corruption error means
+    the channel or a compute unit is actively mangling data.
+    """
+
+    def __init__(
+        self,
+        rank: int = -1,
+        peer: int = -1,
+        tag: int = -1,
+        attempts: int = 0,
+        detail: str = "",
+    ):
+        self.rank = rank
+        self.peer = peer
+        self.tag = tag
+        self.attempts = attempts
+        self.detail = detail
+        where = (
+            f"rank {rank}: transfer to rank {peer} tag={tag}"
+            if rank >= 0
+            else "corruption"
+        )
+        tries = f" after {attempts} attempts" if attempts else ""
+        extra = f" ({detail})" if detail else ""
+        super().__init__(f"{where} kept failing integrity checks{tries}{extra}")
 
 
 class RankFailedError(CommunicatorError):

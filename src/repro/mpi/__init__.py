@@ -7,12 +7,14 @@ from repro.mpi.detector import (
     FailureDetectorContext,
     lost_like,
 )
+from repro.mpi.integrity import IntegrityContext
 from repro.mpi.recovery import AGREE_TAG, RecoveryContext, agree, shrink
 from repro.mpi.reliable import ACK_BASE, DATA_BASE, ReliableContext
 
 __all__ = [
     "Comm",
     "ReliableContext",
+    "IntegrityContext",
     "DATA_BASE",
     "ACK_BASE",
     "FailureDetectorContext",

@@ -105,6 +105,11 @@ class CheckpointedMatmul:
     detector_opts:
         Extra keyword arguments for each rank's
         :class:`~repro.mpi.detector.FailureDetectorContext`.
+    context_factory:
+        Optional wrapper applied to each rank's raw context *under* the
+        failure detector (e.g.
+        :class:`~repro.mpi.integrity.IntegrityContext` so restarted
+        epochs keep end-to-end message integrity).
     """
 
     def __init__(
@@ -113,11 +118,13 @@ class CheckpointedMatmul:
         *,
         max_epochs: int | None = None,
         detector_opts: dict | None = None,
+        context_factory=None,
     ):
         self.algorithm = algorithm
         self.max_epochs = max_epochs
         self.detector_opts = dict(detector_opts or {})
         self.detector_opts.setdefault("on_dead", "raise")
+        self.context_factory = context_factory
 
     # -- machine planning (pure, identical on every survivor) -------------
 
@@ -169,8 +176,11 @@ class CheckpointedMatmul:
         # writing it costs one snapshot charge before the clock-relevant work.
         full_inputs = algo.distribute_inputs(A, B, cube)
 
+        factory = self.context_factory
+
         def spmd(ctx):
-            det = FailureDetectorContext(ctx, **det_opts)
+            base = ctx if factory is None else factory(ctx)
+            det = FailureDetectorContext(base, **det_opts)
             me = ctx.rank
             dead_used: frozenset = frozenset()
             last_exc: Exception | None = None

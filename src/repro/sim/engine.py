@@ -41,7 +41,7 @@ from repro.errors import (
 )
 from repro.sim.faults import FaultState
 from repro.sim.machine import MachineConfig, RoutingMode
-from repro.sim.message import Message
+from repro.sim.message import CORRUPT_VERDICT, Message, message_crc
 from repro.sim.ops import (
     TIMED_OUT,
     BarrierOp,
@@ -202,6 +202,8 @@ class Engine:
         self._messages_dropped = 0
         self._hops_rerouted = 0
         self._retransmissions = 0
+        self._corruption_events = 0
+        self._integrity_rejects = 0
         self._events_processed = 0
         self._msg_seq = itertools.count()
 
@@ -337,6 +339,8 @@ class Engine:
                 messages_dropped=self._messages_dropped,
                 hops_rerouted=self._hops_rerouted,
                 retransmissions=self._retransmissions,
+                corruption_events=self._corruption_events,
+                integrity_rejects=self._integrity_rejects,
             ),
             failed_ranks=tuple(sorted(self.failed)),
         )
@@ -622,6 +626,57 @@ class Engine:
                 )
             )
 
+    def _maybe_corrupt(
+        self, transfer: "_Transfer", u: int, v: int, start: float, end: float
+    ) -> None:
+        """Roll the plan's link corruptions for this hop and, when one
+        fires, bit-flip a private copy of the payload (the sender's buffer
+        and any shared references stay intact; downstream hops and the
+        final delivery carry the perturbed copy)."""
+        fs = self.faults
+        events = fs.roll_corruptions(u, v, start)
+        if not events:
+            return
+        msg = transfer.msg
+        data = _copy_payload(msg.data)
+        flipped = 0
+        for lc in events:
+            flipped += fs.corrupt_payload(data, lc.model, lc.flips)
+        if not flipped:
+            return  # no float64 words to perturb (control message)
+        msg.data = data
+        self._corruption_events += 1
+        if self.trace_enabled:
+            self.trace.append(
+                TraceRecord(
+                    "corrupt", start, end, u,
+                    {"msg": msg.msg_id, "src": msg.src, "dst": msg.dst,
+                     "words": flipped, "where": "link"},
+                )
+            )
+
+    def apply_node_corruption(self, rank: int, out: np.ndarray) -> None:
+        """Apply a due :class:`~repro.sim.faults.NodeCorruption` to a
+        local-compute output block (called by ``ctx.local_matmul``)."""
+        fs = self.faults
+        if fs is None or not fs.plan.node_corruptions:
+            return
+        now = self.time_of(rank)
+        nc = fs.take_node_corruption(rank, now)
+        if nc is None:
+            return
+        flipped = fs.corrupt_payload(out, nc.model, nc.flips)
+        if not flipped:
+            return
+        self._corruption_events += 1
+        if self.trace_enabled:
+            self.trace.append(
+                TraceRecord(
+                    "corrupt", now, now, rank,
+                    {"words": flipped, "where": "compute"},
+                )
+            )
+
     def _progress_snapshot(self) -> dict[int, str]:
         """Per-rank progress descriptions for livelock diagnostics."""
         snap: dict[int, str] = {}
@@ -664,6 +719,7 @@ class Engine:
         msg = Message(
             src=rank, dst=op.dst, tag=op.tag, data=data, nwords=op.nwords,
             send_time=now, msg_id=next(self._msg_seq), ack_tag=op.ack_tag,
+            crc=op.crc,
         )
         st = self.stats[rank]
         st.messages_sent += 1
@@ -780,6 +836,8 @@ class Engine:
             )
         if fs is not None and fs.roll_drop(u, v, start):
             self._lose_message(transfer, v, start, start + duration, "drop")
+        elif fs is not None and fs.plan.corruptions:
+            self._maybe_corrupt(transfer, u, v, start, start + duration)
         if (
             self._cut_through
             and hop_index < len(hops) - 1
@@ -863,6 +921,34 @@ class Engine:
             # sender's timeout/retransmission path observes the silence.
             self._lose_message(_Transfer(msg, []), msg.dst, time, time, "dest-failed")
             return
+        if msg.crc is not None and msg.src != msg.dst:
+            # End-to-end integrity: the destination node re-computes the
+            # canonical checksum the sender attached.  A mismatch means the
+            # payload was perturbed in flight — the copy is discarded
+            # (never delivered to the application) and a NACK rides back
+            # on the ack channel so the sender retransmits immediately
+            # instead of waiting out its ack timeout.
+            actual = message_crc(msg.src, msg.dst, msg.tag, msg.nwords, msg.data)
+            if actual != msg.crc:
+                self._integrity_rejects += 1
+                if self.trace_enabled:
+                    self.trace.append(
+                        TraceRecord(
+                            "nack", time, time, msg.dst,
+                            {"msg": msg.msg_id, "src": msg.src, "tag": msg.tag},
+                        )
+                    )
+                if msg.ack_tag is not None:
+                    nack = Message(
+                        src=msg.dst, dst=msg.src, tag=msg.ack_tag,
+                        data=CORRUPT_VERDICT, nwords=0, send_time=time,
+                        msg_id=next(self._msg_seq),
+                    )
+                    self.stats[msg.dst].messages_sent += 1
+                    nack_handle = Handle("send", msg.dst)
+                    nack_handle.complete(time)
+                    self._inject(nack, nack_handle, time)
+                return
         if msg.ack_tag is not None and msg.src != msg.dst:
             # Delivery acknowledgement: the receiving *node* confirms
             # arrival immediately (hardware-style reliable delivery), so a

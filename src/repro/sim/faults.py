@@ -11,7 +11,13 @@ wrong on a simulated machine:
 * **link degradation** — a per-link multiplier stretching the ``t_w`` part
   of the hop cost during a window (a flaky cable, a congested backplane),
 * **node fail-stop** — a node halts at a virtual time: its program makes
-  no further progress and every incident link goes dead.
+  no further progress and every incident link goes dead,
+* **link corruption** — a hop over a link perturbs the payload with some
+  probability during a window: seeded sign/exponent/mantissa bit-flips on
+  selected float64 words, a *silent* fault delivering a wrong answer on
+  time,
+* **node corruption** — a node's local compute emits one perturbed output
+  block at a virtual time (a soft error in the GEMM unit).
 
 Determinism
 -----------
@@ -22,6 +28,12 @@ order.  Because the engine processes events in a deterministic order, the
 same ``(MachineConfig, FaultPlan, program)`` triple always produces
 bit-identical :class:`~repro.sim.tracing.RunResult`\\ s — fault injection
 never sacrifices reproducibility.
+
+Corruption decisions (and the bit-flip draws themselves) come from a
+*second* generator, derived from the same plan seed but statistically and
+operationally independent of the drop stream: adding or removing
+corruption faults never perturbs which messages a given plan drops, and
+vice versa — so replays stay bit-identical across fault-type mixes.
 """
 
 from __future__ import annotations
@@ -39,9 +51,15 @@ __all__ = [
     "LinkDrop",
     "LinkDegradation",
     "NodeFailure",
+    "LinkCorruption",
+    "NodeCorruption",
+    "FLIP_MODELS",
     "FaultPlan",
     "FaultState",
 ]
+
+#: bit-flip models for corruption faults: which float64 bit gets flipped
+FLIP_MODELS = ("sign", "exponent", "mantissa", "any")
 
 
 def _check_window(start: float, end: float) -> None:
@@ -140,6 +158,74 @@ class NodeFailure:
             raise SimulationError(f"fail-stop time must be >= 0, got {self.time}")
 
 
+def _check_flip(model: str, flips: int) -> None:
+    if model not in FLIP_MODELS:
+        raise SimulationError(
+            f"flip model must be one of {FLIP_MODELS}, got {model!r}"
+        )
+    if flips < 1:
+        raise SimulationError(f"flips per corruption must be >= 1, got {flips}")
+
+
+@dataclass(frozen=True)
+class LinkCorruption:
+    """Per-hop payload corruption on a link during ``[start, end)``.
+
+    Each hop over the link is perturbed with probability ``rate``: ``flips``
+    float64 words of the payload get one bit flipped each, the bit chosen
+    by ``model`` (``"sign"`` bit 63, ``"exponent"`` bits 52–62,
+    ``"mantissa"`` bits 0–51, ``"any"`` uniform over all 64).  The message
+    still arrives on time — the fault is silent.
+    """
+
+    u: int
+    v: int
+    rate: float
+    start: float = 0.0
+    end: float = math.inf
+    directed: bool = False
+    model: str = "any"
+    flips: int = 1
+
+    def __post_init__(self):
+        _check_window(self.start, self.end)
+        if not 0.0 <= self.rate <= 1.0:
+            raise SimulationError(
+                f"corruption rate must be in [0, 1], got {self.rate}"
+            )
+        _check_flip(self.model, self.flips)
+
+    def covers(self, a: int, b: int, time: float) -> bool:
+        if not self.start <= time < self.end:
+            return False
+        if (a, b) == (self.u, self.v):
+            return True
+        return not self.directed and (a, b) == (self.v, self.u)
+
+
+@dataclass(frozen=True)
+class NodeCorruption:
+    """One perturbed local-compute output block on ``node``.
+
+    The first ``local_matmul`` on ``node`` completing at virtual time
+    ``>= time`` has ``flips`` words of its output block bit-flipped (model
+    as in :class:`LinkCorruption`).  Fires exactly once per entry — a
+    transient soft error, not a stuck unit.
+    """
+
+    node: int
+    time: float = 0.0
+    model: str = "any"
+    flips: int = 1
+
+    def __post_init__(self):
+        if self.time < 0:
+            raise SimulationError(
+                f"node-corruption time must be >= 0, got {self.time}"
+            )
+        _check_flip(self.model, self.flips)
+
+
 @dataclass(frozen=True)
 class FaultPlan:
     """An immutable, seeded description of injected faults.
@@ -164,6 +250,8 @@ class FaultPlan:
     drop_rate: float = 0.0
     degradations: tuple[LinkDegradation, ...] = ()
     node_failures: tuple[NodeFailure, ...] = ()
+    corruptions: tuple[LinkCorruption, ...] = ()
+    node_corruptions: tuple[NodeCorruption, ...] = ()
     #: when False, a dead link raises LinkFailedError instead of detouring
     reroute: bool = True
 
@@ -227,6 +315,32 @@ class FaultPlan:
         failure = NodeFailure(node, at)
         return replace(self, node_failures=self.node_failures + (failure,))
 
+    def with_link_corruption(
+        self,
+        u: int,
+        v: int,
+        rate: float,
+        *,
+        start: float = 0.0,
+        end: float = math.inf,
+        directed: bool = False,
+        model: str = "any",
+        flips: int = 1,
+    ) -> "FaultPlan":
+        corr = LinkCorruption(u, v, rate, start, end, directed, model, flips)
+        return replace(self, corruptions=self.corruptions + (corr,))
+
+    def with_node_corruption(
+        self,
+        node: int,
+        *,
+        at: float = 0.0,
+        model: str = "any",
+        flips: int = 1,
+    ) -> "FaultPlan":
+        corr = NodeCorruption(node, at, model, flips)
+        return replace(self, node_corruptions=self.node_corruptions + (corr,))
+
     def without_reroute(self) -> "FaultPlan":
         """Strict mode: dead links raise
         :class:`~repro.errors.LinkFailedError` instead of detouring."""
@@ -242,6 +356,8 @@ class FaultPlan:
             and self.drop_rate == 0.0
             and not self.degradations
             and not self.node_failures
+            and not self.corruptions
+            and not self.node_corruptions
         )
 
     @property
@@ -252,7 +368,10 @@ class FaultPlan:
         and degradations only stretch hop times, so a plan with just those
         never needs acknowledgements or retransmission — the reliable
         layer fast-paths to plain delivery.  Drops, node fail-stops, and
-        dead links without rerouting can all swallow messages.
+        dead links without rerouting can all swallow messages.  Corruption
+        faults deliver (wrong) data on time, so they do not break
+        losslessness — but see :attr:`can_corrupt`, which is what the
+        integrity layer consults before fast-pathing.
         """
         return (
             self.drop_rate == 0.0
@@ -260,6 +379,11 @@ class FaultPlan:
             and not self.node_failures
             and (self.reroute or not self.link_faults)
         )
+
+    @property
+    def can_corrupt(self) -> bool:
+        """True iff some fault in this plan can silently perturb data."""
+        return bool(self.corruptions) or bool(self.node_corruptions)
 
     def node_fail_time(self, node: int) -> float | None:
         for nf in self.node_failures:
@@ -303,19 +427,62 @@ class FaultPlan:
         return 1.0 - survive
 
 
+def _float_leaves(data) -> list[np.ndarray]:
+    """Float64 array leaves of a (possibly nested) payload, in a
+    deterministic traversal order — the words corruption can touch."""
+    if isinstance(data, np.ndarray):
+        return [data] if data.dtype == np.float64 and data.size else []
+    if isinstance(data, (list, tuple)):
+        return [leaf for item in data for leaf in _float_leaves(item)]
+    if isinstance(data, dict):
+        return [leaf for v in data.values() for leaf in _float_leaves(v)]
+    return []
+
+
+def _flip_bit(value: float, model: str, rng: np.random.Generator) -> float:
+    """Flip one bit of a float64, the bit position chosen per ``model``."""
+    if model == "sign":
+        bit = 63
+    elif model == "exponent":
+        bit = 52 + int(rng.integers(11))
+    elif model == "mantissa":
+        bit = int(rng.integers(52))
+    else:  # "any"
+        bit = int(rng.integers(64))
+    bits = np.float64(value).view(np.uint64)
+    return float((bits ^ np.uint64(1 << bit)).view(np.float64))
+
+
 class FaultState:
     """Per-run mutable view of a :class:`FaultPlan`.
 
-    Owns the run's random stream (seeded from the plan) so repeated runs of
-    the same ``(config, plan, program)`` draw identical drop decisions.
-    The engine creates one per run; plans themselves are never mutated.
+    Owns the run's random streams (seeded from the plan) so repeated runs
+    of the same ``(config, plan, program)`` draw identical decisions.  The
+    engine creates one per run; plans themselves are never mutated.
+
+    Drop rolls consume ``_rng`` (seeded from ``plan.seed`` alone, exactly
+    as before corruption faults existed); corruption rolls and bit-flip
+    draws consume the independent ``_crng`` — so mixing fault types never
+    shifts either stream relative to a plan with one type only.
     """
 
-    __slots__ = ("plan", "_rng", "_epoch_edges")
+    __slots__ = ("plan", "_rng", "_crng", "_epoch_edges", "_node_corr")
 
     def __init__(self, plan: FaultPlan):
         self.plan = plan
         self._rng = np.random.default_rng(plan.seed)
+        # Second, independent stream for corruption decisions + bit flips.
+        # Built only when it can ever be consumed, keyed off the same plan
+        # seed through a distinct SeedSequence entropy tuple.
+        self._crng = (
+            np.random.default_rng((plan.seed, 0xC0FFEE))
+            if plan.can_corrupt
+            else None
+        )
+        # Per-node FIFO of pending compute corruptions, soonest first.
+        self._node_corr: dict[int, list[NodeCorruption]] = {}
+        for nc in sorted(plan.node_corruptions, key=lambda c: c.time):
+            self._node_corr.setdefault(nc.node, []).append(nc)
         # Times at which the dead-link set can change: link-fault window
         # edges and node fail-stop instants.  Between consecutive edges the
         # set is constant, which is what lets the engine cache detour
@@ -363,3 +530,45 @@ class FaultState:
         if p >= 1.0:
             return True
         return bool(self._rng.random() < p)
+
+    def roll_corruptions(self, u: int, v: int, time: float) -> list[LinkCorruption]:
+        """Corruption faults triggering on the hop starting now on ``u -> v``.
+
+        Each covering fault rolls independently against its own rate, in
+        plan order, drawing from the *corruption* stream only when the
+        outcome is genuinely random (0 < rate < 1) — certain outcomes
+        never consume it, and the drop stream is never touched.
+        """
+        out = []
+        for lc in self.plan.corruptions:
+            if not lc.covers(u, v, time) or lc.rate <= 0.0:
+                continue
+            if lc.rate >= 1.0 or self._crng.random() < lc.rate:
+                out.append(lc)
+        return out
+
+    def take_node_corruption(self, node: int, time: float) -> NodeCorruption | None:
+        """Pop the next compute corruption due on ``node`` at ``time``."""
+        pending = self._node_corr.get(node)
+        if not pending or time < pending[0].time:
+            return None
+        return pending.pop(0)
+
+    def corrupt_payload(self, data, model: str, flips: int) -> int:
+        """Flip bits in-place on ``data``'s float64 leaves; returns the
+        number of words actually flipped (0 when there is nothing to flip:
+        control messages without float payloads pass through unharmed,
+        like small flits protected by their own header CRC)."""
+        leaves = _float_leaves(data)
+        total = sum(leaf.size for leaf in leaves)
+        if total == 0:
+            return 0
+        crng = self._crng
+        for _ in range(flips):
+            idx = int(crng.integers(total))
+            for leaf in leaves:
+                if idx < leaf.size:
+                    leaf.flat[idx] = _flip_bit(leaf.flat[idx], model, crng)
+                    break
+                idx -= leaf.size
+        return flips

@@ -57,6 +57,9 @@ def lane_activity(
         if rec.kind in ("drop", "reroute"):
             pos = min(width - 1, int(rec.start * scale))
             lane[pos] = "x" if rec.kind == "drop" else "~"
+        elif rec.kind in ("corrupt", "nack"):
+            pos = min(width - 1, int(rec.start * scale))
+            lane[pos] = "!"
         elif rec.kind == "node_fail":
             pos = min(width - 1, int(rec.start * scale))
             for i in range(pos, width):
@@ -92,19 +95,27 @@ def render_gantt(
     net = result.network
     if (
         net.messages_dropped or net.hops_rerouted or net.retransmissions
+        or net.corruption_events or net.integrity_rejects
         or result.failed_ranks
     ):
         lines.append(
             "        x message dropped   ~ hop rerouted   X node fail-stopped"
+            + ("   ! payload corrupted/rejected"
+               if net.corruption_events or net.integrity_rejects else "")
         )
         failed = (
             ", failed ranks " + str(list(result.failed_ranks))
             if result.failed_ranks else ""
         )
+        corrupt = (
+            f", {net.corruption_events} corrupted"
+            f" ({net.integrity_rejects} rejected)"
+            if net.corruption_events or net.integrity_rejects else ""
+        )
         lines.append(
             f"faults: {net.messages_dropped} dropped, "
             f"{net.hops_rerouted} rerouted, "
-            f"{net.retransmissions} retransmitted{failed}"
+            f"{net.retransmissions} retransmitted{corrupt}{failed}"
         )
     if result.phase_times:
         marks = [" "] * width

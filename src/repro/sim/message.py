@@ -9,6 +9,7 @@ time and carried with the envelope.
 from __future__ import annotations
 
 import itertools
+import zlib
 from dataclasses import dataclass, field
 from typing import Any
 
@@ -16,9 +17,59 @@ import numpy as np
 
 from repro.errors import SimulationError
 
-__all__ = ["Message", "payload_words"]
+__all__ = [
+    "Message",
+    "payload_words",
+    "canonical_bytes",
+    "message_crc",
+    "CORRUPT_VERDICT",
+]
 
 _message_ids = itertools.count()
+
+#: ack-channel payload the destination node sends instead of a plain ack
+#: when a message's attached CRC fails verification at delivery (a NACK)
+CORRUPT_VERDICT = "__corrupt__"
+
+
+def _canon(data: Any, out: list[bytes]) -> None:
+    if data is None:
+        out.append(b"N;")
+    elif isinstance(data, np.ndarray):
+        out.append(f"A{data.dtype.str}{data.shape};".encode())
+        out.append(np.ascontiguousarray(data).tobytes())
+    elif isinstance(data, (list, tuple)):
+        out.append(f"L{len(data)};".encode())
+        for item in data:
+            _canon(item, out)
+    elif isinstance(data, dict):
+        out.append(f"M{len(data)};".encode())
+        for k in sorted(data, key=repr):
+            out.append(repr(k).encode())
+            _canon(data[k], out)
+    else:
+        out.append(repr(data).encode())
+
+
+def canonical_bytes(data: Any) -> bytes:
+    """Deterministic byte serialization of a payload (structure + array
+    contents) — the substrate of end-to-end integrity checksums.  Equal
+    payloads always serialize identically; a single flipped bit in any
+    float64 leaf changes the bytes."""
+    out: list[bytes] = []
+    _canon(data, out)
+    return b"".join(out)
+
+
+def message_crc(src: int, dst: int, tag: int, nwords: int, data: Any) -> int:
+    """CRC32 over the message header and the payload's canonical bytes.
+
+    This is what :class:`~repro.mpi.integrity.IntegrityContext` attaches
+    at send time and what the engine's delivery path re-computes at the
+    destination: a mismatch means the payload was perturbed in flight.
+    """
+    header = f"{src}>{dst}/{tag}#{nwords}|".encode()
+    return zlib.crc32(canonical_bytes(data), zlib.crc32(header))
 
 
 def payload_words(data: Any, nwords: int | None = None) -> int:
@@ -77,6 +128,10 @@ class Message:
     msg_id: int = field(default_factory=lambda: next(_message_ids))
     #: when set, the destination node acks delivery on this tag
     ack_tag: int | None = None
+    #: when set, the destination node verifies this CRC32 of the canonical
+    #: header+payload bytes at delivery; a mismatch is NACK'd (see
+    #: :func:`message_crc` and the engine's ``_deliver``)
+    crc: int | None = None
 
     def __repr__(self) -> str:
         return (

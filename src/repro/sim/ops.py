@@ -106,6 +106,9 @@ class SendOp:
     nwords: int
     blocking: bool
     ack_tag: int | None = None
+    #: canonical-bytes CRC32 verified by the destination node at delivery
+    #: (end-to-end integrity; see :func:`repro.sim.message.message_crc`)
+    crc: int | None = None
 
 
 @dataclass

@@ -90,16 +90,19 @@ class ProcessContext:
         nwords: int | None = None,
         *,
         ack_tag: int | None = None,
+        crc: int | None = None,
     ):
         """Blocking send (generator; use ``yield from``).
 
         ``ack_tag`` requests a delivery acknowledgement from the
-        destination node (see :class:`~repro.sim.ops.SendOp`).
+        destination node (see :class:`~repro.sim.ops.SendOp`); ``crc``
+        additionally asks it to verify the payload's canonical checksum
+        at delivery and NACK a corrupted copy.
         """
         self._check_peer(dst)
         yield SendOp(
             dst, data, tag, payload_words(data, nwords),
-            blocking=True, ack_tag=ack_tag,
+            blocking=True, ack_tag=ack_tag, crc=crc,
         )
 
     def isend(
@@ -110,12 +113,13 @@ class ProcessContext:
         nwords: int | None = None,
         *,
         ack_tag: int | None = None,
+        crc: int | None = None,
     ):
         """Non-blocking send; returns a :class:`Handle`."""
         self._check_peer(dst)
         handle = yield SendOp(
             dst, data, tag, payload_words(data, nwords),
-            blocking=False, ack_tag=ack_tag,
+            blocking=False, ack_tag=ack_tag, crc=crc,
         )
         return handle
 
@@ -231,6 +235,10 @@ class ProcessContext:
             C += A @ B
             out = C
         yield ElapseOp(self.config.params.flops_time(flops), flops)
+        # A pending NodeCorruption fires on the first multiply completing
+        # at/after its virtual time: the block this rank just produced is
+        # silently perturbed (see FaultPlan.with_node_corruption).
+        self.engine.apply_node_corruption(self.rank, out)
         return out
 
     # -- intra-rank concurrency ----------------------------------------------

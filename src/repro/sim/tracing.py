@@ -15,9 +15,12 @@ class TraceRecord:
 
     ``kind`` is ``"hop"`` (fields: src, dst of the hop, message id, words),
     ``"compute"`` (fields: rank, flops), ``"drop"`` (a message lost on a
-    hop or on a failed node; fields: msg, src, dst, reason) or
-    ``"reroute"`` (a hop detoured around a dead link; fields: msg, dead
-    link, detour_via).
+    hop or on a failed node; fields: msg, src, dst, reason), ``"reroute"``
+    (a hop detoured around a dead link; fields: msg, dead link,
+    detour_via), ``"corrupt"`` (a payload silently bit-flipped on a link
+    or in local compute; fields: words flipped, where) or ``"nack"`` (a
+    delivery whose attached CRC failed verification, discarded and
+    negatively acknowledged; fields: msg, src, tag).
     """
 
     kind: str
@@ -60,7 +63,11 @@ class NetworkStats:
     ``messages_dropped`` counts messages lost in transit (drop-rate rolls
     or fail-stopped nodes), ``hops_rerouted`` counts detours around dead
     links, and ``retransmissions`` counts resends issued by the
-    reliable-delivery layer.
+    reliable-delivery layer.  ``corruption_events`` counts injected
+    silent-data-corruption events that actually flipped payload bits
+    (link or compute), and ``integrity_rejects`` counts deliveries the
+    destination node discarded because an attached CRC failed
+    verification.
     """
 
     channels_used: int
@@ -69,6 +76,8 @@ class NetworkStats:
     messages_dropped: int = 0
     hops_rerouted: int = 0
     retransmissions: int = 0
+    corruption_events: int = 0
+    integrity_rejects: int = 0
 
     def mean_utilization(self, total_time: float) -> float:
         """Average busy fraction of the channels that were used at all."""
@@ -173,6 +182,13 @@ class RunResult:
             f"retrans={self.network.retransmissions} "
             f"busy={self.network.total_channel_busy!r}"
         )
+        if self.network.corruption_events or self.network.integrity_rejects:
+            # Conditional (like the `failed` line) so fault-free runs keep
+            # producing byte-identical golden traces across versions.
+            lines.append(
+                f"corruption events={self.network.corruption_events} "
+                f"rejects={self.network.integrity_rejects}"
+            )
         if self.failed_ranks:
             lines.append(f"failed {list(self.failed_ranks)}")
         return lines

@@ -1,0 +1,188 @@
+"""Tests for Huang–Abraham ABFT *error correction*: locating and fixing
+silently corrupted decode blocks via checksum residuals, plus the
+end-to-end protected stacks over corrupting machines."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import get_algorithm
+from repro.algorithms.abft import (
+    ABFTMatmul,
+    abft_correct_errors,
+    abft_encode,
+    abft_geometry,
+)
+from repro.errors import CorruptionError
+from repro.mpi.integrity import IntegrityContext
+from repro.sim import FaultPlan, MachineConfig
+
+G, E = 4, 3  # decode grid side and checksum width used by the unit tests
+
+
+def _product(seed: int = 0) -> np.ndarray:
+    """A clean augmented product C″ = A″·B″ with integer-exact checksums."""
+    rng = np.random.default_rng(seed)
+    n = (G - 1) * E
+    A = rng.integers(-4, 5, (n, n)).astype(float)
+    B = rng.integers(-4, 5, (n, n)).astype(float)
+    Ap, Bp = abft_encode(A, B, G, E)
+    return Ap @ Bp
+
+
+def _blk(C: np.ndarray, r: int, c: int) -> np.ndarray:
+    return C[r * E:(r + 1) * E, c * E:(c + 1) * E]
+
+
+class TestCorrectErrors:
+    @pytest.mark.parametrize("r,c", [
+        (0, 0),          # interior block
+        (1, 1),
+        (G - 1, 0),      # checksum-row block
+        (0, G - 1),      # checksum-column block
+        (G - 1, G - 1),  # the corner (both checksum lines)
+    ])
+    def test_single_error_every_position_class(self, r, c):
+        """One corrupted block anywhere — including inside the checksum
+        lines themselves — is located and repaired exactly."""
+        clean = _product()
+        bad = clean.copy()
+        _blk(bad, r, c)[0, 0] += 1000.0
+        fixed, corrected, suspect = abft_correct_errors(bad, G, E)
+        assert corrected == 1 and suspect == 0
+        assert np.array_equal(fixed, clean)
+
+    def test_two_errors_distinct_rows_and_columns(self):
+        clean = _product()
+        bad = clean.copy()
+        _blk(bad, 0, 1)[1, 2] -= 77.0
+        _blk(bad, 2, 3)[0, 0] += 5.0
+        fixed, corrected, suspect = abft_correct_errors(bad, G, E)
+        assert corrected == 2 and suspect == 0
+        assert np.array_equal(fixed, clean)
+
+    def test_colinear_errors_are_ambiguous_not_misfixed(self):
+        """Two corrupted blocks sharing a decode row: the residuals cannot
+        pin positions down — the routine must report suspects, never
+        guess."""
+        clean = _product()
+        bad = clean.copy()
+        _blk(bad, 1, 0)[0, 0] += 10.0
+        _blk(bad, 1, 2)[0, 0] += 10.0
+        fixed, corrected, suspect = abft_correct_errors(bad, G, E)
+        assert suspect > 0
+        assert not np.array_equal(fixed, clean)
+
+    def test_nonfinite_corruption_is_repaired(self):
+        """An exponent flip can push a word to inf; subtraction-based
+        repair would produce inf - inf = nan.  Reconstruction from the
+        clean line must restore the exact finite value."""
+        clean = _product()
+        bad = clean.copy()
+        _blk(bad, 2, 1)[1, 1] = np.inf
+        fixed, corrected, suspect = abft_correct_errors(bad, G, E)
+        assert corrected == 1 and suspect == 0
+        assert np.isfinite(fixed).all()
+        assert np.array_equal(fixed, clean)
+
+    def test_clean_product_untouched(self):
+        clean = _product()
+        fixed, corrected, suspect = abft_correct_errors(clean, G, E)
+        assert corrected == 0 and suspect == 0
+        assert np.array_equal(fixed, clean)
+
+    def test_sub_tolerance_noise_is_ignored(self):
+        clean = _product()
+        noisy = clean + 1e-13
+        _, corrected, suspect = abft_correct_errors(noisy, G, E, tol=1e-6)
+        assert corrected == 0 and suspect == 0
+
+
+class TestEndToEnd:
+    N, P = 8, 16
+
+    def _operands(self):
+        rng = np.random.default_rng(0)
+        A = rng.integers(-4, 5, (self.N, self.N)).astype(float)
+        B = rng.integers(-4, 5, (self.N, self.N)).astype(float)
+        return A, B
+
+    def test_geometry_matches_cannon_grid(self):
+        g, e, m = abft_geometry("cannon", self.N, self.P)
+        assert (g, e, m) == (4, 3, 12)
+
+    def test_node_corruption_corrected_in_band(self):
+        """A soft error in one rank's GEMM: the checksum residuals locate
+        and repair the block — no restart, exact product."""
+        A, B = self._operands()
+        plan = FaultPlan(seed=2).with_node_corruption(
+            5, at=100.0, model="exponent"
+        )
+        cfg = MachineConfig.create(self.P, faults=plan)
+        run = ABFTMatmul(get_algorithm("cannon"), mode="abft").run(A, B, cfg)
+        assert run.mode == "abft"
+        assert run.recovered
+        assert run.result.network.corruption_events == 1
+        assert np.array_equal(run.C, A @ B)
+
+    def test_colinear_corruption_falls_back_to_checkpoint(self):
+        """Ranks 0 and 1 corrupt blocks in the same decode line (probed):
+        ambiguous residuals must fall back to checkpoint/restart and still
+        deliver the exact product."""
+        A, B = self._operands()
+        plan = (FaultPlan(seed=2)
+                .with_node_corruption(0, at=100.0, model="sign")
+                .with_node_corruption(1, at=100.0, model="sign"))
+        cfg = MachineConfig.create(self.P, faults=plan)
+        run = ABFTMatmul(get_algorithm("cannon"), mode="abft").run(A, B, cfg)
+        assert run.mode == "abft+checkpoint"
+        assert run.attempt_time > 0.0
+        assert np.array_equal(run.C, A @ B)
+
+    def test_colinear_corruption_raises_without_fallback(self):
+        A, B = self._operands()
+        plan = (FaultPlan(seed=2)
+                .with_node_corruption(0, at=100.0, model="sign")
+                .with_node_corruption(1, at=100.0, model="sign"))
+        cfg = MachineConfig.create(self.P, faults=plan)
+        wrapper = ABFTMatmul(
+            get_algorithm("cannon"), mode="abft", checkpoint_fallback=False
+        )
+        with pytest.raises(CorruptionError):
+            wrapper.run(A, B, cfg)
+
+    def test_correction_can_be_disabled(self):
+        """correct_errors=False: the corrupted product passes through
+        (erasure decode alone is blind to silent errors)."""
+        A, B = self._operands()
+        plan = FaultPlan(seed=2).with_node_corruption(
+            5, at=100.0, model="exponent"
+        )
+        cfg = MachineConfig.create(self.P, faults=plan)
+        run = ABFTMatmul(
+            get_algorithm("cannon"), mode="abft", correct_errors=False
+        ).run(A, B, cfg)
+        assert not np.array_equal(run.C, A @ B)
+
+    def test_link_corruption_handled_by_integrity_factory(self):
+        """The full protected stack: ABFT over IntegrityContext survives a
+        corrupting link — the CRC layer cleans the messages before they
+        ever reach the checksums."""
+        A, B = self._operands()
+        plan = FaultPlan(seed=4).with_link_corruption(0, 1, 0.4)
+        cfg = MachineConfig.create(self.P, faults=plan)
+        run = ABFTMatmul(
+            get_algorithm("cannon"), mode="abft",
+            context_factory=IntegrityContext,
+        ).run(A, B, cfg)
+        assert np.array_equal(run.C, A @ B)
+
+    def test_fault_free_wrapper_is_deterministic(self):
+        A, B = self._operands()
+        cfg = MachineConfig.create(self.P)
+        runs = [
+            ABFTMatmul(get_algorithm("cannon"), mode="abft").run(A, B, cfg)
+            for _ in range(2)
+        ]
+        assert np.array_equal(runs[0].C, A @ B)
+        assert not runs[0].recovered
+        assert runs[0].total_time == runs[1].total_time

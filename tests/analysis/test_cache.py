@@ -158,6 +158,30 @@ class TestResultCache:
         assert cache.clear() == 3
         assert cache.stats()["entries"] == 0
 
+    def test_stats_counts_truncated_entries_as_corrupt(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("sweep", {"x": 1}, "good")
+        bad = cache.put("sweep", {"x": 2}, "soon-truncated")
+        bad.write_bytes(bad.read_bytes()[:7])  # cut mid-pickle
+        stats = cache.stats()
+        assert stats["entries"] == 2
+        assert stats["corrupt"] == 1
+        assert stats["by_kind"] == {"(corrupt)": 1, "sweep": 1}
+
+    def test_prune_deletes_corrupt_entries(self, tmp_path):
+        """A truncated object file can never serve a hit; prune (with no
+        age or byte budget at all) must still remove it and leave the
+        healthy entries alone."""
+        cache = ResultCache(tmp_path)
+        cache.put("sweep", {"x": 1}, "good")
+        bad = cache.put("sweep", {"x": 2}, "soon-truncated")
+        bad.write_bytes(bad.read_bytes()[:7])
+        assert cache.prune() == 1
+        assert not bad.exists()
+        stats = cache.stats()
+        assert stats["entries"] == 1 and stats["corrupt"] == 0
+        assert cache.get("sweep", {"x": 1}) == "good"
+
     def test_prune_by_age(self, tmp_path):
         cache = ResultCache(tmp_path)
         old = cache.put("test", {"x": 1}, "old")
