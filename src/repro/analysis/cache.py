@@ -76,6 +76,7 @@ CACHE_DIR_ENV = "REPRO_CACHE_DIR"
 _FINGERPRINT_SOURCES = (
     "sim/engine.py",
     "sim/faults.py",
+    "sim/scenario.py",
     "models/table2.py",
     "models/table2_vec.py",
 )

@@ -75,6 +75,7 @@ from repro.mpi.integrity import IntegrityContext
 from repro.mpi.reliable import ReliableContext
 from repro.sim.faults import FLIP_MODELS, FaultPlan
 from repro.sim.machine import MachineConfig
+from repro.sim.scenario import random_heterogeneous
 
 __all__ = [
     "STACKS",
@@ -223,6 +224,11 @@ def _execute(cell: dict[str, Any], plan: FaultPlan, A, B):
     propagate to the caller's classifier.
     """
     config = MachineConfig.create(cell["p"]).with_faults(plan)
+    severity = cell.get("severity", 0.0)
+    if severity > 0:
+        config = config.with_scenario(random_heterogeneous(
+            cell["p"], severity, seed=cell.get("scenario_seed", 0)
+        ))
     algorithm = get_algorithm(cell["algorithm"])
     stack = cell["stack"]
     deadline = cell["deadline"]
@@ -388,6 +394,11 @@ def _minimize_violation(
         f" --only-trial {cell['trial']}"
         f" --atoms {','.join(str(i) for i in keep)}"
     )
+    if cell.get("severity", 0.0) > 0:
+        command += (
+            f" --severity {cell['severity']:g}"
+            f" --scenario-seed {cell['scenario_seed']}"
+        )
     return {
         "atoms": [atoms[i] for i in keep],
         "atom_indices": keep,
@@ -414,6 +425,8 @@ def run_campaign(
     only_trial: int | None = None,
     atom_subset: list[int] | None = None,
     deadline_factor: float = 200.0,
+    severity: float = 0.0,
+    scenario_seed: int = 0,
 ) -> dict[str, Any]:
     """Run a seeded chaos campaign; returns the JSON-able report.
 
@@ -422,6 +435,14 @@ def run_campaign(
     deterministic).  ``only_trial`` replays a single trial —
     optionally restricted to ``atom_subset`` indices of its sampled
     fault atoms — which is the reproducer form the minimizer emits.
+
+    ``severity`` > 0 layers a seeded heterogeneous network scenario
+    (:func:`~repro.sim.scenario.random_heterogeneous` at
+    ``scenario_seed``) under every trial's fault plan: the campaign then
+    probes whether slow links and injected faults *compose* — e.g. that
+    degradation-stretched round trips never eat the retransmission
+    budget the integrity layer needs for real corruption.  The default
+    0.0 runs on the uniform machine, bit-identical to earlier releases.
     """
     if stack not in STACKS:
         raise ValueError(f"stack must be one of {STACKS}, got {stack!r}")
@@ -445,6 +466,7 @@ def run_campaign(
             "check_replay": check_replay, "atoms": None,
             "atom_subset": atom_subset if only_trial is not None else None,
             "trials": trials,
+            "severity": severity, "scenario_seed": scenario_seed,
         }
         for t in wanted
     ]
@@ -467,6 +489,7 @@ def run_campaign(
     report = {
         "stack": stack, "algorithm": algorithm, "n": n, "p": p,
         "seed": seed, "trials": trials, "horizon": horizon,
+        "severity": severity, "scenario_seed": scenario_seed,
         "clean": len(records) - len(violations),
         "violations": violations,
     }
@@ -502,7 +525,12 @@ def format_report(report: dict[str, Any]) -> str:
     lines = [
         f"chaos campaign: {report['trials']} trials, "
         f"{report['algorithm']} n={report['n']} p={report['p']}, "
-        f"stack={report['stack']}, seed={report['seed']}",
+        f"stack={report['stack']}, seed={report['seed']}"
+        + (
+            f", network severity={report['severity']:g} "
+            f"(scenario seed {report['scenario_seed']})"
+            if report.get("severity") else ""
+        ),
         f"  clean: {report['clean']}   "
         f"violations: {len(report['violations'])}   "
         f"digest: {report['digest']}",

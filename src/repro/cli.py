@@ -12,11 +12,12 @@ Subcommands
 ``faults``       degradation sweep on a lossy machine (reliable delivery)
 ``recover``      node fail-stop recovery sweep (ABFT / checkpoint restart)
 ``chaos``        randomized fault campaign with minimized reproducers
+``degrade``      graceful-degradation sweep on heterogeneous networks
 ``report``       regenerate the paper's full evaluation in one run
 ``cache``        inspect or maintain the persistent result cache
 ``list``         list the available algorithms
 
-``figure``, ``sweep``, ``table2`` and ``faults`` accept ``--cache`` /
+``figure``, ``sweep``, ``table2``, ``faults`` and ``degrade`` accept ``--cache`` /
 ``--no-cache`` (and ``--cache-dir``) to serve repeat invocations from the
 persistent content-addressed result cache; ``REPRO_CACHE=1`` flips the
 default on.  Cached and computed outputs are bit-identical.
@@ -388,6 +389,8 @@ def _cmd_chaos(args) -> int:
         check_replay=not args.no_replay_check,
         only_trial=args.only_trial,
         atom_subset=atom_subset,
+        severity=args.severity,
+        scenario_seed=args.scenario_seed,
     )
     print(format_report(report))
     if args.json:
@@ -405,6 +408,72 @@ def _cmd_chaos(args) -> int:
         print("error: --require-violation but the campaign was clean",
               file=sys.stderr)
         return 1
+    return 0
+
+
+def _cmd_degrade(args) -> int:
+    import json as _json
+
+    from repro.analysis.degradation import (
+        DEFAULT_ALGORITHMS,
+        degradation_report,
+        format_degradation_table,
+    )
+
+    keys = args.algorithms or DEFAULT_ALGORITHMS
+    keys = [k for k in keys if get_algorithm(k).applicable(args.n, args.p)]
+    if not keys:
+        print("error: no selected algorithm is applicable at this (n, p)",
+              file=sys.stderr)
+        return 1
+
+    def compute(jobs):
+        return degradation_report(
+            keys, args.n, args.p, args.severities,
+            profile=args.profile, scenario_seed=args.scenario_seed,
+            seed=args.seed, adaptive=not args.oblivious,
+            t_s=args.ts, t_w=args.tw, port_model=_port(args.port),
+            jobs=jobs,
+        )
+
+    cache = _cache(args)
+    if cache is None:
+        report = compute(args.jobs)
+    else:
+        descriptor = {
+            "algorithms": list(keys),
+            "n": args.n,
+            "p": args.p,
+            "severities": [float(s) for s in args.severities],
+            "profile": args.profile,
+            "scenario_seed": args.scenario_seed,
+            "seed": args.seed,
+            "adaptive": not args.oblivious,
+            "t_s": float(args.ts),
+            "t_w": float(args.tw),
+            "port": _port(args.port).value,
+        }
+        report = cache.fetch(
+            "degradation_report", descriptor, lambda: compute(args.jobs)
+        )
+    print(format_degradation_table(report))
+    if args.json:
+        with open(args.json, "w") as fh:
+            _json.dump(report, fh, indent=2, default=repr)
+        print(f"report written to {args.json}")
+    if args.check:
+        alt_jobs = 2 if args.jobs == 1 else 1
+        replay = compute(alt_jobs)
+        if replay["digest"] != report["digest"]:
+            print(
+                f"error: replay digest mismatch "
+                f"(jobs={args.jobs}: {report['digest']}, "
+                f"jobs={alt_jobs}: {replay['digest']})",
+                file=sys.stderr,
+            )
+            return 1
+        print(f"replay check OK: digest {report['digest']} invariant "
+              f"across jobs={args.jobs} and jobs={alt_jobs}")
     return 0
 
 
@@ -573,6 +642,15 @@ def build_parser() -> argparse.ArgumentParser:
              "this is the reproducer form the minimizer emits)",
     )
     p_ch.add_argument(
+        "--severity", type=float, default=0.0,
+        help="layer a seeded heterogeneous network scenario of this "
+             "severity under every trial's fault plan (0 = uniform)",
+    )
+    p_ch.add_argument(
+        "--scenario-seed", type=int, default=0,
+        help="seed for the heterogeneous scenario (with --severity)",
+    )
+    p_ch.add_argument(
         "--no-minimize", action="store_true",
         help="skip delta-debugging the failing trials' fault sets",
     )
@@ -594,6 +672,55 @@ def build_parser() -> argparse.ArgumentParser:
              "oracle catches unprotected corruption)",
     )
     p_ch.set_defaults(func=_cmd_chaos)
+
+    p_dg = sub.add_parser(
+        "degrade",
+        help="graceful-degradation sweep over heterogeneous network "
+             "scenarios (which algorithm degrades most gracefully?)",
+    )
+    p_dg.add_argument("-n", type=int, default=8)
+    p_dg.add_argument("-p", type=int, default=16)
+    p_dg.add_argument(
+        "--severities", type=float, nargs="+", default=[0.5, 1.0, 2.0],
+        help="severity levels to sweep (0 = uniform network)",
+    )
+    p_dg.add_argument(
+        "--profile",
+        choices=["uniform", "random", "hotspot", "dimension", "background"],
+        default="random",
+        help="network-scenario profile shaping the degradation",
+    )
+    p_dg.add_argument(
+        "--scenario-seed", type=int, default=0,
+        help="seed for the scenario's link selection and magnitudes",
+    )
+    p_dg.add_argument("--seed", type=int, default=0, help="matrix seed")
+    p_dg.add_argument(
+        "--algorithms", nargs="+", metavar="ALGO", default=None,
+        help="algorithm keys to rank (default: the standard pool, "
+             "filtered by applicability)",
+    )
+    p_dg.add_argument(
+        "--oblivious", action="store_true",
+        help="disable degradation-aware detour routing (fixed e-cube "
+             "paths even on slow links)",
+    )
+    p_dg.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes (same report and digest for any value)",
+    )
+    p_dg.add_argument(
+        "--check", action="store_true",
+        help="rerun with different sharding and fail on digest mismatch "
+             "(CI gate for replay determinism and jobs-invariance)",
+    )
+    p_dg.add_argument(
+        "--json", default=None, metavar="FILE",
+        help="also write the full JSON report to FILE",
+    )
+    _add_machine_args(p_dg)
+    _add_cache_args(p_dg)
+    p_dg.set_defaults(func=_cmd_degrade)
 
     p_ca = sub.add_parser(
         "cache", help="inspect or maintain the persistent result cache"

@@ -25,6 +25,16 @@ from repro.sim.faults import (
     NodeFailure,
 )
 from repro.sim.process import ProcessContext, ANY_SOURCE, ANY_TAG
+from repro.sim.scenario import (
+    LinkCost,
+    NetworkScenario,
+    background_traffic,
+    congested_dimension,
+    hotspot,
+    random_heterogeneous,
+    scenario_from_json,
+    uniform,
+)
 from repro.sim.tracing import NetworkStats, RunResult, RankStats, TraceRecord
 from repro.sim.gantt import render_gantt
 
@@ -41,6 +51,14 @@ __all__ = [
     "LinkDrop",
     "LinkDegradation",
     "NodeFailure",
+    "LinkCost",
+    "NetworkScenario",
+    "uniform",
+    "hotspot",
+    "congested_dimension",
+    "random_heterogeneous",
+    "background_traffic",
+    "scenario_from_json",
     "ProcessContext",
     "ANY_SOURCE",
     "ANY_TAG",

@@ -185,6 +185,16 @@ class Engine:
         self.faults: FaultState | None = (
             FaultState(config.faults) if config.faults is not None else None
         )
+        # A uniform (or absent) scenario is normalized to None so every
+        # scenario check below reduces to one `is None` test and the
+        # healthy fast paths — and their golden traces — stay untouched.
+        scen = config.scenario
+        self.scenario = (
+            None if scen is None or scen.is_uniform else scen
+        )
+        self._adaptive = (
+            self.scenario is not None and self.scenario.adaptive_routing
+        )
         if max_events is not None and max_events <= 0:
             raise SimulationError(f"max_events must be positive, got {max_events}")
         if max_virtual_time is not None and max_virtual_time <= 0:
@@ -710,6 +720,25 @@ class Engine:
             snap[rank] = f"t={latest:g}, {state}"
         return snap
 
+    # -- scenario costing --------------------------------------------------
+
+    def _link_weight(self, time: float):
+        """Per-link routing weight at ``time``: the degraded one-word hop
+        cost ``ts_factor·t_s + tw_factor·t_w`` under the active scenario.
+
+        Constant within one scenario epoch, which is what lets
+        :meth:`~repro.topology.routing.RouteCache.cheapest` memoize the
+        resulting routes per epoch key.
+        """
+        scen = self.scenario
+        t_s, t_w = self._t_s, self._t_w
+
+        def weight(a: int, b: int) -> float:
+            ts_f, tw_f = scen.factors(a, b, time)
+            return ts_f * t_s + tw_f * t_w
+
+        return weight
+
     # -- sends -----------------------------------------------------------
 
     def _issue_send(self, task: Task, op: SendOp, now: float) -> Handle:
@@ -737,9 +766,19 @@ class Engine:
         """Route ``msg`` and schedule its first hop (fault-aware)."""
         fs = self.faults
         if fs is None:
-            # Healthy machine: routes never change, so every transfer on the
-            # same (src, dst) pair shares one immutable cached hop tuple.
-            hops: list | tuple = self.routes.healthy(msg.src, msg.dst)
+            if self._adaptive:
+                # Heterogeneous costs: route around expensive links.  The
+                # weight function is constant within a scenario epoch, so
+                # the cheapest route is memoized per (src, dst, epoch).
+                hops: list | tuple = self.routes.cheapest(
+                    msg.src, msg.dst, self._link_weight(now),
+                    self.scenario.epoch(now),
+                )
+            else:
+                # Healthy machine: routes never change, so every transfer
+                # on the same (src, dst) pair shares one immutable cached
+                # hop tuple.
+                hops = self.routes.healthy(msg.src, msg.dst)
         elif fs.node_failed(msg.dst, now):
             # Destination already fail-stopped: the message is lost in the
             # void but the send itself costs the sender nothing extra.
@@ -751,23 +790,33 @@ class Engine:
             def alive(a: int, b: int) -> bool:
                 return not fs.link_dead(a, b, now)
 
-            cached = self.routes.healthy(msg.src, msg.dst)
-            # Strict mode keeps the native route; _start_hop raises
-            # LinkFailedError when the message reaches the dead link.
-            if fs.plan.reroute and not all(alive(u, v) for u, v in cached):
-                cached = self.routes.detour(
-                    msg.src, msg.dst, alive, fs.route_epoch(now)
+            if self._adaptive and fs.plan.reroute:
+                # Degraded-aware detouring: prefer cheap healthy links.
+                # The route depends on both piecewise-constant layers, so
+                # the cache key pairs their epochs — either kind of window
+                # edge invalidates it.
+                cached = self.routes.cheapest(
+                    msg.src, msg.dst, self._link_weight(now),
+                    (fs.route_epoch(now), self.scenario.epoch(now)), alive,
                 )
-                self._hops_rerouted += 1
-                if self.trace_enabled:
-                    self.trace.append(
-                        TraceRecord(
-                            "reroute", now, now, msg.src,
-                            {"msg": msg.msg_id, "dead": None,
-                             "via": cached[0][1] if cached else msg.dst,
-                             "src": msg.src, "dst": msg.dst},
-                        )
+            else:
+                cached = self.routes.healthy(msg.src, msg.dst)
+                # Strict mode keeps the native route; _start_hop raises
+                # LinkFailedError when the message reaches the dead link.
+                if fs.plan.reroute and not all(alive(u, v) for u, v in cached):
+                    cached = self.routes.detour(
+                        msg.src, msg.dst, alive, fs.route_epoch(now)
                     )
+                    self._hops_rerouted += 1
+                    if self.trace_enabled:
+                        self.trace.append(
+                            TraceRecord(
+                                "reroute", now, now, msg.src,
+                                {"msg": msg.msg_id, "dead": None,
+                                 "via": cached[0][1] if cached else msg.dst,
+                                 "src": msg.src, "dst": msg.dst},
+                            )
+                        )
             # Fault mode may splice a detour tail in-place mid-flight
             # (_start_hop), so each transfer needs its own mutable copy.
             hops = list(cached)
@@ -803,11 +852,18 @@ class Engine:
                 # per fault epoch — the dead-link set is constant within
                 # one).  Raises UnreachableError when the surviving graph
                 # disconnects.
-                tail = self.routes.detour(
-                    u, msg.dst,
-                    lambda a, b: not fs.link_dead(a, b, time),
-                    fs.route_epoch(time),
-                )
+                if self._adaptive:
+                    tail = self.routes.cheapest(
+                        u, msg.dst, self._link_weight(time),
+                        (fs.route_epoch(time), self.scenario.epoch(time)),
+                        lambda a, b: not fs.link_dead(a, b, time),
+                    )
+                else:
+                    tail = self.routes.detour(
+                        u, msg.dst,
+                        lambda a, b: not fs.link_dead(a, b, time),
+                        fs.route_epoch(time),
+                    )
                 dead = (u, v)
                 hops[hop_index:] = tail
                 u, v = hops[hop_index]
@@ -821,16 +877,28 @@ class Engine:
                         )
                     )
             tw_factor = fs.degradation(u, v, time)
-        if tw_factor == 1.0:
-            duration = self._t_s + self._t_w * msg.nwords
+        scen = self.scenario
+        if scen is None:
+            header_ts = self._t_s
+            if tw_factor == 1.0:
+                duration = self._t_s + self._t_w * msg.nwords
+            else:
+                duration = self.config.params.hop_time(msg.nwords, tw_factor)
+            ts_f = tw_f = 1.0
         else:
-            duration = self.config.params.hop_time(msg.nwords, tw_factor)
+            # Scenario factors compose multiplicatively with the fault
+            # plan's degradation: independent slowdown sources stack.
+            ts_f, tw_f = scen.factors(u, v, time)
+            header_ts = ts_f * self._t_s
+            duration = header_ts + self._t_w * tw_f * tw_factor * msg.nwords
         start = self.tracker.reserve_hop(u, v, time, duration)
         if self.trace_enabled:
             info = {"to": v, "msg": msg.msg_id, "words": msg.nwords,
                     "src": msg.src, "dst": msg.dst}
             if tw_factor != 1.0:
                 info["degraded"] = tw_factor
+            if ts_f != 1.0 or tw_f != 1.0:
+                info["slow"] = (ts_f, tw_f)
             self.trace.append(
                 TraceRecord("hop", start, start + duration, u, info)
             )
@@ -843,10 +911,11 @@ class Engine:
             and hop_index < len(hops) - 1
             and not transfer.dropped
         ):
-            # Virtual cut-through: the next link sees the header t_s after
-            # this hop starts transmitting; the payload streams behind it.
+            # Virtual cut-through: the next link sees the header one
+            # (possibly degraded) start-up time after this hop starts
+            # transmitting; the payload streams behind it.
             self._schedule(
-                start + self._t_s,
+                start + header_ts,
                 _HOP_READY,
                 (transfer, hop_index + 1, handle),
             )

@@ -44,10 +44,17 @@ def lane_activity(
                 if lane[i] == ".":
                     lane[i] = "="
         elif rec.kind == "hop" and rec.rank == rank:
-            mark = "#" if rec.info.get("src") == rank else "-"
+            if rec.info.get("src") == rank:
+                # Own sends over a degraded channel ("slow" from a network
+                # scenario, "degraded" from a fault plan) get their own
+                # shading: the slow stretch is the thing you are looking for.
+                slow = "slow" in rec.info or "degraded" in rec.info
+                mark = "%" if slow else "#"
+            else:
+                mark = "-"
             for i in span(rec.start, rec.end):
                 if lane[i] in (".", "=", "-") and not (lane[i] == "#"):
-                    if mark == "#" or lane[i] == ".":
+                    if mark in ("#", "%") or lane[i] == ".":
                         lane[i] = mark
     # Fault events overwrite everything: a lost message (x) or a detour
     # around a dead link (~) is the thing you are looking for.
@@ -86,12 +93,19 @@ def render_gantt(
     total = result.total_time
     show = ranks if ranks is not None else sorted(result.stats)
     lines = [f"t=0{' ' * (width + 2)}t={total:g}"]
+    degraded_seen = False
     for rank in show:
         lane = lane_activity(result.trace, rank, total, width)
+        degraded_seen = degraded_seen or "%" in lane
         lines.append(f"node {rank:3d} |{lane}|")
     lines.append(
         "legend: # sending own message   - forwarding   = computing   . idle"
     )
+    if degraded_seen:
+        lines.append(
+            "        % sending over a degraded link (scenario- or "
+            "fault-slowed)"
+        )
     net = result.network
     if (
         net.messages_dropped or net.hops_rerouted or net.retransmissions

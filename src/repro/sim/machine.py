@@ -19,6 +19,7 @@ from repro.topology.hypercube import Hypercube
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.faults import FaultPlan
+    from repro.sim.scenario import NetworkScenario
 
 __all__ = ["PortModel", "RoutingMode", "MachineParams", "MachineConfig"]
 
@@ -151,6 +152,11 @@ class MachineConfig:
         failures, message drops, link degradation and node fail-stops into
         every run on this machine.  ``None`` (default) simulates a perfect
         network.
+    scenario:
+        Optional :class:`~repro.sim.scenario.NetworkScenario` assigning
+        per-link ``(t_s, t_w)`` cost multipliers — a heterogeneous or
+        degraded network.  ``None`` (default) and a uniform scenario both
+        cost every link identically.
     """
 
     cube: Hypercube
@@ -159,6 +165,7 @@ class MachineConfig:
     copy_on_send: bool = True
     routing: RoutingMode = RoutingMode.STORE_AND_FORWARD
     faults: "FaultPlan | None" = None
+    scenario: "NetworkScenario | None" = None
 
     @classmethod
     def create(
@@ -172,6 +179,7 @@ class MachineConfig:
         copy_on_send: bool = True,
         routing: RoutingMode = RoutingMode.STORE_AND_FORWARD,
         faults: "FaultPlan | None" = None,
+        scenario: "NetworkScenario | None" = None,
     ) -> "MachineConfig":
         """Convenience constructor from a node count."""
         return cls(
@@ -181,6 +189,7 @@ class MachineConfig:
             copy_on_send=copy_on_send,
             routing=routing,
             faults=faults,
+            scenario=scenario,
         )
 
     @classmethod
@@ -195,6 +204,7 @@ class MachineConfig:
         port_model: PortModel = PortModel.ONE_PORT,
         routing: RoutingMode = RoutingMode.STORE_AND_FORWARD,
         faults: "FaultPlan | None" = None,
+        scenario: "NetworkScenario | None" = None,
     ) -> "MachineConfig":
         """A 2-D torus machine (for the Cannon-on-torus comparison)."""
         from repro.topology.torus import Torus2D
@@ -205,6 +215,7 @@ class MachineConfig:
             port_model=port_model,
             routing=routing,
             faults=faults,
+            scenario=scenario,
         )
 
     @property
@@ -223,24 +234,33 @@ class MachineConfig:
     def with_params(self, params: MachineParams) -> "MachineConfig":
         return MachineConfig(
             self.cube, params, self.port_model, self.copy_on_send,
-            self.routing, self.faults,
+            self.routing, self.faults, self.scenario,
         )
 
     def with_port_model(self, port_model: PortModel) -> "MachineConfig":
         return MachineConfig(
             self.cube, self.params, port_model, self.copy_on_send,
-            self.routing, self.faults,
+            self.routing, self.faults, self.scenario,
         )
 
     def with_routing(self, routing: RoutingMode) -> "MachineConfig":
         return MachineConfig(
             self.cube, self.params, self.port_model, self.copy_on_send,
-            routing, self.faults,
+            routing, self.faults, self.scenario,
         )
 
     def with_faults(self, faults: "FaultPlan | None") -> "MachineConfig":
         """The same machine with a (possibly different) fault plan."""
         return MachineConfig(
             self.cube, self.params, self.port_model, self.copy_on_send,
-            self.routing, faults,
+            self.routing, faults, self.scenario,
+        )
+
+    def with_scenario(
+        self, scenario: "NetworkScenario | None"
+    ) -> "MachineConfig":
+        """The same machine with a (possibly different) network scenario."""
+        return MachineConfig(
+            self.cube, self.params, self.port_model, self.copy_on_send,
+            self.routing, self.faults, scenario,
         )

@@ -27,6 +27,7 @@ disconnects source from destination.
 
 from __future__ import annotations
 
+import heapq
 from collections import deque
 from typing import Callable
 
@@ -40,10 +41,13 @@ __all__ = [
     "ecube_next_hop_avoiding",
     "fault_tolerant_path",
     "fault_tolerant_hops",
+    "cheapest_path",
+    "cheapest_hops",
     "RouteCache",
 ]
 
 LinkPredicate = Callable[[int, int], bool]
+LinkWeight = Callable[[int, int], float]
 
 
 def ecube_next_hop(current: int, dest: int) -> int:
@@ -174,6 +178,77 @@ def fault_tolerant_hops(
 
 
 # ---------------------------------------------------------------------------
+# Cost-aware routing (heterogeneous / degraded networks)
+# ---------------------------------------------------------------------------
+
+
+def cheapest_path(
+    topology,
+    src: int,
+    dest: int,
+    weight: LinkWeight,
+    alive: LinkPredicate | None = None,
+) -> list[int]:
+    """Deterministic minimum-cost route ``src -> dest`` under ``weight``.
+
+    Dijkstra over the (optionally ``alive``-filtered) topology with fully
+    deterministic tie-breaking: heap entries order by ``(distance, node)``
+    so equal-cost frontiers expand lowest-node-first, neighbours are
+    visited in the topology's order (ascending dimension on hypercubes),
+    and a node's parent only changes on a *strict* cost improvement — the
+    same inputs always yield the same path, which the simulator requires.
+
+    ``weight(u, v)`` must return the cost of traversing the directional
+    channel ``u -> v`` (the scenario layer passes the degraded cost of a
+    one-word hop, ``ts_factor·t_s + tw_factor·t_w``).  Raises
+    :class:`~repro.errors.UnreachableError` when ``alive`` disconnects the
+    pair.
+    """
+    if src == dest:
+        return [src]
+    dist: dict[int, float] = {src: 0.0}
+    parent: dict[int, int] = {src: src}
+    settled: set[int] = set()
+    heap: list[tuple[float, int]] = [(0.0, src)]
+    while heap:
+        d, node = heapq.heappop(heap)
+        if node in settled:
+            continue
+        if node == dest:
+            break
+        settled.add(node)
+        for nxt in topology.neighbors(node):
+            if nxt in settled:
+                continue
+            if alive is not None and not alive(node, nxt):
+                continue
+            nd = d + weight(node, nxt)
+            if nxt not in dist or nd < dist[nxt]:
+                dist[nxt] = nd
+                parent[nxt] = node
+                heapq.heappush(heap, (nd, nxt))
+    if dest not in parent:
+        raise UnreachableError(src, dest)
+    path = [dest]
+    while path[-1] != src:
+        path.append(parent[path[-1]])
+    path.reverse()
+    return path
+
+
+def cheapest_hops(
+    topology,
+    src: int,
+    dest: int,
+    weight: LinkWeight,
+    alive: LinkPredicate | None = None,
+) -> list[tuple[int, int]]:
+    """The (from, to) hop pairs of :func:`cheapest_path`."""
+    nodes = cheapest_path(topology, src, dest, weight, alive)
+    return list(zip(nodes[:-1], nodes[1:]))
+
+
+# ---------------------------------------------------------------------------
 # Route caching
 # ---------------------------------------------------------------------------
 
@@ -197,9 +272,19 @@ class RouteCache:
 
     The cache is scoped to whoever owns it (the engine builds one per
     run), so no staleness can leak between machines or fault plans.
+
+    Under a :class:`~repro.sim.scenario.NetworkScenario` the per-link cost
+    map is likewise piecewise-constant in time (cost windows open and close
+    at fixed edges — see :meth:`repro.sim.scenario.NetworkScenario.epoch`),
+    so :meth:`cheapest` memoizes cost-aware routes per
+    ``(src, dst, epoch-key)`` where the caller's epoch key combines every
+    epoch counter the weight/alive functions depend on — the scenario
+    epoch alone on a healthy machine, the ``(fault-epoch, scenario-epoch)``
+    pair when a fault plan is active too, so either kind of window edge
+    invalidates the cached route.
     """
 
-    __slots__ = ("topology", "_healthy", "_detours")
+    __slots__ = ("topology", "_healthy", "_detours", "_cheapest")
 
     def __init__(self, topology):
         self.topology = topology
@@ -207,6 +292,7 @@ class RouteCache:
         self._detours: dict[
             tuple[int, int, int], tuple[tuple[int, int], ...]
         ] = {}
+        self._cheapest: dict[tuple, tuple[tuple[int, int], ...]] = {}
 
     def healthy(self, src: int, dst: int) -> tuple[tuple[int, int], ...]:
         """The topology's native route ``src -> dst`` (cached, immutable)."""
@@ -232,4 +318,28 @@ class RouteCache:
         if hops is None:
             hops = tuple(fault_tolerant_hops(self.topology, src, dst, alive))
             self._detours[key] = hops
+        return hops
+
+    def cheapest(
+        self,
+        src: int,
+        dst: int,
+        weight: LinkWeight,
+        epoch,
+        alive: LinkPredicate | None = None,
+    ) -> tuple[tuple[int, int], ...]:
+        """The minimum-cost route ``src -> dst``, cached per epoch key.
+
+        ``weight`` (and ``alive``, when given) must be constant for the
+        lifetime of ``epoch`` — the caller derives the key from the same
+        scenario/fault plan that backs the functions, combining both epoch
+        counters when both layers are active.  Raises
+        :class:`~repro.errors.UnreachableError`, uncached, when ``alive``
+        disconnects the pair.
+        """
+        key = (src, dst, epoch)
+        hops = self._cheapest.get(key)
+        if hops is None:
+            hops = tuple(cheapest_hops(self.topology, src, dst, weight, alive))
+            self._cheapest[key] = hops
         return hops

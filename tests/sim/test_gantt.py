@@ -136,6 +136,44 @@ class TestGanttFaultMarks:
         assert "X node fail-stopped" not in art
 
 
+class TestDegradedLinkShading:
+    def _pingpong(self, cfg):
+        def prog(ctx):
+            if ctx.rank == 0:
+                yield from ctx.send(1, np.ones(20))
+            elif ctx.rank == 1:
+                yield from ctx.recv(0)
+            return None
+
+        return run_spmd(cfg, prog, trace=True)
+
+    def test_scenario_slowed_send_shaded(self):
+        from repro.sim import hotspot
+
+        cfg = CFG.with_scenario(hotspot(8, 0, 4.0))
+        res = self._pingpong(cfg)
+        lane = lane_activity(res.trace, 0, res.total_time, 60)
+        assert "%" in lane
+        assert "#" not in lane
+        art = render_gantt(res, width=40)
+        assert "% sending over a degraded link" in art
+
+    def test_fault_degraded_send_shaded(self):
+        plan = FaultPlan(seed=0).with_degraded_link(0, 1, factor=3.0)
+        res = self._pingpong(CFG.with_faults(plan))
+        lane = lane_activity(res.trace, 0, res.total_time, 60)
+        assert "%" in lane
+
+    def test_uniform_run_has_no_shading(self):
+        res = traced_run()
+        art = render_gantt(res, width=40)
+        assert "% sending over a degraded link" not in art
+        for rank in range(8):
+            assert "%" not in lane_activity(
+                res.trace, rank, res.total_time, 60
+            )
+
+
 class TestRecoveryMarks:
     def test_detect_and_recover_phases_get_their_own_glyphs(self):
         plan = FaultPlan(seed=1).with_node_failure(1, at=0.5)
