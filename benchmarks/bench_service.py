@@ -1,0 +1,120 @@
+"""Service overhead and determinism: SweepService vs direct run_grid.
+
+The crash-safe service wraps every sweep in a WAL journal, a supervised
+worker pool, and a content-addressed chunk cache.  That machinery must
+be (a) *correct* — the service's report digest is bit-identical to the
+direct evaluation path — and (b) *cheap* — journaling and chunk
+bookkeeping add bounded overhead on top of the actual simulation work.
+
+This bench times three configurations of the same sweep:
+
+* ``direct``   — in-process sequential evaluation (the floor),
+* ``service``  — cold SweepService run (journal + workers + cache),
+* ``resume``   — a second ``run_pending`` pass over the same state dir
+  (every chunk cached: pure journal-replay + finalize cost).
+
+Run directly for the CI service-smoke gate::
+
+    PYTHONPATH=src python benchmarks/bench_service.py --smoke
+
+which asserts digest equality and prints the overhead table.
+Written to ``benchmarks/results/service.txt``.
+"""
+
+from __future__ import annotations
+
+import shutil
+import sys
+import tempfile
+import time
+
+from _report import format_table, write_report
+
+PARAMS = {
+    "algorithms": ["cannon", "berntsen", "3dd", "3d_all"],
+    "variable": "n",
+    "values": [64.0, 128.0, 256.0, 512.0, 1024.0],
+    "p": 64.0,
+}
+
+
+def _direct_digest() -> tuple[str, float]:
+    from repro.service.jobs import build_cells, evaluate_chunk, finalize, make_spec
+
+    spec = make_spec("sweep", PARAMS)
+    cells = build_cells(spec)
+    start = time.perf_counter()
+    records = evaluate_chunk(spec.kind, spec.params, cells)
+    report = finalize(spec, records)
+    return report["digest"], time.perf_counter() - start
+
+
+def _service_run(state_dir, workers: int) -> tuple[str, float, float]:
+    """Returns (digest, cold_seconds, resume_seconds)."""
+    from repro.service import SweepService
+
+    start = time.perf_counter()
+    with SweepService(state_dir, workers=workers) as svc:
+        svc.submit("sweep", PARAMS)
+        report = svc.run_pending()[0]
+    cold = time.perf_counter() - start
+
+    # Warm pass: drop the job_done fact so the service re-finalizes the
+    # job purely from journal + cache (the resume path, no simulation).
+    segments = sorted((state_dir / "wal").glob("wal-*.jsonl"))
+    raw = segments[-1].read_bytes().splitlines(keepends=True)
+    segments[-1].write_bytes(b"".join(raw[:-1]))
+    start = time.perf_counter()
+    with SweepService(state_dir, workers=workers) as svc:
+        resumed = svc.run_pending()[0]
+    warm = time.perf_counter() - start
+    assert resumed["digest"] == report["digest"]
+    return report["digest"], cold, warm
+
+
+def main(argv=None) -> int:
+    import argparse
+    import pathlib
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="assert digest equality and bounded overhead (CI budget)",
+    )
+    parser.add_argument("--workers", type=int, default=2)
+    args = parser.parse_args(argv)
+
+    direct_digest, direct_s = _direct_digest()
+    tmp = pathlib.Path(tempfile.mkdtemp(prefix="bench-service-"))
+    try:
+        svc_digest, cold_s, warm_s = _service_run(tmp / "state", args.workers)
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+
+    rows = [
+        ["direct", f"{direct_s:.3f}s", "1.00x", direct_digest],
+        ["service (cold)", f"{cold_s:.3f}s",
+         f"{cold_s / direct_s:.2f}x", svc_digest],
+        ["service (resume)", f"{warm_s:.3f}s",
+         f"{warm_s / direct_s:.2f}x", svc_digest],
+    ]
+    text = format_table(
+        ["path", "wall", "vs direct", "digest"], rows,
+        title=f"Crash-safe service overhead ({args.workers} workers, "
+              f"{len(PARAMS['values'])}-point sweep)",
+    )
+    print(text)
+
+    if svc_digest != direct_digest:
+        print(
+            f"FAILED: service digest {svc_digest} != direct {direct_digest}",
+            file=sys.stderr,
+        )
+        return 1
+    if not args.smoke:
+        write_report("service", text + "\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

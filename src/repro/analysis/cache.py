@@ -321,6 +321,45 @@ class ResultCache:
             removed += 1
         return removed
 
+    def verify(
+        self, *, prune_tmp: bool = True, tmp_max_age_s: float = 3600.0
+    ) -> dict:
+        """Audit the store for crash debris; optionally remove it.
+
+        :meth:`put` writes to a ``<digest>.tmp.<pid>`` sibling and
+        renames it into place — a crash between those two steps leaves
+        an orphaned tmp file that no ``get`` will ever read.  ``verify``
+        finds such files and (with ``prune_tmp``) deletes the ones older
+        than ``tmp_max_age_s`` seconds; younger ones are assumed to
+        belong to a live concurrent writer and are only counted.  It
+        also counts corrupt ``.pkl`` entries (``prune`` deletes those).
+        The sweep service calls this on startup so a crashed predecessor
+        never leaks tmp files indefinitely.
+
+        Returns ``{"checked", "corrupt", "tmp_found", "tmp_removed"}``.
+        """
+        objects = self.root / "objects"
+        tmp_found = tmp_removed = 0
+        if objects.is_dir():
+            now = time.time()
+            for tmp in sorted(objects.glob("*/*.tmp.*")):
+                tmp_found += 1
+                try:
+                    age = now - tmp.stat().st_mtime
+                except OSError:
+                    continue
+                if prune_tmp and age >= tmp_max_age_s:
+                    tmp.unlink(missing_ok=True)
+                    tmp_removed += 1
+        entries = self._entries()
+        corrupt = sum(1 for p in entries if self._entry_kind(p) is None)
+        return {
+            "checked": len(entries),
+            "corrupt": corrupt,
+            "tmp_found": tmp_found,
+            "tmp_removed": tmp_removed,
+        }
+
     def prune(
         self,
         *,

@@ -57,6 +57,9 @@ __all__ = [
     "DegradationPoint",
     "scenario_for",
     "severity_sweep",
+    "sweep_cells",
+    "points_from_records",
+    "report_from_points",
     "degradation_report",
     "graceful_region_map",
     "format_degradation_table",
@@ -190,22 +193,61 @@ def severity_sweep(
     :class:`~repro.errors.ReproError` are recorded as failed cells, not
     propagated.
     """
+    cells = sweep_cells(
+        algorithms, n, p, severities,
+        profile=profile, scenario_seed=scenario_seed, seed=seed,
+        adaptive=adaptive, t_s=t_s, t_w=t_w, port_model=port_model,
+        max_events=max_events,
+    )
+    records = run_grid(_run_cell, cells, jobs=jobs)
+    return points_from_records(algorithms, records)
+
+
+def sweep_cells(
+    algorithms: list[str],
+    n: int,
+    p: int,
+    severities: list[float],
+    *,
+    profile: str = "random",
+    scenario_seed: int = 0,
+    seed: int = 0,
+    adaptive: bool = True,
+    t_s: float = 150.0,
+    t_w: float = 3.0,
+    port_model: PortModel = PortModel.ONE_PORT,
+    max_events: int = 5_000_000,
+) -> list[dict[str, Any]]:
+    """The plain-data grid cells behind :func:`severity_sweep`.
+
+    One grid evaluates baselines and sweep cells alike: the first
+    ``len(algorithms)`` cells are the severity-0 baselines (uniform
+    scenario by construction), followed by the (algorithm, severity)
+    sweep cells.  Exposed so external executors (the sweep service) can
+    shard exactly the same cells through :func:`_run_cell` and reassemble
+    with :func:`points_from_records`.
+    """
     base = {
         "n": n, "p": p, "profile": profile,
         "scenario_seed": scenario_seed, "seed": seed,
         "adaptive": adaptive, "t_s": t_s, "t_w": t_w,
         "port": port_model.value, "max_events": max_events,
     }
-    # One grid evaluates baselines and sweep cells alike: baseline cells
-    # are severity-0 (uniform scenario by construction).
     cells = [dict(base, algorithm=key, severity=0.0) for key in algorithms]
     cells += [
         dict(base, algorithm=key, severity=float(s))
         for key in algorithms
         for s in severities
     ]
-    records = run_grid(_run_cell, cells, jobs=jobs)
+    return cells
 
+
+def points_from_records(
+    algorithms: list[str], records: list[dict[str, Any]]
+) -> list[DegradationPoint]:
+    """Reassemble :func:`_run_cell` records (in :func:`sweep_cells` order)
+    into :class:`DegradationPoint` cells, threading each algorithm's
+    severity-0 baseline time into its sweep points."""
     baselines = {
         rec["algorithm"]: rec for rec in records[: len(algorithms)]
     }
@@ -262,6 +304,35 @@ def degradation_report(
         adaptive=adaptive, t_s=t_s, t_w=t_w, port_model=port_model,
         max_events=max_events, jobs=jobs,
     )
+    return report_from_points(
+        keys, points,
+        n=n, p=p, severities=severities, profile=profile,
+        scenario_seed=scenario_seed, seed=seed, adaptive=adaptive,
+        t_s=t_s, t_w=t_w, port_model=port_model,
+    )
+
+
+def report_from_points(
+    keys: list[str],
+    points: list[DegradationPoint],
+    *,
+    n: int,
+    p: int,
+    severities: list[float],
+    profile: str = "random",
+    scenario_seed: int = 0,
+    seed: int = 0,
+    adaptive: bool = True,
+    t_s: float = 150.0,
+    t_w: float = 3.0,
+    port_model: PortModel = PortModel.ONE_PORT,
+) -> dict[str, Any]:
+    """Assemble the ranking report from already-evaluated sweep points.
+
+    The single assembly path behind :func:`degradation_report` — external
+    executors (the sweep service) that evaluated the same cells reach the
+    identical report (and digest) through it.
+    """
     per_algo: dict[str, list[DegradationPoint]] = {k: [] for k in keys}
     for pt in points:
         per_algo[pt.algorithm].append(pt)

@@ -28,7 +28,7 @@ import os
 from concurrent.futures import ProcessPoolExecutor
 from typing import Callable, Iterable, Sequence, TypeVar
 
-__all__ = ["run_grid", "default_jobs"]
+__all__ = ["run_grid", "default_jobs", "resolve_jobs", "plan_chunks"]
 
 C = TypeVar("C")
 R = TypeVar("R")
@@ -66,6 +66,51 @@ def default_jobs() -> int:
     return max(1, visible // 2)
 
 
+def resolve_jobs(jobs: int | None) -> int:
+    """The effective worker count for one grid run, resolved exactly once.
+
+    ``None`` consults :func:`default_jobs` (and therefore ``REPRO_JOBS``)
+    *at this call*, so the environment is read one time per run and the
+    resolved value can be recorded (the sweep service journals it in the
+    chunk plan).  A later ``REPRO_JOBS`` change can never re-shard work
+    that was planned under the old value.  Explicit non-positive values
+    degrade to 1, matching :func:`run_grid`'s historical behaviour.
+    """
+    if jobs is None:
+        return default_jobs()
+    return max(1, int(jobs))
+
+
+def plan_chunks(
+    n_cells: int, jobs: int, chunk_size: int | None = None
+) -> list[tuple[int, int]]:
+    """Deterministic contiguous chunk boundaries for an ``n_cells`` grid.
+
+    Returns ``[(start, stop), ...]`` half-open index ranges covering
+    ``range(n_cells)`` in order.  The partition depends only on
+    ``(n_cells, jobs, chunk_size)`` — never on scheduling or worker
+    availability — so the same inputs always shard identically.  This is
+    the single source of truth for sharding: :func:`run_grid` splits its
+    cell list with it, and the sweep-service supervisor leases exactly
+    these ranges to workers (and journals them, so a resumed job re-uses
+    the recorded plan verbatim).
+
+    ``chunk_size=None`` targets about four chunks per worker — small
+    enough to balance load, large enough to amortize pickling.
+    """
+    if n_cells <= 0:
+        return []
+    jobs = max(1, jobs)
+    if chunk_size is None:
+        chunk_size = max(1, -(-n_cells // (jobs * 4)))
+    elif chunk_size < 1:
+        chunk_size = 1
+    return [
+        (i, min(i + chunk_size, n_cells))
+        for i in range(0, n_cells, chunk_size)
+    ]
+
+
 def _run_chunk(fn: Callable[[C], R], chunk: Sequence[C]) -> list[R]:
     """Evaluate one shard in a worker (module-level, hence picklable)."""
     return [fn(cell) for cell in chunk]
@@ -75,7 +120,7 @@ def run_grid(
     fn: Callable[[C], R],
     cells: Iterable[C],
     *,
-    jobs: int = 1,
+    jobs: int | None = 1,
     chunk_size: int | None = None,
 ) -> list[R]:
     """``[fn(c) for c in cells]``, optionally sharded over processes.
@@ -88,29 +133,29 @@ def run_grid(
     cells:
         The grid; consumed once, evaluated in order.
     jobs:
-        Worker processes.  ``<= 1`` evaluates inline with no pool and no
-        pickling requirement; ``0``/negative are treated as 1.
+        Worker processes.  ``None`` resolves :func:`default_jobs` exactly
+        once, here, and uses that fixed value for the whole run (a
+        mid-run ``REPRO_JOBS`` change cannot re-shard in-flight work);
+        ``<= 1`` evaluates inline with no pool and no pickling
+        requirement; ``0``/negative are treated as 1.
     chunk_size:
         Cells per shard.  Defaults to splitting the grid into about four
         chunks per worker — small enough to balance load, large enough to
-        amortize pickling.  The partition depends only on the cell count,
-        ``jobs``, and this value, never on scheduling, so results are
-        reproducible run to run.
+        amortize pickling.  The partition (:func:`plan_chunks`) depends
+        only on the cell count, ``jobs``, and this value, never on
+        scheduling, so results are reproducible run to run.
 
     Returns the results in cell order, identical to the sequential
     evaluation regardless of ``jobs``.
     """
     cell_list = list(cells)
+    jobs = resolve_jobs(jobs)
     if jobs <= 1 or len(cell_list) <= 1:
         return [fn(cell) for cell in cell_list]
     jobs = min(jobs, len(cell_list))
-    if chunk_size is None:
-        chunk_size = max(1, -(-len(cell_list) // (jobs * 4)))
-    elif chunk_size < 1:
-        chunk_size = 1
     chunks = [
-        cell_list[i: i + chunk_size]
-        for i in range(0, len(cell_list), chunk_size)
+        cell_list[start:stop]
+        for start, stop in plan_chunks(len(cell_list), jobs, chunk_size)
     ]
     out: list[R] = []
     with ProcessPoolExecutor(max_workers=jobs) as pool:

@@ -358,6 +358,14 @@ def _cmd_cache(args) -> int:
     if args.action == "clear":
         print(f"removed {cache.clear()} cache entr(ies) from {cache.root}")
         return 0
+    if args.action == "verify":
+        audit = cache.verify(prune_tmp=not args.keep_tmp)
+        print(f"cache root : {cache.root}")
+        print(f"checked    : {audit['checked']}")
+        print(f"corrupt    : {audit['corrupt']}")
+        print(f"tmp found  : {audit['tmp_found']}")
+        print(f"tmp removed: {audit['tmp_removed']}")
+        return 1 if audit["corrupt"] else 0
     removed = cache.prune(
         max_age_days=args.max_age_days, max_bytes=args.max_bytes
     )
@@ -474,6 +482,119 @@ def _cmd_degrade(args) -> int:
             return 1
         print(f"replay check OK: digest {report['digest']} invariant "
               f"across jobs={args.jobs} and jobs={alt_jobs}")
+    return 0
+
+
+def _service_params(args) -> dict:
+    """Collect the submitted job's parameters from parsed CLI args."""
+    import json as _json
+
+    params: dict = {}
+    if getattr(args, "params", None):
+        params.update(_json.loads(args.params))
+    for cli_name, key in getattr(args, "_param_map", ()):
+        value = getattr(args, cli_name, None)
+        if value is not None:
+            params[key] = value
+    if getattr(args, "no_adaptive", False):
+        params["adaptive"] = False
+    return params
+
+
+def _cmd_submit(args) -> int:
+    from repro.errors import ServiceOverloadError
+    from repro.service import SweepService
+
+    kind = args.kind.replace("-", "_")
+    try:
+        with SweepService(
+            args.state_dir,
+            max_pending=args.max_pending,
+            tenant_rate=args.tenant_rate,
+            tenant_burst=args.tenant_burst,
+        ) as svc:
+            job_id, coalesced = svc.submit(
+                kind, _service_params(args), tenant=args.tenant
+            )
+    except ServiceOverloadError as exc:
+        print(
+            f"overloaded: {exc.reason} — retry after {exc.retry_after:.2f}s",
+            file=sys.stderr,
+        )
+        return 75  # EX_TEMPFAIL: the client should back off and retry
+    note = " (coalesced with identical in-flight job)" if coalesced else ""
+    print(f"submitted {job_id} kind={kind}{note}")
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    from repro.service import InjectedServiceCrash, SweepService
+    from repro.service.chaos import parse_injections
+
+    inject = parse_injections(args.inject or [])
+    with SweepService(
+        args.state_dir,
+        workers=args.workers,
+        chunk_size=args.chunk_size,
+        chunk_deadline_s=args.chunk_deadline,
+        max_attempts=args.max_attempts,
+        backoff_base_s=args.backoff_base,
+        inject=None if inject.is_noop() else inject,
+    ) as svc:
+        for warning in svc.warnings:
+            print(f"warning: {warning}", file=sys.stderr)
+        pending = svc.pending_jobs()
+        if not pending:
+            print("no pending jobs")
+            return 0
+        try:
+            svc.run_pending()
+        except InjectedServiceCrash as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 70  # EX_SOFTWARE: simulated supervisor death
+        for job in svc.jobs_by_id.values():
+            if job.status in ("pending",):
+                continue
+            print(
+                f"job {job.id} {job.kind} {job.status} digest={job.digest} "
+                f"retries={job.retries} leases={job.leases} "
+                f"quarantined={sorted(job.quarantined)}"
+            )
+    return 0
+
+
+def _cmd_jobs(args) -> int:
+    import json as _json
+
+    from repro.service import SweepService
+
+    with SweepService(args.state_dir, read_only=True) as svc:
+        payload = svc.jobs()
+    if args.json:
+        print(_json.dumps(payload, indent=2, default=repr))
+        return 0
+    for warning in payload["warnings"]:
+        print(f"warning: {warning}", file=sys.stderr)
+    if not payload["jobs"]:
+        print("no jobs")
+        return 0
+    for job in payload["jobs"]:
+        total = job["chunks_total"]
+        progress = (
+            f"{job['chunks_done']}/{total}" if total is not None else "-"
+        )
+        print(
+            f"{job['id']}  {job['kind']:10s} {job['tenant']:10s} "
+            f"{job['status']:9s} chunks={progress:8s} "
+            f"digest={job['digest'] or '-':16s} retries={job['retries']}"
+        )
+    c = payload["counters"]
+    print(
+        f"counters: submitted={c['submitted']} coalesced={c['coalesced']} "
+        f"sheds={c['sheds']} retries={c['retries']} leases={c['leases']} "
+        f"quarantined={c['quarantined']} worker_deaths={c['worker_deaths']} "
+        f"lease_expiries={c['lease_expiries']}"
+    )
     return 0
 
 
@@ -725,7 +846,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_ca = sub.add_parser(
         "cache", help="inspect or maintain the persistent result cache"
     )
-    p_ca.add_argument("action", choices=["stats", "clear", "prune"])
+    p_ca.add_argument("action", choices=["stats", "clear", "prune", "verify"])
+    p_ca.add_argument(
+        "--keep-tmp", action="store_true",
+        help="verify: report orphaned tmp files without removing them",
+    )
     p_ca.add_argument(
         "--cache-dir", default=None,
         help="cache directory (default: $REPRO_CACHE_DIR or "
@@ -749,6 +874,127 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-figures", action="store_true", help="skip the region maps"
     )
     p_rep.set_defaults(func=_cmd_report)
+
+    # -- crash-safe sweep service -------------------------------------------
+
+    def _add_state_dir(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--state-dir", required=True,
+            help="service state directory (journal, cache, results)",
+        )
+
+    p_sub = sub.add_parser(
+        "submit", help="queue a job on the crash-safe sweep service"
+    )
+    _add_state_dir(p_sub)
+    p_sub.add_argument("--tenant", default="default")
+    p_sub.add_argument("--max-pending", type=int, default=32)
+    p_sub.add_argument("--tenant-rate", type=float, default=2.0)
+    p_sub.add_argument("--tenant-burst", type=float, default=8.0)
+    kind_sub = p_sub.add_subparsers(dest="kind", required=True)
+
+    def _kind_parser(name: str, help_: str) -> argparse.ArgumentParser:
+        p = kind_sub.add_parser(name, help=help_)
+        p.add_argument(
+            "--params", default=None,
+            help="extra job parameters as a JSON object (flags win)",
+        )
+        p.set_defaults(func=_cmd_submit)
+        return p
+
+    p_k = _kind_parser("sweep", "parameter sweep over n/p/t_s/t_w")
+    p_k.add_argument("variable", choices=["n", "p", "t_s", "t_w"])
+    p_k.add_argument("--values", nargs="+", type=float, required=True)
+    p_k.add_argument("--algorithms", nargs="*", choices=sorted(ALGORITHMS))
+    p_k.add_argument("-n", type=float, default=None)
+    p_k.add_argument("-p", type=float, default=None)
+    p_k.add_argument("--ts", type=float, default=None)
+    p_k.add_argument("--tw", type=float, default=None)
+    p_k.add_argument("--port", choices=["one", "multi"], default=None)
+    p_k.set_defaults(_param_map=[
+        ("variable", "variable"), ("values", "values"),
+        ("algorithms", "algorithms"), ("n", "n"), ("p", "p"),
+        ("ts", "t_s"), ("tw", "t_w"), ("port", "port"),
+    ])
+
+    p_k = _kind_parser("region-map", "best-algorithm region map")
+    p_k.add_argument("--log2-n-max", type=int, default=None)
+    p_k.add_argument("--log2-p-max", type=int, default=None)
+    p_k.add_argument("--algorithms", nargs="*", choices=sorted(ALGORITHMS))
+    p_k.add_argument("--ts", type=float, default=None)
+    p_k.add_argument("--tw", type=float, default=None)
+    p_k.add_argument("--port", choices=["one", "multi"], default=None)
+    p_k.set_defaults(_param_map=[
+        ("log2_n_max", "log2_n_max"), ("log2_p_max", "log2_p_max"),
+        ("algorithms", "algorithms"), ("ts", "t_s"), ("tw", "t_w"),
+        ("port", "port"),
+    ])
+
+    p_k = _kind_parser("degrade", "graceful-degradation severity report")
+    p_k.add_argument("-n", type=int, default=None)
+    p_k.add_argument("-p", type=int, default=None)
+    p_k.add_argument("--severities", nargs="+", type=float, default=None)
+    p_k.add_argument(
+        "--profile", default=None,
+        choices=["uniform", "random", "hotspot", "dimension", "background"],
+    )
+    p_k.add_argument("--scenario-seed", type=int, default=None)
+    p_k.add_argument("--seed", type=int, default=None)
+    p_k.add_argument("--no-adaptive", action="store_true")
+    p_k.add_argument("--algorithms", nargs="*", choices=sorted(ALGORITHMS))
+    p_k.set_defaults(_param_map=[
+        ("n", "n"), ("p", "p"), ("severities", "severities"),
+        ("profile", "profile"), ("scenario_seed", "scenario_seed"),
+        ("seed", "seed"), ("algorithms", "algorithms"),
+    ])
+
+    p_k = _kind_parser("chaos", "seeded fault-injection campaign")
+    p_k.add_argument("--trials", type=int, default=None)
+    p_k.add_argument("--seed", type=int, default=None)
+    p_k.add_argument(
+        "--stack", default=None,
+        choices=["none", "reliable", "integrity", "protected"],
+    )
+    p_k.add_argument("--algorithm", choices=sorted(ALGORITHMS), default=None)
+    p_k.add_argument("-n", type=int, default=None)
+    p_k.add_argument("-p", type=int, default=None)
+    p_k.add_argument("--severity", type=float, default=None)
+    p_k.add_argument("--scenario-seed", type=int, default=None)
+    p_k.set_defaults(_param_map=[
+        ("trials", "trials"), ("seed", "seed"), ("stack", "stack"),
+        ("algorithm", "algorithm"), ("n", "n"), ("p", "p"),
+        ("severity", "severity"), ("scenario_seed", "scenario_seed"),
+    ])
+
+    p_sv = sub.add_parser(
+        "serve", help="execute pending service jobs (resumes from the journal)"
+    )
+    _add_state_dir(p_sv)
+    p_sv.add_argument(
+        "--workers", type=int, default=None,
+        help="worker processes (default: $REPRO_JOBS or CPU count)",
+    )
+    p_sv.add_argument("--chunk-size", type=int, default=None)
+    p_sv.add_argument(
+        "--chunk-deadline", type=float, default=30.0,
+        help="per-chunk lease deadline in seconds",
+    )
+    p_sv.add_argument("--max-attempts", type=int, default=3)
+    p_sv.add_argument("--backoff-base", type=float, default=0.05)
+    p_sv.add_argument(
+        "--inject", action="append", default=None, metavar="SPEC",
+        help="fault injection: kill-worker:K, stall-worker:K, "
+             "poison-chunk:K, crash-service:K, corrupt-journal-tail "
+             "(repeatable)",
+    )
+    p_sv.set_defaults(func=_cmd_serve)
+
+    p_jb = sub.add_parser(
+        "jobs", help="inspect service jobs and robustness counters"
+    )
+    _add_state_dir(p_jb)
+    p_jb.add_argument("--json", action="store_true")
+    p_jb.set_defaults(func=_cmd_jobs)
 
     return parser
 

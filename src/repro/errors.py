@@ -23,6 +23,9 @@ __all__ = [
     "AlgorithmError",
     "NotApplicableError",
     "ModelError",
+    "ServiceError",
+    "ServiceOverloadError",
+    "JournalCorruptError",
 ]
 
 
@@ -265,3 +268,47 @@ class NotApplicableError(AlgorithmError):
 
 class ModelError(ReproError):
     """Analytic cost-model misuse (e.g. evaluating outside a model's domain)."""
+
+
+class ServiceError(ReproError):
+    """Failures in the durable sweep-execution service layer."""
+
+
+class ServiceOverloadError(ServiceError):
+    """The service shed a request instead of queueing it unboundedly.
+
+    Raised by the admission controller when the pending-job queue is full
+    or a tenant's token bucket is empty.  ``retry_after`` is the caller's
+    hint: seconds to wait before the request would plausibly be admitted.
+    Shedding is deliberate — the alternative is unbounded memory growth
+    and eventual collapse under a burst.
+    """
+
+    def __init__(self, reason: str, retry_after: float, tenant: str = "default"):
+        self.reason = reason
+        self.retry_after = float(retry_after)
+        self.tenant = tenant
+        super().__init__(
+            f"service overloaded ({reason}); tenant {tenant!r} should retry "
+            f"after {self.retry_after:.2f}s"
+        )
+
+
+class JournalCorruptError(ServiceError):
+    """The write-ahead journal is corrupt somewhere other than its tail.
+
+    A torn *final* record is expected after a crash and is dropped with a
+    warning; a CRC mismatch or unparsable record in the *middle* of the
+    journal means history itself is untrustworthy, so replay fails loudly
+    instead of resuming from a lie.  Carries the segment file and
+    1-based line number of the offending record.
+    """
+
+    def __init__(self, segment: str, line: int, detail: str = ""):
+        self.segment = segment
+        self.line = line
+        extra = f": {detail}" if detail else ""
+        super().__init__(
+            f"journal corrupt at {segment}:{line} (not the tail — refusing "
+            f"to resume from damaged history){extra}"
+        )

@@ -1,0 +1,194 @@
+"""Fault-injection hooks for the sweep service itself.
+
+The simulator's robustness is tested by seeded fault plans; the service
+that *runs* the simulator deserves the same treatment.  A
+:class:`ChaosPolicy` describes deterministic, replayable injections into
+the host-side execution path:
+
+``kill-worker:K``
+    The worker process leased chunk ``K`` calls ``os._exit`` the first
+    time it starts that chunk (attempt 1 only) — a hard crash with no
+    cleanup, exactly what OOM killers and segfaults look like from the
+    supervisor's side.
+``stall-worker:K``
+    The worker sleeps past any reasonable deadline on its first attempt
+    at chunk ``K`` — a hang.  The supervisor must detect the expired
+    lease, kill the worker, and re-lease the chunk.
+``poison-chunk:K``
+    The worker crashes on *every* attempt at chunk ``K`` — a chunk that
+    can never complete.  Exercises the quarantine path: after
+    ``max_attempts`` the chunk is surfaced in the report instead of
+    hanging the sweep forever.
+``crash-service:K``
+    The *service* process raises :class:`InjectedServiceCrash`
+    immediately after journaling the ``K``-th chunk completion — the
+    moral equivalent of ``kill -9`` on the supervisor with the journal
+    intact.  A subsequent ``repro serve`` must resume exactly the
+    unfinished chunks.
+``corrupt-journal-tail``
+    Before replay, flip bytes in the last record of the journal —
+    simulating a torn/bit-rotted tail.  The service must drop the tail
+    record with a warning and recover (idempotently recomputing or
+    re-finalizing whatever the lost record described).
+
+Because kill/stall injections fire only on attempt 1 (and the retry path
+recomputes the identical pure cells), a run that survives them must
+produce a report digest bit-identical to an undisturbed run — the
+service-level analogue of the simulator's replay-determinism gates.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field
+
+from repro.errors import ServiceError
+
+__all__ = [
+    "ChaosPolicy",
+    "InjectedServiceCrash",
+    "parse_injections",
+    "worker_chaos_hook",
+    "KILLED_EXIT_CODE",
+]
+
+#: exit status an injected worker kill uses (mimics SIGKILL's 128+9)
+KILLED_EXIT_CODE = 137
+
+
+class InjectedServiceCrash(ServiceError):
+    """The ``crash-service:K`` injection fired (simulated supervisor death)."""
+
+    def __init__(self, after_chunks: int):
+        self.after_chunks = after_chunks
+        super().__init__(
+            f"injected service crash after {after_chunks} journaled chunk "
+            f"completion(s) — restart `repro serve` to resume from the journal"
+        )
+
+
+@dataclass(frozen=True)
+class ChaosPolicy:
+    """Deterministic injection plan for one service run (picklable —
+    worker processes receive it at spawn)."""
+
+    kill_at_chunks: frozenset = frozenset()
+    stall_at_chunks: frozenset = frozenset()
+    poison_chunks: frozenset = frozenset()
+    crash_after_chunks: int | None = None
+    corrupt_journal_tail: bool = False
+    stall_seconds: float = 60.0
+    injections: tuple = field(default=())  # original specs, for reports
+
+    def is_noop(self) -> bool:
+        return (
+            not self.kill_at_chunks
+            and not self.stall_at_chunks
+            and not self.poison_chunks
+            and self.crash_after_chunks is None
+            and not self.corrupt_journal_tail
+        )
+
+
+def parse_injections(specs: list[str] | tuple[str, ...]) -> ChaosPolicy:
+    """Build a :class:`ChaosPolicy` from ``--inject`` CLI specs.
+
+    Unknown kinds or malformed chunk indices raise
+    :class:`~repro.errors.ServiceError` (fail at parse time, not
+    mid-sweep).
+    """
+    kill: set[int] = set()
+    stall: set[int] = set()
+    poison: set[int] = set()
+    crash_after: int | None = None
+    corrupt_tail = False
+    for spec in specs:
+        kind, _, arg = spec.partition(":")
+        if kind == "corrupt-journal-tail":
+            if arg:
+                raise ServiceError(
+                    f"corrupt-journal-tail takes no argument, got {spec!r}"
+                )
+            corrupt_tail = True
+            continue
+        try:
+            value = int(arg)
+        except ValueError:
+            raise ServiceError(
+                f"injection {spec!r} needs an integer chunk index"
+            ) from None
+        if value < 0:
+            raise ServiceError(f"injection {spec!r}: chunk index must be >= 0")
+        if kind == "kill-worker":
+            kill.add(value)
+        elif kind == "stall-worker":
+            stall.add(value)
+        elif kind == "poison-chunk":
+            poison.add(value)
+        elif kind == "crash-service":
+            crash_after = value
+        else:
+            raise ServiceError(
+                f"unknown injection kind {kind!r} (expected kill-worker, "
+                f"stall-worker, poison-chunk, crash-service or "
+                f"corrupt-journal-tail)"
+            )
+    return ChaosPolicy(
+        kill_at_chunks=frozenset(kill),
+        stall_at_chunks=frozenset(stall),
+        poison_chunks=frozenset(poison),
+        crash_after_chunks=crash_after,
+        corrupt_journal_tail=corrupt_tail,
+        injections=tuple(specs),
+    )
+
+
+def worker_chaos_hook(
+    policy: ChaosPolicy | None, chunk_id: int, attempt: int
+) -> None:
+    """Called by a worker right after it leases ``chunk_id``.
+
+    Implements the worker-side injections; a ``None`` policy is a no-op
+    (the production path pays one ``is None`` check).
+    """
+    if policy is None:
+        return
+    if chunk_id in policy.poison_chunks:
+        os._exit(KILLED_EXIT_CODE)
+    if attempt == 1 and chunk_id in policy.kill_at_chunks:
+        os._exit(KILLED_EXIT_CODE)
+    if attempt == 1 and chunk_id in policy.stall_at_chunks:
+        # Sleep "forever" in small slices; the supervisor SIGKILLs this
+        # worker once the chunk's lease expires.
+        deadline = time.monotonic() + policy.stall_seconds
+        while time.monotonic() < deadline:
+            time.sleep(0.05)
+
+
+def corrupt_tail_bytes(path, nbytes: int = 8) -> bool:
+    """Flip the last ``nbytes`` payload bytes of ``path`` (chaos helper).
+
+    Returns ``False`` when the file is missing/empty.  XOR with 0x5A
+    guarantees the bytes actually change, so the tail record's CRC (or
+    its JSON framing) no longer verifies.
+    """
+    try:
+        with open(path, "r+b") as fh:
+            fh.seek(0, os.SEEK_END)
+            size = fh.tell()
+            if size <= 1:
+                return False
+            # Skip the trailing newline so the damage lands in the record.
+            start = max(0, size - 1 - nbytes)
+            fh.seek(start)
+            chunk = fh.read(nbytes)
+            fh.seek(start)
+            # Never turn a payload byte into "\n": that would split the
+            # record and relocate the damage to mid-file (unrecoverable)
+            # instead of the tail (recoverable), which is what this hook
+            # is meant to simulate.
+            fh.write(bytes(0x0B if b ^ 0x5A == 0x0A else b ^ 0x5A for b in chunk))
+        return True
+    except OSError:
+        return False

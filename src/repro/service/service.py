@@ -1,0 +1,531 @@
+"""The durable sweep service: submit / execute / inspect, crash-safely.
+
+:class:`SweepService` ties the subsystem together around a state
+directory::
+
+    <state>/wal/        write-ahead journal (facts, before actions)
+    <state>/cache/      content-addressed chunk + result payloads
+    <state>/results/    one JSON report per completed job
+    <state>/LOCK        single-writer guard (pid; stale locks are stolen)
+
+The contract, end to end:
+
+* ``submit`` runs the admission gauntlet (bounded queue, per-tenant
+  token bucket), **coalesces** submissions whose content-addressed task
+  key matches a job already pending or running (one in-flight
+  computation, many waiters), journals the accepted submission, and
+  returns a job id — it never executes anything.
+* ``run_pending`` executes journaled-but-unfinished jobs in submission
+  order: the chunk plan is journaled *before* the first lease (a
+  resumed job re-uses the recorded plan even if ``REPRO_JOBS`` changed
+  meanwhile), every completed chunk's records go to the content-
+  addressed cache *before* the completion fact is journaled, and the
+  supervisor re-leases chunks across worker deaths, hangs, and
+  quarantines.
+* a killed service (crash, power cut, ``crash-service`` injection)
+  restarts, replays the journal, and resumes **exactly** the unfinished
+  chunks — completed chunk payloads come back from the cache, so the
+  final report digest is bit-identical to an undisturbed run.
+
+Everything the robustness machinery counts (retries, expiries, sheds,
+coalesces) is surfaced by :meth:`jobs` and deliberately excluded from
+every report digest.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.analysis.cache import ResultCache, task_digest
+from repro.analysis.parallel import plan_chunks, resolve_jobs
+from repro.errors import ServiceError, ServiceOverloadError
+from repro.service.admission import AdmissionController
+from repro.service.chaos import (
+    ChaosPolicy,
+    InjectedServiceCrash,
+    corrupt_tail_bytes,
+)
+from repro.service.jobs import JobSpec, build_cells, finalize, make_spec
+from repro.service.journal import Journal
+from repro.service.supervisor import Supervisor
+
+__all__ = ["SweepService", "JobState"]
+
+
+@dataclass
+class JobState:
+    """Replayed state of one job (everything ``repro jobs`` shows)."""
+
+    id: str
+    key: str
+    kind: str
+    params: dict
+    tenant: str
+    submitted_ts: float
+    status: str = "pending"  # pending | running | done | degraded | failed
+    plan: list[list[int]] | None = None
+    planned_workers: int | None = None
+    cells: int | None = None
+    done_chunks: set = field(default_factory=set)
+    quarantined: set = field(default_factory=set)
+    digest: str | None = None
+    error: str | None = None
+    coalesced: int = 0
+    retries: int = 0
+    leases: int = 0
+
+    def summary(self) -> dict[str, Any]:
+        total = len(self.plan) if self.plan is not None else None
+        return {
+            "id": self.id,
+            "kind": self.kind,
+            "tenant": self.tenant,
+            "status": self.status,
+            "key": self.key[:16],
+            "chunks_done": len(self.done_chunks),
+            "chunks_total": total,
+            "quarantined": sorted(self.quarantined),
+            "digest": self.digest,
+            "coalesced": self.coalesced,
+            "retries": self.retries,
+            "leases": self.leases,
+            "error": self.error,
+        }
+
+
+class SweepService:
+    """Crash-safe executor for sweep / region-map / degrade / chaos jobs."""
+
+    #: cache kind namespacing per-chunk payloads
+    CHUNK_KIND = "service_chunk"
+    #: cache kind namespacing whole-job reports
+    REPORT_KIND = "service_report"
+
+    def __init__(
+        self,
+        state_dir: str | os.PathLike,
+        *,
+        workers: int | None = None,
+        chunk_size: int | None = None,
+        chunk_deadline_s: float = 30.0,
+        max_attempts: int = 3,
+        backoff_base_s: float = 0.05,
+        max_pending: int = 32,
+        tenant_rate: float | None = 2.0,
+        tenant_burst: float = 8.0,
+        inject: ChaosPolicy | None = None,
+        read_only: bool = False,
+        clock=time.time,
+    ):
+        self.state_dir = pathlib.Path(state_dir)
+        self.workers = workers
+        self.chunk_size = chunk_size
+        self.chunk_deadline_s = float(chunk_deadline_s)
+        self.max_attempts = int(max_attempts)
+        self.backoff_base_s = float(backoff_base_s)
+        self.inject = inject
+        self.read_only = read_only
+        self.clock = clock
+        self._lock_fd: int | None = None
+
+        if not read_only:
+            self._acquire_lock()
+        self.journal = Journal(self.state_dir / "wal")
+        if inject is not None and inject.corrupt_journal_tail:
+            # Chaos hook: bit-rot the journal tail *before* replay, as a
+            # real torn write would present itself.
+            segs = self.journal.segments()
+            if segs:
+                corrupt_tail_bytes(segs[-1])
+        self.cache = ResultCache(self.state_dir / "cache")
+        self.admission = AdmissionController(
+            max_pending=max_pending,
+            tenant_rate=tenant_rate,
+            tenant_burst=tenant_burst,
+        )
+        self.warnings: list[str] = []
+        self.jobs_by_id: dict[str, JobState] = {}
+        self.counters: dict[str, int] = {
+            "submitted": 0, "coalesced": 0, "sheds": 0,
+            "retries": 0, "leases": 0, "quarantined": 0,
+            "worker_deaths": 0, "lease_expiries": 0,
+        }
+        self._replay()
+        if not read_only:
+            # Crash debris audit: a predecessor killed between tmp-write
+            # and rename must not leak files forever.
+            audit = self.cache.verify(prune_tmp=True)
+            if audit["tmp_found"]:
+                self.warnings.append(
+                    f"cache verify: {audit['tmp_found']} orphaned tmp "
+                    f"file(s), removed {audit['tmp_removed']}"
+                )
+            if audit["corrupt"]:
+                self.warnings.append(
+                    f"cache verify: {audit['corrupt']} corrupt cache "
+                    f"entr(ies) (run `repro cache prune`)"
+                )
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def _acquire_lock(self) -> None:
+        """Single-writer guard with stale-lock recovery."""
+        self.state_dir.mkdir(parents=True, exist_ok=True)
+        lock = self.state_dir / "LOCK"
+        for _ in range(2):
+            try:
+                fd = os.open(lock, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+                os.write(fd, str(os.getpid()).encode())
+                self._lock_fd = fd
+                return
+            except FileExistsError:
+                try:
+                    pid = int(lock.read_text() or "0")
+                except (OSError, ValueError):
+                    pid = 0
+                if pid > 0 and _pid_alive(pid):
+                    raise ServiceError(
+                        f"service state {self.state_dir} is locked by live "
+                        f"pid {pid} (one writer at a time)"
+                    ) from None
+                # Stale lock from a crashed predecessor: steal it.
+                lock.unlink(missing_ok=True)
+        raise ServiceError(f"could not acquire lock {lock}")
+
+    def close(self) -> None:
+        self.journal.close()
+        if self._lock_fd is not None:
+            os.close(self._lock_fd)
+            (self.state_dir / "LOCK").unlink(missing_ok=True)
+            self._lock_fd = None
+
+    def __enter__(self) -> "SweepService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- journal replay -----------------------------------------------------
+
+    def _replay(self) -> None:
+        records, warnings = self.journal.replay()
+        self.warnings.extend(warnings)
+        for rec in records:
+            t = rec.get("t")
+            if t == "submit":
+                state = JobState(
+                    id=rec["job"], key=rec["key"], kind=rec["kind"],
+                    params=rec["params"], tenant=rec.get("tenant", "default"),
+                    submitted_ts=rec.get("ts", 0.0),
+                )
+                self.jobs_by_id[state.id] = state
+                self.counters["submitted"] += 1
+                # Rebuild the tenant's token-bucket history so a service
+                # restart does not refill everyone's burst for free.
+                self.admission.bucket(state.tenant).try_take(
+                    rec.get("ts", 0.0)
+                )
+                continue
+            if t == "shed":
+                self.counters["sheds"] += 1
+                self.admission.sheds += 1
+                continue
+            job = self.jobs_by_id.get(rec.get("job", ""))
+            if job is None:
+                continue
+            if t == "coalesce":
+                job.coalesced += 1
+                self.counters["coalesced"] += 1
+            elif t == "plan":
+                job.plan = [list(c) for c in rec["chunks"]]
+                job.planned_workers = rec.get("workers")
+                job.cells = rec.get("cells")
+                job.status = "running"
+            elif t == "lease":
+                job.leases += 1
+                self.counters["leases"] += 1
+            elif t == "retry":
+                job.retries += 1
+                self.counters["retries"] += 1
+                if rec.get("reason") == "worker-died":
+                    self.counters["worker_deaths"] += 1
+                elif rec.get("reason") == "lease-expired":
+                    self.counters["lease_expiries"] += 1
+            elif t == "done":
+                job.done_chunks.add(int(rec["chunk"]))
+            elif t == "quarantine":
+                job.quarantined.add(int(rec["chunk"]))
+                self.counters["quarantined"] += 1
+            elif t == "job_done":
+                job.digest = rec.get("digest")
+                job.status = "degraded" if rec.get("quarantined") else "done"
+            elif t == "job_failed":
+                job.status = "failed"
+                job.error = rec.get("error")
+
+    # -- submission ---------------------------------------------------------
+
+    def pending_jobs(self) -> list[JobState]:
+        """Unfinished jobs in submission (= journal) order."""
+        return [
+            job for job in self.jobs_by_id.values()
+            if job.status in ("pending", "running")
+        ]
+
+    def submit(
+        self, kind: str, params: dict, *, tenant: str = "default"
+    ) -> tuple[str, bool]:
+        """Admit one job; returns ``(job_id, coalesced)``.
+
+        Raises :class:`~repro.errors.ServiceOverloadError` (after
+        journaling the shed) when admission declines.  A submission
+        whose task key matches a pending/running job attaches to it
+        instead of queueing duplicate work.
+        """
+        if self.read_only:
+            raise ServiceError("service opened read-only")
+        spec = make_spec(kind, params)
+        key = spec.key()
+        now = float(self.clock())
+        for job in self.pending_jobs():
+            if job.key == key:
+                job.coalesced += 1
+                self.counters["coalesced"] += 1
+                self.journal.append({
+                    "t": "coalesce", "job": job.id, "tenant": tenant,
+                    "ts": now,
+                })
+                return job.id, True
+        try:
+            self.admission.admit(tenant, len(self.pending_jobs()), now)
+        except ServiceOverloadError as exc:
+            self.counters["sheds"] += 1
+            self.journal.append({
+                "t": "shed", "tenant": tenant, "reason": exc.reason,
+                "retry_after": exc.retry_after, "ts": now,
+            })
+            raise
+        job_id = self._next_job_id()
+        self.journal.append({
+            "t": "submit", "job": job_id, "key": key, "kind": spec.kind,
+            "params": spec.params, "tenant": tenant, "ts": now,
+        })
+        state = JobState(
+            id=job_id, key=key, kind=spec.kind, params=spec.params,
+            tenant=tenant, submitted_ts=now,
+        )
+        self.jobs_by_id[job_id] = state
+        self.counters["submitted"] += 1
+        return job_id, False
+
+    def _next_job_id(self) -> str:
+        top = 0
+        for job_id in self.jobs_by_id:
+            try:
+                top = max(top, int(job_id.lstrip("j")))
+            except ValueError:
+                continue
+        return f"j{top + 1:06d}"
+
+    # -- execution ----------------------------------------------------------
+
+    def run_pending(self) -> list[dict]:
+        """Execute every unfinished job in submission order.
+
+        Returns the completed reports.  An
+        :class:`~repro.service.chaos.InjectedServiceCrash` propagates
+        (that is the point of the injection); per-job *task* errors mark
+        the job failed and execution moves on.
+        """
+        if self.read_only:
+            raise ServiceError("service opened read-only")
+        reports = []
+        for job in list(self.pending_jobs()):
+            try:
+                reports.append(self._execute(job))
+            except InjectedServiceCrash:
+                raise
+            except ServiceError as exc:
+                job.status = "failed"
+                job.error = str(exc)
+                self.journal.append({
+                    "t": "job_failed", "job": job.id, "error": str(exc),
+                })
+        return reports
+
+    def _chunk_descriptor(self, job: JobState, chunk: int) -> dict:
+        return {"job_key": job.key, "chunk": chunk, "plan": job.plan}
+
+    def _chunk_cache_key(self, job: JobState, chunk: int) -> str:
+        return task_digest(self.cache._envelope(
+            self.CHUNK_KIND, self._chunk_descriptor(job, chunk)
+        ))
+
+    def _execute(self, job: JobState) -> dict:
+        spec = JobSpec(kind=job.kind, params=job.params)
+        cells = build_cells(spec)
+
+        if job.plan is None:
+            # First execution: resolve the worker count *now*, derive the
+            # chunk plan from it, and journal both before leasing
+            # anything.  A resume re-uses this exact plan — environment
+            # changes (REPRO_JOBS) can never re-shard recorded work.
+            workers = resolve_jobs(self.workers)
+            plan = plan_chunks(len(cells), workers, self.chunk_size)
+            job.plan = [list(c) for c in plan]
+            job.planned_workers = workers
+            job.cells = len(cells)
+            job.status = "running"
+            self.journal.append({
+                "t": "plan", "job": job.id, "cells": len(cells),
+                "chunks": job.plan, "workers": workers,
+                "chunk_deadline_s": self.chunk_deadline_s,
+                "max_attempts": self.max_attempts,
+            })
+        elif job.cells is not None and job.cells != len(cells):
+            raise ServiceError(
+                f"job {job.id}: journaled plan covers {job.cells} cells but "
+                f"the task now builds {len(cells)} — the engine or task "
+                f"definition changed under a live job; resubmit it"
+            )
+        plan = [tuple(c) for c in job.plan]
+
+        # Resume: chunks the journal says are done come back from the
+        # content-addressed cache.  A missing/pruned payload simply
+        # demotes the chunk to "not done" — recomputing is idempotent.
+        records_by_chunk: dict[int, list | None] = {}
+        for chunk in sorted(job.done_chunks):
+            payload = self.cache.get(
+                self.CHUNK_KIND, self._chunk_descriptor(job, chunk),
+                default=None,
+            )
+            if payload is not None:
+                records_by_chunk[chunk] = payload
+            else:
+                self.warnings.append(
+                    f"{job.id}: journaled chunk {chunk} payload missing "
+                    f"from cache — recomputing (idempotent)"
+                )
+        for chunk in job.quarantined:
+            records_by_chunk.setdefault(chunk, None)
+
+        crash_after = None
+        if self.inject is not None and self.inject.crash_after_chunks is not None:
+            crash_after = max(1, self.inject.crash_after_chunks)
+        completed_this_run = 0
+
+        def on_chunk_done(chunk: int, records: list) -> None:
+            nonlocal completed_this_run
+            # Cache first, journal second: if we die between the two the
+            # journal simply lacks the fact and the chunk recomputes into
+            # the same content address.
+            self.cache.put(
+                self.CHUNK_KIND, self._chunk_descriptor(job, chunk), records
+            )
+            self.journal.append({
+                "t": "done", "job": job.id, "chunk": chunk,
+                "cache": self._chunk_cache_key(job, chunk),
+            })
+            job.done_chunks.add(chunk)
+            records_by_chunk[chunk] = records
+            completed_this_run += 1
+            if crash_after is not None and completed_this_run >= crash_after:
+                raise InjectedServiceCrash(completed_this_run)
+
+        def on_event(event: dict) -> None:
+            body = dict(event)
+            body["job"] = job.id
+            self.journal.append(body)
+            if event["t"] == "lease":
+                job.leases += 1
+                self.counters["leases"] += 1
+            elif event["t"] == "retry":
+                job.retries += 1
+                self.counters["retries"] += 1
+                if event.get("reason") == "worker-died":
+                    self.counters["worker_deaths"] += 1
+                elif event.get("reason") == "lease-expired":
+                    self.counters["lease_expiries"] += 1
+
+        todo = set(range(len(plan))) - set(records_by_chunk)
+        if todo:
+            supervisor = Supervisor(
+                workers=resolve_jobs(self.workers),
+                chunk_deadline_s=self.chunk_deadline_s,
+                max_attempts=self.max_attempts,
+                backoff_base_s=self.backoff_base_s,
+                chaos=self.inject,
+                on_event=on_event,
+                on_chunk_done=on_chunk_done,
+            )
+            outcomes = supervisor.run(
+                spec.kind, spec.params, cells, list(plan),
+                skip_chunks=set(records_by_chunk),
+            )
+            for chunk, outcome in outcomes.items():
+                if outcome.quarantined:
+                    job.quarantined.add(chunk)
+                    self.counters["quarantined"] += 1
+                    records_by_chunk[chunk] = None
+
+        # Reassemble per-cell records in cell order; quarantined chunks
+        # contribute explicit holes.
+        full_records: list = []
+        for i, (start, stop) in enumerate(plan):
+            chunk_records = records_by_chunk.get(i)
+            if chunk_records is None:
+                full_records.extend([None] * (stop - start))
+            else:
+                full_records.extend(chunk_records)
+
+        report = finalize(spec, full_records)
+        report["job"] = job.id
+        report["quarantined_chunks"] = sorted(job.quarantined)
+        job.digest = report.get("digest")
+        job.status = "degraded" if job.quarantined else "done"
+        self.journal.append({
+            "t": "job_done", "job": job.id, "digest": job.digest,
+            "quarantined": sorted(job.quarantined),
+            "counters": {
+                "retries": job.retries, "leases": job.leases,
+            },
+        })
+        self._write_report(job, report)
+        return report
+
+    def _write_report(self, job: JobState, report: dict) -> None:
+        results = self.state_dir / "results"
+        results.mkdir(parents=True, exist_ok=True)
+        path = results / f"{job.id}.json"
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        with open(tmp, "w") as fh:
+            json.dump(report, fh, indent=2, default=repr)
+        os.replace(tmp, path)
+
+    # -- inspection ---------------------------------------------------------
+
+    def jobs(self) -> dict[str, Any]:
+        """The ``repro jobs`` payload: states, counters, warnings."""
+        return {
+            "state_dir": str(self.state_dir),
+            "jobs": [
+                job.summary() for job in self.jobs_by_id.values()
+            ],
+            "counters": dict(self.counters),
+            "warnings": list(self.warnings),
+        }
+
+
+def _pid_alive(pid: int) -> bool:
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:  # pragma: no cover - exists, not ours
+        return True
+    return True

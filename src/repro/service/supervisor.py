@@ -1,0 +1,399 @@
+"""Supervised worker pool: chunk leases, deadlines, retries, quarantine.
+
+The supervisor turns *"a pool of processes that dies with its weakest
+member"* into *"a pool that outlives any of them"*.  It owns real
+worker processes and leases grid chunks to them one at a time:
+
+* each lease carries a **deadline** (``chunk_deadline_s``); a worker
+  that neither finishes nor dies by then is declared hung, SIGKILLed,
+  and replaced — the discrete-event engine's timeout discipline applied
+  to the host;
+* a worker that **dies** mid-lease (crash, OOM kill, injected
+  ``kill-worker``) is detected by process liveness, its chunk is
+  re-leased, and a fresh worker replaces it;
+* re-leases happen after a **seeded exponential backoff** (deterministic
+  per ``(backoff_seed, chunk, attempt)`` — replayable, like every other
+  randomized policy in this repo);
+* a chunk that keeps failing is **quarantined** after ``max_attempts``
+  and surfaces as a ``None`` record — a poisoned cell degrades the
+  report, it never hangs the sweep.
+
+Determinism: chunk payloads are pure functions of ``(kind, params,
+cells)``, and the supervisor merges them by chunk index, so the result
+list — and any digest over it — is bit-identical whether a run was
+undisturbed or survived any number of kills and stalls.  Only the
+*counters* (retries, expiries) differ, and they are deliberately kept
+out of every digest.
+
+The supervisor is deliberately journal-agnostic: it reports lease /
+retry / quarantine events and chunk completions through callbacks, and
+the service layer decides what to persist.  That keeps this module
+testable with plain lists and keeps WAL policy in one place.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import pickle
+import queue as queue_mod
+import random
+import time
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.errors import ServiceError
+from repro.service.chaos import ChaosPolicy, worker_chaos_hook
+from repro.service.jobs import evaluate_chunk
+
+__all__ = ["Supervisor", "ChunkOutcome", "SupervisorCounters"]
+
+#: how often the supervisor polls results / liveness / deadlines
+_POLL_S = 0.02
+
+
+def _worker_main(worker_id, task_q, result_q, chaos):
+    """Worker process loop: lease -> (chaos hook) -> evaluate -> report.
+
+    Results travel as pickled bytes so the parent controls the protocol
+    version (digests over payload bytes stay comparable).  A ``None``
+    task is the shutdown sentinel.
+    """
+    while True:
+        task = task_q.get()
+        if task is None:
+            return
+        chunk_id, attempt, kind, params, cells = task
+        worker_chaos_hook(chaos, chunk_id, attempt)
+        try:
+            records = evaluate_chunk(kind, params, cells)
+            result_q.put(("done", worker_id, chunk_id, attempt,
+                          pickle.dumps(records, protocol=4)))
+        except BaseException as exc:  # noqa: BLE001 — report, don't die
+            result_q.put(("error", worker_id, chunk_id, attempt,
+                          f"{type(exc).__name__}: {exc}"))
+
+
+@dataclass
+class ChunkOutcome:
+    """Terminal state of one chunk: its records, or quarantine."""
+
+    chunk: int
+    records: list | None
+    attempts: int
+    quarantined: bool = False
+    last_error: str | None = None
+
+
+@dataclass
+class SupervisorCounters:
+    """Robustness bookkeeping for one run (never part of any digest)."""
+
+    leases: int = 0
+    retries: int = 0
+    worker_deaths: int = 0
+    lease_expiries: int = 0
+    quarantined: int = 0
+    backoff_s: float = 0.0
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "leases": self.leases,
+            "retries": self.retries,
+            "worker_deaths": self.worker_deaths,
+            "lease_expiries": self.lease_expiries,
+            "quarantined": self.quarantined,
+            "backoff_s": round(self.backoff_s, 4),
+        }
+
+
+@dataclass
+class _Worker:
+    proc: Any
+    task_q: Any
+    busy: tuple[int, int] | None = None  # (chunk_id, attempt)
+    lease_deadline: float = 0.0
+
+
+@dataclass
+class _PendingChunk:
+    chunk: int
+    attempt: int
+    not_before: float = 0.0
+    last_error: str | None = None
+
+
+def _mp_context():
+    """Fork where available (fast, Linux CI), spawn elsewhere."""
+    try:
+        return mp.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX
+        return mp.get_context()
+
+
+class Supervisor:
+    """Run one job's chunks to completion over a supervised worker pool.
+
+    Parameters
+    ----------
+    workers:
+        Pool size.  Replacement workers keep the pool at this size for
+        as long as work remains.
+    chunk_deadline_s:
+        Lease duration: a chunk not completed this many (wall-clock)
+        seconds after assignment is considered hung.
+    max_attempts:
+        Per-chunk attempt budget before quarantine.
+    backoff_base_s / backoff_seed:
+        Re-lease delay: ``base * 2**(attempt-1) * u`` with ``u`` drawn
+        uniformly from [0.5, 1.5) by a generator seeded from
+        ``(backoff_seed, chunk, attempt)`` — jittered so retry storms
+        decorrelate, seeded so runs replay.
+    chaos:
+        Optional :class:`~repro.service.chaos.ChaosPolicy` handed to
+        every worker (and consulted nowhere else — the supervisor must
+        not "know" when an injection is coming).
+    on_event:
+        Callback for lease/retry/quarantine facts (journal hook).
+    on_chunk_done:
+        Callback ``(chunk_id, records)`` fired exactly once per
+        completed chunk, in completion order.  Exceptions propagate
+        (the ``crash-service`` injection rides on this).
+    """
+
+    def __init__(
+        self,
+        *,
+        workers: int = 2,
+        chunk_deadline_s: float = 30.0,
+        max_attempts: int = 3,
+        backoff_base_s: float = 0.05,
+        backoff_seed: int = 0,
+        chaos: ChaosPolicy | None = None,
+        on_event: Callable[[dict], None] | None = None,
+        on_chunk_done: Callable[[int, list], None] | None = None,
+    ):
+        if workers < 1:
+            raise ServiceError(f"workers must be >= 1, got {workers}")
+        if max_attempts < 1:
+            raise ServiceError(f"max_attempts must be >= 1, got {max_attempts}")
+        if chunk_deadline_s <= 0:
+            raise ServiceError(
+                f"chunk_deadline_s must be > 0, got {chunk_deadline_s}"
+            )
+        self.workers = int(workers)
+        self.chunk_deadline_s = float(chunk_deadline_s)
+        self.max_attempts = int(max_attempts)
+        self.backoff_base_s = float(backoff_base_s)
+        self.backoff_seed = int(backoff_seed)
+        self.chaos = chaos
+        self.on_event = on_event or (lambda record: None)
+        self.on_chunk_done = on_chunk_done or (lambda chunk, records: None)
+        self.counters = SupervisorCounters()
+        self._ctx = _mp_context()
+        self._next_worker_id = 0
+
+    # -- pool plumbing ------------------------------------------------------
+
+    def _spawn_worker(self, result_q) -> _Worker:
+        wid = self._next_worker_id
+        self._next_worker_id += 1
+        task_q = self._ctx.Queue()
+        proc = self._ctx.Process(
+            target=_worker_main,
+            args=(wid, task_q, result_q, self.chaos),
+            daemon=True,
+            name=f"repro-sweep-worker-{wid}",
+        )
+        proc.start()
+        return _Worker(proc=proc, task_q=task_q)
+
+    @staticmethod
+    def _reap(worker: _Worker) -> None:
+        """Hard-stop a worker and release its queue resources."""
+        if worker.proc.is_alive():
+            worker.proc.kill()
+        worker.proc.join(timeout=5.0)
+        worker.task_q.cancel_join_thread()
+        worker.task_q.close()
+
+    def _backoff(self, chunk: int, attempt: int) -> float:
+        rng = random.Random(
+            self.backoff_seed * 1_000_003 + chunk * 8191 + attempt
+        )
+        return self.backoff_base_s * (2 ** (attempt - 1)) * (0.5 + rng.random())
+
+    # -- main loop ----------------------------------------------------------
+
+    def run(
+        self,
+        kind: str,
+        params: dict,
+        cells: list,
+        plan: list[tuple[int, int]],
+        *,
+        skip_chunks: set[int] | None = None,
+    ) -> dict[int, ChunkOutcome]:
+        """Execute every chunk of ``plan`` not in ``skip_chunks``.
+
+        Returns ``{chunk_id: ChunkOutcome}`` for the chunks this run
+        executed.  ``skip_chunks`` is the resume path: chunks the
+        journal already records as complete are simply never leased.
+        """
+        todo = [
+            i for i in range(len(plan))
+            if not skip_chunks or i not in skip_chunks
+        ]
+        outcomes: dict[int, ChunkOutcome] = {}
+        if not todo:
+            return outcomes
+
+        result_q = self._ctx.Queue()
+        pool: list[_Worker] = [
+            self._spawn_worker(result_q)
+            for _ in range(min(self.workers, len(todo)))
+        ]
+        pending: list[_PendingChunk] = [
+            _PendingChunk(chunk=i, attempt=1) for i in todo
+        ]
+        inflight: dict[int, _Worker] = {}  # chunk -> worker holding lease
+
+        try:
+            while len(outcomes) < len(todo):
+                now = time.monotonic()
+                self._assign(pool, pending, inflight, cells, plan,
+                             kind, params, now)
+                self._drain_results(result_q, outcomes, inflight, pending, now)
+                self._police_leases(pool, pending, inflight, outcomes,
+                                    result_q, now)
+                if len(outcomes) < len(todo):
+                    time.sleep(_POLL_S)
+        finally:
+            for worker in pool:
+                if worker.busy is None and worker.proc.is_alive():
+                    worker.task_q.put(None)
+            deadline = time.monotonic() + 2.0
+            for worker in pool:
+                worker.proc.join(timeout=max(0.0, deadline - time.monotonic()))
+            for worker in pool:
+                self._reap(worker)
+            result_q.cancel_join_thread()
+            result_q.close()
+        return outcomes
+
+    # -- loop phases --------------------------------------------------------
+
+    def _assign(self, pool, pending, inflight, cells, plan, kind, params, now):
+        """Lease ready pending chunks to idle workers (deterministic order)."""
+        if not pending:
+            return
+        pending.sort(key=lambda c: (c.not_before, c.chunk))
+        for worker in pool:
+            if worker.busy is not None or not worker.proc.is_alive():
+                continue
+            ready = next((c for c in pending if c.not_before <= now), None)
+            if ready is None:
+                return
+            pending.remove(ready)
+            start, stop = plan[ready.chunk]
+            worker.busy = (ready.chunk, ready.attempt)
+            worker.lease_deadline = now + self.chunk_deadline_s
+            inflight[ready.chunk] = worker
+            self.counters.leases += 1
+            self.on_event({
+                "t": "lease", "chunk": ready.chunk,
+                "attempt": ready.attempt, "cells": [start, stop],
+            })
+            worker.task_q.put(
+                (ready.chunk, ready.attempt, kind, params, cells[start:stop])
+            )
+
+    def _drain_results(self, result_q, outcomes, inflight, pending, now):
+        """Absorb every queued worker report."""
+        while True:
+            try:
+                msg = result_q.get_nowait()
+            except queue_mod.Empty:
+                return
+            status, wid, chunk_id, attempt, payload = msg
+            worker = inflight.get(chunk_id)
+            if worker is None or worker.busy != (chunk_id, attempt):
+                # Late report from a lease we already revoked (e.g. a
+                # stalled worker finishing just before the SIGKILL
+                # landed).  Payloads are pure, so dropping is safe.
+                continue
+            worker.busy = None
+            del inflight[chunk_id]
+            if status == "done":
+                outcomes[chunk_id] = ChunkOutcome(
+                    chunk=chunk_id,
+                    records=pickle.loads(payload),
+                    attempts=attempt,
+                )
+                self.on_chunk_done(chunk_id, outcomes[chunk_id].records)
+            else:  # evaluation raised inside the worker
+                self._retry_or_quarantine(
+                    pending, outcomes, chunk_id, attempt,
+                    reason="error", detail=payload, now=now,
+                )
+
+    def _police_leases(self, pool, pending, inflight, outcomes, result_q, now):
+        """Detect dead and hung workers; re-lease or quarantine their chunks."""
+        for idx, worker in enumerate(pool):
+            if worker.busy is None:
+                if not worker.proc.is_alive() and (pending or inflight):
+                    # An idle worker died (shouldn't happen, but a pool
+                    # that shrinks silently is a pool that deadlocks).
+                    self._reap(worker)
+                    pool[idx] = self._spawn_worker(result_q)
+                continue
+            chunk_id, attempt = worker.busy
+            died = not worker.proc.is_alive()
+            expired = now >= worker.lease_deadline
+            if not died and not expired:
+                continue
+            if died:
+                self.counters.worker_deaths += 1
+                reason = "worker-died"
+                detail = f"exit code {worker.proc.exitcode}"
+            else:
+                self.counters.lease_expiries += 1
+                reason = "lease-expired"
+                detail = (
+                    f"no result within {self.chunk_deadline_s:g}s "
+                    f"(attempt {attempt})"
+                )
+            self._reap(worker)
+            del inflight[chunk_id]
+            pool[idx] = self._spawn_worker(result_q)
+            self._retry_or_quarantine(
+                pending, outcomes, chunk_id, attempt,
+                reason=reason, detail=detail, now=now,
+            )
+
+    def _retry_or_quarantine(
+        self, pending, outcomes, chunk_id, attempt, *, reason, detail, now
+    ):
+        if attempt >= self.max_attempts:
+            self.counters.quarantined += 1
+            outcomes[chunk_id] = ChunkOutcome(
+                chunk=chunk_id, records=None, attempts=attempt,
+                quarantined=True, last_error=f"{reason}: {detail}",
+            )
+            self.on_event({
+                "t": "quarantine", "chunk": chunk_id,
+                "attempts": attempt, "reason": reason, "detail": detail,
+            })
+            return
+        delay = self._backoff(chunk_id, attempt)
+        self.counters.retries += 1
+        self.counters.backoff_s += delay
+        self.on_event({
+            "t": "retry", "chunk": chunk_id, "attempt": attempt + 1,
+            "reason": reason, "detail": detail,
+            "backoff_s": round(delay, 4),
+        })
+        pending.append(_PendingChunk(
+            chunk=chunk_id, attempt=attempt + 1,
+            not_before=now + delay, last_error=detail,
+        ))

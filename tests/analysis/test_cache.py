@@ -320,3 +320,72 @@ class TestCacheCLI:
         assert main(["cache", "clear", "--cache-dir", str(tmp_path)]) == 0
         assert "removed 1" in capsys.readouterr().out
         assert not list(tmp_path.rglob("*.pkl"))
+
+
+class TestCacheVerify:
+    """`verify` audits crash debris: orphaned tmp files and corrupt entries."""
+
+    def test_clean_cache_is_clean(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("k", {"x": 1}, [1, 2, 3])
+        audit = cache.verify()
+        assert audit == {
+            "checked": 1, "corrupt": 0, "tmp_found": 0, "tmp_removed": 0
+        }
+
+    def test_old_orphaned_tmp_is_pruned(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("k", {"x": 1}, [1])
+        debris = tmp_path / "objects" / "zz" / ("f" * 64 + ".tmp.4242")
+        debris.parent.mkdir(parents=True)
+        debris.write_bytes(b"half a pickle")
+        os.utime(debris, (1.0, 1.0))  # ancient — no writer can own it
+        audit = cache.verify()
+        assert audit["tmp_found"] == 1 and audit["tmp_removed"] == 1
+        assert not debris.exists()
+        # The real entry is untouched.
+        assert cache.get("k", {"x": 1}) == [1]
+
+    def test_fresh_tmp_is_left_for_its_writer(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        debris = tmp_path / "objects" / "zz" / ("f" * 64 + ".tmp.4242")
+        debris.parent.mkdir(parents=True)
+        debris.write_bytes(b"in-flight write")  # mtime = now
+        audit = cache.verify()
+        assert audit["tmp_found"] == 1 and audit["tmp_removed"] == 0
+        assert debris.exists()
+        # Forcing the age threshold to zero reclaims it.
+        audit = cache.verify(tmp_max_age_s=0.0)
+        assert audit["tmp_removed"] == 1
+
+    def test_keep_tmp_reports_without_removing(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        debris = tmp_path / "objects" / "zz" / ("f" * 64 + ".tmp.1")
+        debris.parent.mkdir(parents=True)
+        debris.write_bytes(b"x")
+        os.utime(debris, (1.0, 1.0))
+        audit = cache.verify(prune_tmp=False)
+        assert audit["tmp_found"] == 1 and audit["tmp_removed"] == 0
+        assert debris.exists()
+
+    def test_corrupt_entries_counted(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("k", {"x": 1}, [1])
+        (entry,) = cache._entries()
+        entry.write_bytes(b"not a pickle")
+        assert cache.verify()["corrupt"] == 1
+
+    def test_cli_verify(self, tmp_path, capsys):
+        cache = ResultCache(tmp_path)
+        cache.put("k", {"x": 1}, [1])
+        assert main(["cache", "verify", "--cache-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "checked    : 1" in out
+        assert "corrupt    : 0" in out
+
+    def test_cli_verify_nonzero_on_corrupt(self, tmp_path, capsys):
+        cache = ResultCache(tmp_path)
+        cache.put("k", {"x": 1}, [1])
+        (entry,) = cache._entries()
+        entry.write_bytes(b"garbage")
+        assert main(["cache", "verify", "--cache-dir", str(tmp_path)]) == 1

@@ -61,3 +61,52 @@ class TestDefaultJobs:
 
     def test_exported(self):
         assert "default_jobs" in parallel_mod.__all__
+
+
+class TestChunkPlanning:
+    """plan_chunks/resolve_jobs back the service's journaled chunk plans."""
+
+    def test_plan_covers_every_cell_exactly_once(self):
+        from repro.analysis.parallel import plan_chunks
+
+        for n_cells in (1, 2, 7, 64, 100):
+            for jobs in (1, 2, 5):
+                plan = plan_chunks(n_cells, jobs)
+                covered = [i for start, stop in plan for i in range(start, stop)]
+                assert covered == list(range(n_cells))
+
+    def test_plan_is_deterministic(self):
+        from repro.analysis.parallel import plan_chunks
+
+        assert plan_chunks(100, 4) == plan_chunks(100, 4)
+        assert plan_chunks(10, 3, 4) == [(0, 4), (4, 8), (8, 10)]
+
+    def test_explicit_chunk_size_wins(self):
+        from repro.analysis.parallel import plan_chunks
+
+        assert plan_chunks(5, 8, 1) == [(i, i + 1) for i in range(5)]
+
+    def test_empty_grid_plans_nothing(self):
+        from repro.analysis.parallel import plan_chunks
+
+        assert plan_chunks(0, 4) == []
+
+    def test_resolve_jobs_reads_env_once(self, monkeypatch):
+        """The satellite fix: run_grid resolves the worker count exactly
+        once per call, so a mid-process REPRO_JOBS change cannot
+        re-shard work already planned."""
+        from repro.analysis.parallel import resolve_jobs
+
+        monkeypatch.setenv("REPRO_JOBS", "3")
+        resolved = resolve_jobs(None)
+        assert resolved == 3
+        monkeypatch.setenv("REPRO_JOBS", "9")
+        assert resolved == 3  # already a plain int — nothing re-reads env
+        assert resolve_jobs(None) == 9
+
+    def test_resolve_jobs_explicit_values(self):
+        from repro.analysis.parallel import resolve_jobs
+
+        assert resolve_jobs(4) == 4
+        assert resolve_jobs(0) == 1
+        assert resolve_jobs(-3) == 1

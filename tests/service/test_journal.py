@@ -1,0 +1,151 @@
+"""Write-ahead journal: append/replay, rotation, and damage policy.
+
+The replay contract (v1): a damaged *final* record is a torn write —
+drop it with a warning and resume; damage *before* the final record
+means the file was corrupted after the fact — fail loudly
+(:class:`~repro.errors.JournalCorruptError`), never silently recompute.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import JournalCorruptError, ServiceError
+from repro.service.chaos import corrupt_tail_bytes
+from repro.service.journal import Journal, decode_line, encode_record
+
+
+def _records(n, start=0):
+    return [{"t": "done", "chunk": i} for i in range(start, start + n)]
+
+
+def test_append_replay_roundtrip(tmp_path):
+    journal = Journal(tmp_path / "wal")
+    bodies = _records(5)
+    seqs = [journal.append(dict(b)) for b in bodies]
+    journal.close()
+
+    replayed, warnings = Journal(tmp_path / "wal").replay()
+    assert warnings == []
+    assert seqs == sorted(seqs)
+    assert [{k: r[k] for k in ("t", "chunk")} for r in replayed] == bodies
+    # Every surviving record carries its sequence number.
+    assert [r["seq"] for r in replayed] == seqs
+
+
+def test_empty_journal_is_a_fresh_start(tmp_path):
+    records, warnings = Journal(tmp_path / "wal").replay()
+    assert records == [] and warnings == []
+
+
+def test_segment_rotation_preserves_order(tmp_path):
+    journal = Journal(tmp_path / "wal", segment_max_bytes=256)
+    for body in _records(40):
+        journal.append(body)
+    journal.close()
+    assert len(journal.segments()) > 1
+
+    replayed, warnings = Journal(tmp_path / "wal").replay()
+    assert warnings == []
+    assert [r["chunk"] for r in replayed] == list(range(40))
+
+
+def test_torn_final_record_dropped_with_warning(tmp_path):
+    journal = Journal(tmp_path / "wal")
+    for body in _records(4):
+        journal.append(body)
+    journal.close()
+    segment = journal.segments()[-1]
+    # Tear the last record mid-write: drop its trailing half.
+    raw = segment.read_bytes()
+    segment.write_bytes(raw[: len(raw) - 17])
+
+    replayed, warnings = Journal(tmp_path / "wal").replay()
+    assert [r["chunk"] for r in replayed] == [0, 1, 2]
+    assert len(warnings) == 1 and "tail" in warnings[0]
+
+
+def test_crc_mismatch_mid_file_fails_loudly(tmp_path):
+    journal = Journal(tmp_path / "wal")
+    for body in _records(4):
+        journal.append(body)
+    journal.close()
+    segment = journal.segments()[-1]
+    lines = segment.read_bytes().splitlines(keepends=True)
+    # Flip a payload byte inside record 1 (not the tail).
+    damaged = lines[1].replace(b'"chunk":1,', b'"chunk":7,')
+    assert damaged != lines[1]
+    segment.write_bytes(b"".join([lines[0], damaged, *lines[2:]]))
+
+    with pytest.raises(JournalCorruptError) as exc:
+        Journal(tmp_path / "wal").replay()
+    assert exc.value.line == 2
+
+
+def test_append_after_torn_tail_truncates_not_concatenates(tmp_path):
+    """Appending after tail damage must not glue the new record onto the
+    damaged line (which would turn recoverable tail damage into
+    unrecoverable mid-file corruption on the *next* replay)."""
+    journal = Journal(tmp_path / "wal")
+    for body in _records(3):
+        journal.append(body)
+    journal.close()
+    segment = journal.segments()[-1]
+    raw = segment.read_bytes()
+    segment.write_bytes(raw[: len(raw) - 11])  # torn tail, no newline
+
+    journal2 = Journal(tmp_path / "wal")
+    journal2.append({"t": "done", "chunk": 99})
+    journal2.close()
+
+    replayed, warnings = Journal(tmp_path / "wal").replay()
+    assert [r["chunk"] for r in replayed] == [0, 1, 99]
+    assert warnings == []  # the damaged tail was physically truncated
+
+
+def test_corrupt_tail_bytes_damage_stays_recoverable(tmp_path):
+    journal = Journal(tmp_path / "wal")
+    for body in _records(6):
+        journal.append(body)
+    journal.close()
+    segment = journal.segments()[-1]
+    assert corrupt_tail_bytes(segment)
+
+    replayed, warnings = Journal(tmp_path / "wal").replay()
+    assert [r["chunk"] for r in replayed] == [0, 1, 2, 3, 4]
+    assert len(warnings) == 1
+
+
+def test_duplicate_bodies_are_distinct_records(tmp_path):
+    """The journal records facts, not state — identical bodies (e.g. a
+    chunk completed twice across a crash) are both preserved, and replay
+    consumers treat them idempotently."""
+    journal = Journal(tmp_path / "wal")
+    journal.append({"t": "done", "chunk": 2})
+    journal.append({"t": "done", "chunk": 2})
+    journal.close()
+    replayed, warnings = Journal(tmp_path / "wal").replay()
+    assert warnings == []
+    assert [r["chunk"] for r in replayed] == [2, 2]
+    assert replayed[0]["seq"] != replayed[1]["seq"]
+
+
+def test_encode_decode_reject_damage():
+    line = encode_record({"t": "lease", "chunk": 3, "seq": 1})
+    body = decode_line(line)
+    assert body["chunk"] == 3
+    tampered = json.loads(line)
+    tampered["chunk"] = 4
+    with pytest.raises(ValueError):
+        decode_line(json.dumps(tampered))
+
+
+def test_reserved_keys_rejected(tmp_path):
+    journal = Journal(tmp_path / "wal")
+    with pytest.raises(ServiceError):
+        journal.append({"t": "x", "c": 1})
+    with pytest.raises(ServiceError):
+        journal.append({"t": "x", "seq": 1})
+    journal.close()

@@ -1,0 +1,131 @@
+"""Supervised worker pool: leases, deaths, hangs, quarantine.
+
+These tests run real worker processes against a small sweep job; the
+reference records come from evaluating the same chunks sequentially.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.parallel import plan_chunks
+from repro.service.chaos import ChaosPolicy
+from repro.service.jobs import build_cells, evaluate_chunk, make_spec
+from repro.service.supervisor import Supervisor
+
+PARAMS = {
+    "algorithms": ["cannon", "berntsen"],
+    "variable": "n",
+    "values": [64.0, 128.0, 256.0, 512.0],
+    "p": 64,
+}
+
+
+@pytest.fixture(scope="module")
+def job():
+    spec = make_spec("sweep", PARAMS)
+    cells = build_cells(spec)
+    plan = plan_chunks(len(cells), 2, 1)  # one cell per chunk
+    reference = {
+        i: evaluate_chunk(spec.kind, spec.params, cells[start:stop])
+        for i, (start, stop) in enumerate(plan)
+    }
+    return spec, cells, plan, reference
+
+
+def _run(job, *, chaos=None, events=None, **kw):
+    spec, cells, plan, _ = job
+    supervisor = Supervisor(
+        workers=2,
+        chaos=chaos,
+        on_event=events.append if events is not None else None,
+        **kw,
+    )
+    return supervisor.run(spec.kind, spec.params, cells, plan)
+
+
+def test_clean_run_matches_sequential(job):
+    _, _, plan, reference = job
+    outcomes = _run(job)
+    assert sorted(outcomes) == list(range(len(plan)))
+    for i, outcome in outcomes.items():
+        assert not outcome.quarantined
+        assert outcome.attempts == 1
+        assert outcome.records == reference[i]
+
+
+def test_killed_worker_is_respawned_and_chunk_retried(job):
+    _, _, plan, reference = job
+    events = []
+    outcomes = _run(
+        job,
+        chaos=ChaosPolicy(kill_at_chunks=frozenset({1})),
+        events=events,
+        backoff_base_s=0.01,
+    )
+    assert outcomes[1].attempts == 2
+    retries = [e for e in events if e["t"] == "retry"]
+    assert [e["chunk"] for e in retries] == [1]
+    assert retries[0]["reason"] == "worker-died"
+    # The retried chunk recomputes bit-identical records.
+    for i in range(len(plan)):
+        assert outcomes[i].records == reference[i]
+
+
+def test_stalled_worker_lease_expires(job):
+    _, _, plan, reference = job
+    events = []
+    outcomes = _run(
+        job,
+        chaos=ChaosPolicy(stall_at_chunks=frozenset({2}), stall_seconds=30.0),
+        events=events,
+        chunk_deadline_s=0.4,
+        backoff_base_s=0.01,
+    )
+    assert outcomes[2].attempts == 2
+    reasons = {e["chunk"]: e["reason"] for e in events if e["t"] == "retry"}
+    assert reasons == {2: "lease-expired"}
+    for i in range(len(plan)):
+        assert outcomes[i].records == reference[i]
+
+
+def test_poison_chunk_quarantined_never_hangs(job):
+    _, _, plan, reference = job
+    events = []
+    outcomes = _run(
+        job,
+        chaos=ChaosPolicy(poison_chunks=frozenset({0})),
+        events=events,
+        max_attempts=2,
+        backoff_base_s=0.01,
+    )
+    assert outcomes[0].quarantined
+    assert outcomes[0].records is None
+    assert outcomes[0].attempts == 2
+    assert any(e["t"] == "quarantine" and e["chunk"] == 0 for e in events)
+    # Healthy chunks still complete, correctly.
+    for i in range(1, len(plan)):
+        assert not outcomes[i].quarantined
+        assert outcomes[i].records == reference[i]
+
+
+def test_skip_chunks_not_executed(job):
+    spec, cells, plan, reference = job
+    supervisor = Supervisor(workers=2)
+    outcomes = supervisor.run(
+        spec.kind, spec.params, cells, plan, skip_chunks={0, 2}
+    )
+    assert sorted(outcomes) == [1, 3]
+    assert outcomes[1].records == reference[1]
+
+
+def test_lease_events_cover_all_chunks(job):
+    _, _, plan, _ = job
+    events = []
+    _run(job, events=events)
+    leased = [e["chunk"] for e in events if e["t"] == "lease"]
+    assert sorted(leased) == list(range(len(plan)))
+    # Every lease names its cell range so replay can audit the plan.
+    for e in events:
+        if e["t"] == "lease":
+            assert e["cells"] == list(plan[e["chunk"]])
