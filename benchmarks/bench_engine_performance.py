@@ -138,6 +138,36 @@ def _wl_3d_all():
     get_algorithm("3d_all").run(A, B, MachineConfig.create(512, t_s=150, t_w=3))
 
 
+def _wl_cannon_fastpath():
+    """Fault-free Cannon at p=4096 through the superstep closed form.
+
+    The 'before' number in the baseline is the same run with
+    ``superstep=False`` (the pure event path) measured interleaved on
+    the same host — the ratio is the phase-algebra speed-up the
+    conformance suite proves bit-identical.
+    """
+    rng = np.random.default_rng(0)
+    A = rng.standard_normal((128, 128))
+    B = rng.standard_normal((128, 128))
+    get_algorithm("cannon").run(
+        A, B, MachineConfig.create(4096, t_s=150, t_w=3, t_c=0.5)
+    )
+
+
+def _wl_regionmap_sim_p32768():
+    """One simulation-backed region-map cell at p = 2^15.
+
+    Infeasible for the event path at any tolerable budget; the superstep
+    engine makes the row complete in tens of seconds.  No 'before'
+    column for the same reason the cache entries have none.
+    """
+    region_map(
+        PortModel.ONE_PORT, 150.0, 3.0, backend="sim",
+        algorithms=("3dd",),
+        log2_n_min=9, log2_n_max=9, log2_p_min=15, log2_p_max=15,
+    )
+
+
 def _wl_fig13_panels():
     for t_s in (150.0, 30.0, 5.0, 0.5):
         region_map(PortModel.ONE_PORT, t_s, 3.0, log2_n_max=13, log2_p_max=20)
@@ -228,6 +258,8 @@ def _workloads(jobs):
         ("allgather_p64", _wl_allgather),
         ("cannon_n64_p256", _wl_cannon),
         ("3d_all_n64_p512", _wl_3d_all),
+        ("cannon_fastpath_n128_p4096", _wl_cannon_fastpath),
+        ("regionmap_sim_3dd_p32768", _wl_regionmap_sim_p32768),
         ("fig13_panels_x4", _wl_fig13_panels),
         ("fig13_panels_x4_big", _wl_fig13_panels_big),
         ("fig13_cache_cold", _wl_fig13_cache_cold),

@@ -108,6 +108,9 @@ class MatmulAlgorithm(abc.ABC):
         context_factory=None,
         max_events: int | None = None,
         max_virtual_time: float | None = None,
+        superstep: bool = True,
+        timing_only: bool = False,
+        event_queue: str = "heap",
     ) -> AlgorithmRun:
         """Distribute inputs, simulate, collect (and optionally verify) C.
 
@@ -116,7 +119,12 @@ class MatmulAlgorithm(abc.ABC):
         :class:`~repro.mpi.reliable.ReliableContext` for retransmitting
         delivery on a lossy machine).  ``max_events`` /
         ``max_virtual_time`` are the engine's watchdog caps.
+        ``superstep``/``timing_only``/``event_queue`` pass through to the
+        engine (see :class:`~repro.sim.engine.Engine`); a timing-only run
+        returns ``C = None`` and cannot be verified.
         """
+        if timing_only and verify:
+            raise AlgorithmError("timing_only runs produce no C to verify")
         A = np.asarray(A, dtype=float)
         B = np.asarray(B, dtype=float)
         if A.ndim != 2 or A.shape[0] != A.shape[1]:
@@ -139,8 +147,15 @@ class MatmulAlgorithm(abc.ABC):
         result = run_spmd(
             config, spmd, trace=trace,
             max_events=max_events, max_virtual_time=max_virtual_time,
+            superstep=superstep, timing_only=timing_only,
+            event_queue=event_queue,
         )
-        C = self.collect_output(n, config.cube, result.results)
+        if timing_only:
+            # Per-rank returns are shape-only broadcast views; there is no
+            # product to reassemble.
+            C = None
+        else:
+            C = self.collect_output(n, config.cube, result.results)
 
         if verify:
             expected = A @ B

@@ -67,25 +67,39 @@ def require_cubic_grid(n: int, p: int, algo: str) -> int:
 
 @dataclass
 class GridView2D:
-    """A rank's view of the √p×√p grid: coordinates and communicators."""
+    """A rank's view of the √p×√p grid: coordinates and communicators.
+
+    The row/column communicators are built on first use: algorithms that
+    only shift along grid edges (Cannon) never pay for ``p·√p``-scale
+    member enumeration during per-rank setup.
+    """
 
     grid: Grid2DEmbedding
     row: int
     col: int
-    row_comm: Comm  # members ordered by column coordinate
-    col_comm: Comm  # members ordered by row coordinate
+    _ctx: ProcessContext
+    _row_comm: Comm | None = None
+    _col_comm: Comm | None = None
 
     @classmethod
     def create(cls, ctx: ProcessContext) -> "GridView2D":
         grid = Grid2DEmbedding.square(ctx.config.cube)
         r, c = grid.coords_of(ctx.rank)
-        return cls(
-            grid=grid,
-            row=r,
-            col=c,
-            row_comm=Comm(ctx, grid.row_members(r)),
-            col_comm=Comm(ctx, grid.col_members(c)),
-        )
+        return cls(grid=grid, row=r, col=c, _ctx=ctx)
+
+    @property
+    def row_comm(self) -> Comm:
+        """Members ordered by column coordinate."""
+        if self._row_comm is None:
+            self._row_comm = Comm(self._ctx, self.grid.row_members(self.row))
+        return self._row_comm
+
+    @property
+    def col_comm(self) -> Comm:
+        """Members ordered by row coordinate."""
+        if self._col_comm is None:
+            self._col_comm = Comm(self._ctx, self.grid.col_members(self.col))
+        return self._col_comm
 
     @property
     def q(self) -> int:
@@ -171,9 +185,21 @@ def cannon_kernel(
     a_block, b_block = values[1], values[3]
 
     # -- q steps of multiply-accumulate + unit shift -------------------------
-    c_block = None
     left, right = node_at(row, col - 1), node_at(row, col + 1)
     up, down = node_at(row - 1, col), node_at(row + 1, col)
+    if type(ctx) is ProcessContext:
+        # Plain simulator context: declare the loop as one superstep so
+        # the engine can advance it in closed form (or fall back to the
+        # identical per-message loop) — see ProcessContext.shift_phase.
+        _a, _b, c_block = yield from ctx.shift_phase(
+            steps=q, a_to=left, a_from=right, b_to=up, b_from=down,
+            a_block=a_block, b_block=b_block, tag_a=tag_a, tag_b=tag_b,
+        )
+        return c_block
+    # Wrapped contexts (reliable/integrity/detector layers) override the
+    # point-to-point calls with their own protocols; keep the explicit
+    # loop so every message goes through them.
+    c_block = None
     for step in range(q):
         c_block = yield from ctx.local_matmul(a_block, b_block, c_block)
         if step == q - 1:

@@ -1,0 +1,328 @@
+"""Differential conformance harness for the engine's execution paths.
+
+The engine promises that three ways of running the same program are
+*bit-identical*: the event path (``superstep=False``), the closed-form
+superstep path (``superstep=True``), and the calendar-queue event backend
+(``event_queue="calendar"``).  This module turns that promise into a
+seeded, shrinkable differential suite:
+
+* :func:`sample_cases` draws a deterministic case list over
+  (algorithm × p × port model × routing × machine parameters × fault
+  plan × scenario severity), guaranteeing every registered algorithm
+  appears;
+* :func:`diff_case` runs one case through all three paths and returns
+  ``None`` on agreement or a human-readable mismatch label (runs that
+  raise are compared by error, not skipped — both paths must fail
+  identically);
+* :func:`shrink_case` delta-debugs a mismatching case with
+  :func:`~repro.analysis.chaos.minimize_atoms` (dropping fault/scenario
+  atoms) plus an axis-reset sweep (plainer routing/port/parameters), so
+  the reproducer that gets printed is locally minimal;
+* :func:`run_suite` drives the whole sweep and formats reproducers.
+
+Faulty and degraded cases run both "fast" configurations through the
+ordinary event machinery (faults and scenarios disable the closed form
+by design) — there they pin the calendar backend and the
+fallback-equivalence contract instead.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, replace
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.algorithms import ALGORITHMS, get_algorithm
+from repro.analysis.chaos import minimize_atoms, plan_from_atoms, sample_atoms
+from repro.errors import ReproError
+from repro.sim.machine import MachineConfig, PortModel, RoutingMode
+from repro.sim.scenario import random_heterogeneous
+
+__all__ = [
+    "Case",
+    "sample_cases",
+    "diff_case",
+    "shrink_case",
+    "reproducer",
+    "run_suite",
+]
+
+#: machine parameter sets; deliberately includes non-dyadic values (the
+#: engine's aggregates fold in an order-independent way, so even 10/3
+#: must agree to the last bit)
+PARAM_SETS: tuple[tuple[float, float, float], ...] = (
+    (7.0, 3.0, 0.5),
+    (150.0, 3.0, 0.25),
+    (10.0 / 3.0, 0.7, 0.125),
+    (1.0, 2.0, 0.0),
+)
+
+#: processor counts sampled per algorithm: the smallest two applicable
+#: machines keep the sweep fast while still crossing the p=8/p=64 golden
+#: coverage with fresh parameters
+_P_LADDER = (4, 8, 16, 32, 64, 128, 256, 512)
+_N_LADDER = (4, 6, 8, 9, 12, 16, 24, 27, 32, 48, 64)
+
+
+@dataclass(frozen=True)
+class Case:
+    """One differential configuration (plain data, reprs as a reproducer)."""
+
+    algorithm: str
+    n: int
+    p: int
+    port: str       # "one-port" | "multi-port"
+    routing: str    # "store-and-forward" | "cut-through"
+    t_s: float
+    t_w: float
+    t_c: float
+    #: fault atoms (``repro.analysis.chaos`` vocabulary) plus at most one
+    #: ``{"kind": "scenario", "severity": ..., "seed": ...}`` atom
+    atoms: tuple = ()
+    data_seed: int = 0
+
+
+def _applicable_machines(key: str) -> list[tuple[int, int]]:
+    """(n, p) pairs for ``key``: the smallest applicable n per ladder p."""
+    algo = ALGORITHMS[key]
+    out = []
+    for p in _P_LADDER:
+        n = next((n for n in _N_LADDER if algo.applicable(n, p)), None)
+        if n is not None:
+            out.append((n, p))
+    return out
+
+
+def sample_cases(
+    seed: int = 2026,
+    count: int = 52,
+    algorithms: tuple[str, ...] | None = None,
+) -> list[Case]:
+    """A deterministic case list covering every requested algorithm.
+
+    Cases cycle through the algorithm list, so ``count >= len(algorithms)``
+    guarantees full registry coverage; successive passes add fault plans
+    and heterogeneous scenarios on top of fresh machine draws.  Pure
+    function of ``(seed, count, algorithms)``.
+    """
+    algos = tuple(algorithms if algorithms is not None else sorted(ALGORITHMS))
+    machines = {key: _applicable_machines(key) for key in algos}
+    cases: list[Case] = []
+    for i in range(count):
+        key = algos[i % len(algos)]
+        flavor = (i // len(algos)) % 4  # healthy, faulty, degraded, both
+        rng = np.random.default_rng([seed, i])
+        pool = machines[key][:2] or machines[key]
+        if not pool:
+            raise ReproError(f"no applicable machine for {key!r}")
+        n, p = pool[int(rng.integers(len(pool)))]
+        t_s, t_w, t_c = PARAM_SETS[int(rng.integers(len(PARAM_SETS)))]
+        atoms: list[dict[str, Any]] = []
+        if flavor in (1, 3):
+            atoms.extend(sample_atoms(rng, p, 5_000.0))
+        if flavor in (2, 3):
+            atoms.append({
+                "kind": "scenario",
+                "severity": round(0.5 + 1.5 * float(rng.random()), 3),
+                "seed": int(rng.integers(1 << 16)),
+            })
+        cases.append(Case(
+            algorithm=key, n=n, p=p,
+            port="multi-port" if rng.random() < 0.5 else "one-port",
+            routing=(
+                "cut-through" if rng.random() < 0.3 else "store-and-forward"
+            ),
+            t_s=t_s, t_w=t_w, t_c=t_c,
+            atoms=tuple(atoms), data_seed=i,
+        ))
+    return cases
+
+
+def _build_config(case: Case) -> MachineConfig:
+    fault_atoms = [a for a in case.atoms if a["kind"] != "scenario"]
+    scen_atoms = [a for a in case.atoms if a["kind"] == "scenario"]
+    faults = (
+        plan_from_atoms(fault_atoms, seed=case.data_seed)
+        if fault_atoms else None
+    )
+    scenario = (
+        random_heterogeneous(
+            case.p, scen_atoms[0]["severity"], seed=scen_atoms[0]["seed"]
+        )
+        if scen_atoms else None
+    )
+    return MachineConfig.create(
+        case.p,
+        t_s=case.t_s, t_w=case.t_w, t_c=case.t_c,
+        port_model=(
+            PortModel.MULTI_PORT if case.port == "multi-port"
+            else PortModel.ONE_PORT
+        ),
+        routing=(
+            RoutingMode.CUT_THROUGH if case.routing == "cut-through"
+            else RoutingMode.STORE_AND_FORWARD
+        ),
+        faults=faults,
+        scenario=scenario,
+    )
+
+
+def _outcome(case: Case, *, superstep: bool, event_queue: str) -> dict:
+    """One path's observables — or its error, which must also agree."""
+    rng = np.random.default_rng([case.data_seed, 99])
+    A = rng.standard_normal((case.n, case.n))
+    B = rng.standard_normal((case.n, case.n))
+    try:
+        run = get_algorithm(case.algorithm).run(
+            A, B, _build_config(case),
+            superstep=superstep, event_queue=event_queue,
+            max_virtual_time=None,
+        )
+    except Exception as exc:  # noqa: BLE001 — failures are outcomes too
+        # Message uids ("tag=1#69573") are internal disambiguators whose
+        # counters legitimately differ across engine modes; strip them so
+        # error equality compares the *failure*, not the event count.
+        msg = re.sub(r"#\d+", "#*", str(exc))
+        return {"error": f"{type(exc).__name__}: {msg}"}
+    res = run.result
+    return {
+        "total_time": res.total_time,
+        "digest": res.trace_digest(),
+        "stats": res.stats,
+        "network": res.network,
+        "C": run.C,
+    }
+
+
+_MODES = (
+    ("event", dict(superstep=False, event_queue="heap")),
+    ("calendar", dict(superstep=True, event_queue="calendar")),
+)
+
+
+def diff_case(case: Case) -> str | None:
+    """Run all three paths; ``None`` on bitwise agreement, else a label."""
+    fast = _outcome(case, superstep=True, event_queue="heap")
+    for mode, kw in _MODES:
+        other = _outcome(case, **kw)
+        label = _compare(fast, other, f"fast-vs-{mode}")
+        if label is not None:
+            return label
+    return None
+
+
+def _compare(a: dict, b: dict, where: str) -> str | None:
+    if ("error" in a) != ("error" in b):
+        return f"{where}: one path errored ({a.get('error') or b.get('error')})"
+    if "error" in a:
+        return None if a["error"] == b["error"] else (
+            f"{where}: different errors ({a['error']!r} vs {b['error']!r})"
+        )
+    if a["total_time"] != b["total_time"]:
+        return (
+            f"{where}: total_time {a['total_time']!r} != {b['total_time']!r}"
+        )
+    if a["digest"] != b["digest"]:
+        return f"{where}: trace digest diverged"
+    if a["stats"] != b["stats"]:
+        return f"{where}: per-rank stats diverged"
+    if a["network"] != b["network"]:
+        return f"{where}: network stats {a['network']} != {b['network']}"
+    ca, cb = a["C"], b["C"]
+    if (ca is None) != (cb is None) or (
+        ca is not None and not np.array_equal(ca, cb)
+    ):
+        return f"{where}: result matrix C diverged bitwise"
+    return None
+
+
+def _axis_resets(case: Case) -> list[Case]:
+    """Candidate simplifications, plainest first."""
+    out = []
+    if case.routing != "store-and-forward":
+        out.append(replace(case, routing="store-and-forward"))
+    if case.port != "one-port":
+        out.append(replace(case, port="one-port"))
+    if case.t_c != 0.0:
+        out.append(replace(case, t_c=0.0))
+    if (case.t_s, case.t_w) != (1.0, 1.0):
+        out.append(replace(case, t_s=1.0, t_w=1.0))
+    for n, p in _applicable_machines(case.algorithm):
+        if p < case.p or (p == case.p and n < case.n):
+            out.append(replace(case, n=n, p=p))
+            break
+    return out
+
+
+def shrink_case(
+    case: Case,
+    mismatches: Callable[[Case], bool] | None = None,
+) -> Case:
+    """A locally minimal case that still mismatches.
+
+    ``mismatches`` defaults to ``diff_case(...) is not None``.  Atoms are
+    delta-debugged first (ddmin), then each axis reset is kept whenever
+    the simpler case still reproduces, to a fixpoint.
+    """
+    if mismatches is None:
+        mismatches = lambda c: diff_case(c) is not None  # noqa: E731
+    if not mismatches(case):
+        raise ReproError("shrink_case needs a mismatching case to start from")
+    atoms = list(case.atoms)
+    if atoms:
+        keep = minimize_atoms(
+            atoms,
+            lambda idx: mismatches(
+                replace(case, atoms=tuple(atoms[i] for i in idx))
+            ),
+        )
+        case = replace(case, atoms=tuple(atoms[i] for i in keep))
+    changed = True
+    while changed:
+        changed = False
+        for candidate in _axis_resets(case):
+            if mismatches(candidate):
+                case = candidate
+                changed = True
+                break
+    return case
+
+
+def reproducer(case: Case) -> str:
+    """A paste-ready snippet replaying one case's differential check."""
+    return (
+        "PYTHONPATH=src python -c \"from repro.analysis.conformance import "
+        f"Case, diff_case; print(diff_case({case!r}))\""
+    )
+
+
+def run_suite(
+    seed: int = 2026,
+    count: int = 52,
+    algorithms: tuple[str, ...] | None = None,
+    *,
+    shrink: bool = True,
+    log: Callable[[str], None] = print,
+) -> dict:
+    """Run the differential sweep; returns ``{"cases", "mismatches"}``.
+
+    Every mismatch is shrunk (unless ``shrink=False``) and logged with a
+    ready-to-paste reproducer before the report is returned.
+    """
+    cases = sample_cases(seed, count, algorithms)
+    mismatches: list[dict] = []
+    for case in cases:
+        label = diff_case(case)
+        if label is None:
+            continue
+        minimal = shrink_case(case) if shrink else case
+        log(
+            f"conformance mismatch: {label}\n  shrunk case: {minimal!r}\n"
+            f"  reproduce: {reproducer(minimal)}"
+        )
+        mismatches.append(
+            {"case": case, "shrunk": minimal, "label": label}
+        )
+    return {"cases": len(cases), "mismatches": mismatches}

@@ -82,25 +82,55 @@ def resolve_jobs(jobs: int | None) -> int:
 
 
 def plan_chunks(
-    n_cells: int, jobs: int, chunk_size: int | None = None
+    n_cells: int,
+    jobs: int,
+    chunk_size: int | None = None,
+    *,
+    weights: Sequence[float] | None = None,
 ) -> list[tuple[int, int]]:
     """Deterministic contiguous chunk boundaries for an ``n_cells`` grid.
 
     Returns ``[(start, stop), ...]`` half-open index ranges covering
     ``range(n_cells)`` in order.  The partition depends only on
-    ``(n_cells, jobs, chunk_size)`` — never on scheduling or worker
-    availability — so the same inputs always shard identically.  This is
-    the single source of truth for sharding: :func:`run_grid` splits its
-    cell list with it, and the sweep-service supervisor leases exactly
-    these ranges to workers (and journals them, so a resumed job re-uses
-    the recorded plan verbatim).
+    ``(n_cells, jobs, chunk_size, weights)`` — never on scheduling or
+    worker availability — so the same inputs always shard identically.
+    This is the single source of truth for sharding: :func:`run_grid`
+    splits its cell list with it, and the sweep-service supervisor leases
+    exactly these ranges to workers (and journals them, so a resumed job
+    re-uses the recorded plan verbatim).
 
     ``chunk_size=None`` targets about four chunks per worker — small
     enough to balance load, large enough to amortize pickling.
+
+    ``weights`` (one non-negative cost estimate per cell) replaces the
+    count-based split with a cost-based one: contiguous chunks each
+    carrying roughly ``total/(jobs*4)`` of the estimated cost.  Cells
+    whose simulated cost varies by orders of magnitude (a region-map row
+    mixing superstep-batched Cannon points with event-path 3D collectives)
+    shard evenly instead of serializing behind one heavy chunk.  Weights
+    only steer the partition — results never depend on them.  An explicit
+    ``chunk_size`` takes precedence.
     """
     if n_cells <= 0:
         return []
     jobs = max(1, jobs)
+    if weights is not None and chunk_size is None:
+        if len(weights) != n_cells:
+            raise ValueError(
+                f"weights has {len(weights)} entries for {n_cells} cells"
+            )
+        if any(w < 0 for w in weights):
+            raise ValueError("chunk weights must be non-negative")
+        target = sum(weights) / (jobs * 4)
+        bounds: list[tuple[int, int]] = []
+        start, acc = 0, 0.0
+        for i, w in enumerate(weights):
+            if i > start and acc + w > target:
+                bounds.append((start, i))
+                start, acc = i, 0.0
+            acc += w
+        bounds.append((start, n_cells))
+        return bounds
     if chunk_size is None:
         chunk_size = max(1, -(-n_cells // (jobs * 4)))
     elif chunk_size < 1:
@@ -122,6 +152,7 @@ def run_grid(
     *,
     jobs: int | None = 1,
     chunk_size: int | None = None,
+    weights: Sequence[float] | None = None,
 ) -> list[R]:
     """``[fn(c) for c in cells]``, optionally sharded over processes.
 
@@ -144,6 +175,10 @@ def run_grid(
         amortize pickling.  The partition (:func:`plan_chunks`) depends
         only on the cell count, ``jobs``, and this value, never on
         scheduling, so results are reproducible run to run.
+    weights:
+        Optional per-cell cost estimates for the cost-based partition
+        (see :func:`plan_chunks`).  Purely a load-balancing hint: results
+        are bit-identical with or without it.
 
     Returns the results in cell order, identical to the sequential
     evaluation regardless of ``jobs``.
@@ -155,7 +190,9 @@ def run_grid(
     jobs = min(jobs, len(cell_list))
     chunks = [
         cell_list[start:stop]
-        for start, stop in plan_chunks(len(cell_list), jobs, chunk_size)
+        for start, stop in plan_chunks(
+            len(cell_list), jobs, chunk_size, weights=weights
+        )
     ]
     out: list[R] = []
     with ProcessPoolExecutor(max_workers=jobs) as pool:

@@ -16,6 +16,16 @@ The whole lattice is evaluated in one shot by the vectorized backend
 (:mod:`repro.models.table2_vec`); ``backend="scalar"`` forces the original
 per-point loop, which stays in place as the reference oracle the
 equivalence tests compare against.
+
+``backend="sim"`` replaces the Table 2 closed forms with the discrete-event
+simulator itself: every candidate is *run* (``timing_only``, ``t_c = 0`` so
+only communication is timed, exactly what Table 2 models) and the winner is
+the smallest simulated makespan.  The superstep closed form makes this
+affordable at machine sizes the event path cannot touch — a Cannon point at
+``p = 2¹⁵`` batches thousands of rounds into one algebra step — but 3D
+collectives still walk the event path, so simulation-backed maps are meant
+for *restricted* lattices (a band of rows around a disputed boundary), not
+the full default figure lattice.
 """
 
 from __future__ import annotations
@@ -194,6 +204,79 @@ def _map_row(
     return row_w, row_t
 
 
+#: algorithms whose phases the superstep closed form batches (uniform
+#: shift rounds); everything else simulates round by round on the event
+#: path.  Only a chunk-costing hint — never affects results.
+_SUPERSTEP_BATCHED = frozenset({"cannon", "dns_cannon", "3dd_cannon"})
+
+
+def _sim_row(
+    task: tuple[PortModel, float, float, float, tuple[float, ...], tuple[str, ...]],
+) -> tuple[list[str | None], list[float]]:
+    """One lattice row of a simulation-backed region map.
+
+    Same task/result shape as :func:`_map_row`, but each candidate is
+    timed by the engine (``timing_only=True``, ``t_c = 0`` so the
+    makespan is pure communication, matching what Table 2 models) instead
+    of evaluated in closed form.  Inapplicable candidates are skipped;
+    points where nothing applies stay holes.
+    """
+    from repro.algorithms import get_algorithm
+    from repro.sim.machine import MachineConfig
+
+    port, t_s, t_w, ln, log2_p, algos = task
+    n = int(round(2.0 ** ln))
+    Z = np.zeros((n, n))
+    nan = float("nan")
+    row_w: list[str | None] = []
+    row_t: list[float] = []
+    for lp in log2_p:
+        p = int(round(2.0 ** lp))
+        best_key: str | None = None
+        best_t = nan
+        for key in algos:
+            algo = get_algorithm(key)
+            if not algo.applicable(n, p):
+                continue
+            run = algo.run(
+                Z, Z,
+                MachineConfig.create(
+                    p, t_s=t_s, t_w=t_w, t_c=0.0, port_model=port
+                ),
+                timing_only=True,
+            )
+            t = run.result.total_time
+            if best_key is None or t < best_t:
+                best_key, best_t = key, t
+        row_w.append(best_key)
+        row_t.append(best_t)
+    return row_w, row_t
+
+
+def _sim_row_weight(
+    ln: float, log2_p: tuple[float, ...], algos: tuple[str, ...]
+) -> float:
+    """Estimated cost of one simulated lattice row, for chunk planning.
+
+    Event-path collectives cost roughly ``p·log₂p`` engine events per
+    point; superstep-batched algorithms collapse their rounds and scale
+    like ``p``.  Rows near the top of the ``p`` range are therefore
+    orders of magnitude heavier than the rest — exactly the skew
+    :func:`~repro.analysis.parallel.plan_chunks` weights exist for.
+    """
+    from repro.algorithms import get_algorithm
+
+    n = int(round(2.0 ** ln))
+    weight = 0.0
+    for lp in log2_p:
+        p = int(round(2.0 ** lp))
+        for key in algos:
+            if not get_algorithm(key).applicable(n, p):
+                continue
+            weight += p if key in _SUPERSTEP_BATCHED else p * max(1.0, lp)
+    return weight or 1.0
+
+
 def region_map(
     port: PortModel,
     t_s: float,
@@ -220,10 +303,16 @@ def region_map(
     and every ``jobs`` value — produce bit-identical maps (``jobs`` is
     accepted but irrelevant for the vectorized backend, which outruns any
     process pool on these lattice sizes).
+
+    ``backend="sim"`` times each candidate in the discrete-event engine
+    instead of the Table 2 closed forms (see :func:`_sim_row`); rows are
+    sharded with cost weights (:func:`_sim_row_weight`) because simulated
+    rows get heavier with ``p``.  Pass a *restricted* lattice — the
+    default figure lattice is model-sized, not simulation-sized.
     """
     if log2_n_min > log2_n_max or log2_p_min > log2_p_max:
         raise ModelError("empty lattice for region map")
-    if backend not in ("vector", "scalar"):
+    if backend not in ("vector", "scalar", "sim"):
         raise ModelError(f"unknown region-map backend {backend!r}")
     log2_n = [float(v) for v in range(log2_n_min, log2_n_max + 1)]
     log2_p = [float(v) for v in range(log2_p_min, log2_p_max + 1)]
@@ -236,10 +325,17 @@ def region_map(
         )
     else:
         tasks = [(port, t_s, t_w, ln, tuple(log2_p), algos) for ln in log2_n]
+        worker = _map_row
+        weights = None
+        if backend == "sim":
+            worker = _sim_row
+            weights = [
+                _sim_row_weight(ln, tuple(log2_p), algos) for ln in log2_n
+            ]
         index = {key: k for k, key in enumerate(algos)}
         rows_w: list[list[int]] = []
         rows_t: list[list[float]] = []
-        for row_w, row_t in run_grid(_map_row, tasks, jobs=jobs):
+        for row_w, row_t in run_grid(worker, tasks, jobs=jobs, weights=weights):
             rows_w.append([-1 if w is None else index[w] for w in row_w])
             rows_t.append(row_t)
         winner_idx = np.array(rows_w, dtype=np.int16)

@@ -924,10 +924,15 @@ def build_parser() -> argparse.ArgumentParser:
     p_k.add_argument("--ts", type=float, default=None)
     p_k.add_argument("--tw", type=float, default=None)
     p_k.add_argument("--port", choices=["one", "multi"], default=None)
+    p_k.add_argument(
+        "--backend", choices=["scalar", "sim"], default=None,
+        help="scalar = Table 2 closed forms (default); "
+             "sim = time each candidate in the event engine",
+    )
     p_k.set_defaults(_param_map=[
         ("log2_n_max", "log2_n_max"), ("log2_p_max", "log2_p_max"),
         ("algorithms", "algorithms"), ("ts", "t_s"), ("tw", "t_w"),
-        ("port", "port"),
+        ("port", "port"), ("backend", "backend"),
     ])
 
     p_k = _kind_parser("degrade", "graceful-degradation severity report")

@@ -116,6 +116,13 @@ def _normalize_region_map(p: dict) -> dict:
     lo_p, hi_p = int(p.get("log2_p_min", 2)), int(p.get("log2_p_max", 20))
     if lo_n > hi_n or lo_p > hi_p:
         raise ServiceError("region_map job has an empty lattice")
+    # Service rows always go through the scalar/sim per-row workers (the
+    # supervisor leases rows), so "vector" is not a job backend.
+    backend = p.get("backend", "scalar")
+    if backend not in ("scalar", "sim"):
+        raise ServiceError(
+            f"region_map backend must be 'scalar' or 'sim', got {backend!r}"
+        )
     algorithms = p.get("algorithms")
     return {
         "port": _port_value(p),
@@ -124,6 +131,7 @@ def _normalize_region_map(p: dict) -> dict:
         "log2_n_min": lo_n, "log2_n_max": hi_n,
         "log2_p_min": lo_p, "log2_p_max": hi_p,
         "algorithms": list(algorithms) if algorithms else None,
+        "backend": backend,
     }
 
 
@@ -279,12 +287,13 @@ def evaluate_chunk(kind: str, params: dict, cells: list) -> list:
         return [{"value": pt.value, "times": pt.times, "best": pt.best()}
                 for pt in points]
     if kind == "region_map":
-        from repro.analysis.regions import _map_row
+        from repro.analysis.regions import _map_row, _sim_row
 
+        row_fn = _sim_row if params.get("backend") == "sim" else _map_row
         out = []
         for cell in cells:
             port_value, t_s, t_w, ln, log2_p, algos = cell
-            row_w, row_t = _map_row(
+            row_w, row_t = row_fn(
                 (PortModel(port_value), t_s, t_w, ln, log2_p, algos)
             )
             out.append({

@@ -172,6 +172,8 @@ class Supervisor:
         chaos: ChaosPolicy | None = None,
         on_event: Callable[[dict], None] | None = None,
         on_chunk_done: Callable[[int, list], None] | None = None,
+        clock: Callable[[], float] | None = None,
+        sleep: Callable[[float], None] | None = None,
     ):
         if workers < 1:
             raise ServiceError(f"workers must be >= 1, got {workers}")
@@ -189,6 +191,12 @@ class Supervisor:
         self.chaos = chaos
         self.on_event = on_event or (lambda record: None)
         self.on_chunk_done = on_chunk_done or (lambda chunk, records: None)
+        # Lease time is injected (same discipline as admission.py): tests
+        # drive deadlines and backoffs from a virtual clock instead of
+        # racing the wall clock.  Worker liveness and pool teardown stay
+        # on real time — they guard host resources, not lease policy.
+        self._clock = clock or time.monotonic
+        self._sleep = sleep or time.sleep
         self.counters = SupervisorCounters()
         self._ctx = _mp_context()
         self._next_worker_id = 0
@@ -260,14 +268,14 @@ class Supervisor:
 
         try:
             while len(outcomes) < len(todo):
-                now = time.monotonic()
+                now = self._clock()
                 self._assign(pool, pending, inflight, cells, plan,
                              kind, params, now)
                 self._drain_results(result_q, outcomes, inflight, pending, now)
                 self._police_leases(pool, pending, inflight, outcomes,
                                     result_q, now)
                 if len(outcomes) < len(todo):
-                    time.sleep(_POLL_S)
+                    self._sleep(_POLL_S)
         finally:
             for worker in pool:
                 if worker.busy is None and worker.proc.is_alive():

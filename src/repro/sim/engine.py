@@ -42,7 +42,9 @@ from repro.errors import (
 from repro.sim.faults import FaultState
 from repro.sim.machine import MachineConfig, RoutingMode
 from repro.sim.message import CORRUPT_VERDICT, Message, message_crc
+from repro.sim.calendar import CalendarQueue
 from repro.sim.ops import (
+    SHIFT_FALLBACK,
     TIMED_OUT,
     BarrierOp,
     ElapseOp,
@@ -50,9 +52,11 @@ from repro.sim.ops import (
     ParallelOp,
     RecvOp,
     SendOp,
+    ShiftPhaseOp,
     WaitOp,
 )
 from repro.sim.ports import ContentionTracker
+from repro.sim.superstep import engine_supports_superstep, try_advance_superstep
 from repro.sim.process import ANY_SOURCE, ANY_TAG, ProcessContext
 from repro.sim.tracing import NetworkStats, RankStats, RunResult, TraceRecord
 from repro.topology.routing import RouteCache
@@ -161,6 +165,24 @@ class Engine:
         retransmission/ping-pong loops into a diagnosable error.
     max_virtual_time:
         Watchdog: abort once the event clock passes this virtual time.
+    superstep:
+        Allow the closed-form superstep fast path (see
+        :mod:`repro.sim.superstep`).  On by default; it self-disables
+        whenever faults, scenarios, tracing or a ``max_virtual_time``
+        watchdog require per-hop events, and produces bit-identical
+        results when it does engage.  ``False`` forces the pure event
+        path (the conformance suite's reference runs).
+    timing_only:
+        Skip local matrix products: ``ctx.local_matmul`` charges the same
+        flops/time but returns a zero-cost broadcast view instead of the
+        real product.  Simulated times, stats and digests are unchanged
+        (they depend only on shapes and sizes); per-rank results are
+        meaningless.  This is what lets simulation-backed region maps
+        reach p = 2^15 and beyond.
+    event_queue:
+        ``"heap"`` (default) or ``"calendar"`` — the
+        :class:`~repro.sim.calendar.CalendarQueue` bucketed backend for
+        the residual event regions.  Both produce identical event order.
     """
 
     def __init__(
@@ -170,6 +192,9 @@ class Engine:
         trace: bool = False,
         max_events: int | None = None,
         max_virtual_time: float | None = None,
+        superstep: bool = True,
+        timing_only: bool = False,
+        event_queue: str = "heap",
     ):
         self.config = config
         self.tracker = ContentionTracker(config)
@@ -203,6 +228,31 @@ class Engine:
             )
         self.max_events = max_events
         self.max_virtual_time = max_virtual_time
+        if event_queue not in ("heap", "calendar"):
+            raise SimulationError(
+                f"unknown event_queue backend {event_queue!r}"
+            )
+        self._calendar: CalendarQueue | None = (
+            CalendarQueue() if event_queue == "calendar" else None
+        )
+        self.superstep_enabled = superstep
+        self.timing_only = timing_only
+        # Parked shift-phase tasks: task -> (ShiftPhaseOp, park time).
+        # Resolved in closed form (or released with SHIFT_FALLBACK) once
+        # the event queues drain; see _resolve_superstep.  The hazard maps
+        # name the resources a parked phase will reserve, with the virtual
+        # time of the phase's own first reservation (park time + first
+        # multiply): a foreign hop reserving one of them *after* that
+        # threshold would invert the event path's FIFO reservation order,
+        # so _start_hop releases the parked set (at their earlier park
+        # times) before reserving.  Foreign reservations at or before the
+        # threshold land ahead of every phase reservation on both paths,
+        # so they simply fold into the closed form's seeds.
+        self._parked: dict[Task, tuple[ShiftPhaseOp, float]] = {}
+        self._hazard_nodes: dict[int, float] = {}
+        self._hazard_channels: dict[tuple[int, int], float] = {}
+        self._one_port = config.port_model.name == "ONE_PORT"
+        self._superstep_ok = engine_supports_superstep(self)
 
         n = config.num_nodes
         self.stats: dict[int, RankStats] = {r: RankStats(r) for r in range(n)}
@@ -265,48 +315,15 @@ class Engine:
             self._gens[rank] = gen
             self._schedule(0.0, _RESUME, (rank, None))
 
-        events = self._events
-        ready = self._ready
-        heappop = heapq.heappop
-        max_events = self.max_events
-        max_virtual_time = self.max_virtual_time
-        while events or ready:
-            # The fast lane holds same-time events in FIFO (= sequence)
-            # order; the full (time, seq) comparison picks exactly the
-            # event heappop would have.
-            if ready and (not events or ready[0] < events[0]):
-                time, _, kind, payload = ready.popleft()
-            else:
-                time, _, kind, payload = heappop(events)
-            self._now = time
-            self._events_processed += 1
-            if max_events is not None and self._events_processed > max_events:
-                raise LivelockError(
-                    "max_events", self._events_processed, time,
-                    self._progress_snapshot(),
-                )
-            if max_virtual_time is not None and time > max_virtual_time:
-                raise LivelockError(
-                    "max_virtual_time", self._events_processed, time,
-                    self._progress_snapshot(),
-                )
-            if kind == _RESUME:
-                task, value = payload
-                self._step(task, time, value)
-            elif kind == _HOP_READY:
-                (transfer, hop_index, handle) = payload
-                self._start_hop(transfer, hop_index, handle, time)
-            elif kind == _HOP_DONE:
-                (transfer, hop_index, handle) = payload
-                self._finish_hop(transfer, hop_index, handle, time)
-            elif kind == _RECV_TIMEOUT:
-                (rank, handle) = payload
-                self._expire_recv(rank, handle, time)
-            elif kind == _NODE_FAIL:
-                (node,) = payload
-                self._fail_node(node, time)
-            else:  # pragma: no cover - defensive
-                raise SimulationError(f"unknown event kind {kind!r}")
+        while True:
+            self._drain_events()
+            if self._parked:
+                # Every pending event is consumed and one or more ranks
+                # sit parked on a ShiftPhaseOp: advance the phase in
+                # closed form, or release everyone onto the event path.
+                self._resolve_superstep()
+                continue
+            break
 
         unfinished = [
             r for r in range(self.config.num_nodes)
@@ -355,6 +372,118 @@ class Engine:
             failed_ranks=tuple(sorted(self.failed)),
         )
 
+    def _drain_events(self) -> None:
+        """Process events until both queues are empty (the classic loop)."""
+        ready = self._ready
+        max_events = self.max_events
+        max_virtual_time = self.max_virtual_time
+        cal = self._calendar
+        events = self._events
+        heappop = heapq.heappop
+        while True:
+            # The fast lane holds same-time events in FIFO (= sequence)
+            # order; the full (time, seq) comparison picks exactly the
+            # event heappop (or calendar pop) would have.
+            if cal is None:
+                if not (events or ready):
+                    return
+                if ready and (not events or ready[0] < events[0]):
+                    time, _, kind, payload = ready.popleft()
+                else:
+                    time, _, kind, payload = heappop(events)
+            else:
+                if not (cal or ready):
+                    return
+                if ready and (not cal or ready[0] < cal.min_item()):
+                    time, _, kind, payload = ready.popleft()
+                else:
+                    time, _, kind, payload = cal.pop()
+            self._now = time
+            self._events_processed += 1
+            if max_events is not None and self._events_processed > max_events:
+                raise LivelockError(
+                    "max_events", self._events_processed, time,
+                    self._progress_snapshot(),
+                )
+            if max_virtual_time is not None and time > max_virtual_time:
+                raise LivelockError(
+                    "max_virtual_time", self._events_processed, time,
+                    self._progress_snapshot(),
+                )
+            if kind == _RESUME:
+                task, value = payload
+                self._step(task, time, value)
+            elif kind == _HOP_READY:
+                (transfer, hop_index, handle) = payload
+                self._start_hop(transfer, hop_index, handle, time)
+            elif kind == _HOP_DONE:
+                (transfer, hop_index, handle) = payload
+                self._finish_hop(transfer, hop_index, handle, time)
+            elif kind == _RECV_TIMEOUT:
+                (rank, handle) = payload
+                self._expire_recv(rank, handle, time)
+            elif kind == _NODE_FAIL:
+                (node,) = payload
+                self._fail_node(node, time)
+            else:  # pragma: no cover - defensive
+                raise SimulationError(f"unknown event kind {kind!r}")
+
+    def _resolve_superstep(self) -> None:
+        """Advance the parked shift phase in closed form, or release it.
+
+        Called only with drained event queues.  On success each parked
+        task is resumed (by an ordinary _RESUME event) at its phase-exit
+        time with its final ``(A, B, C)`` blocks; on any incompatibility
+        every task re-enters the event path via SHIFT_FALLBACK at the
+        time it parked — the phase then runs message by message, exactly
+        as if the fast path did not exist.
+        """
+        outcome = try_advance_superstep(self, self._parked)
+        if outcome is not None:
+            self._parked = {}
+            self._hazard_nodes.clear()
+            self._hazard_channels.clear()
+            for task, (finish, blocks) in outcome.items():
+                self._schedule(finish, _RESUME, (task, blocks))
+            return
+        parked = self._parked
+        if parked:
+            # Structural laggards: ranks with more rounds remaining than
+            # the parked frontier, or with deliveries waiting in their
+            # mailbox.  Releasing only them (one catch-up round through
+            # the event path each) lets the frontier stay parked: a
+            # frontier rank only completed its round because every
+            # laggard neighbour had already sent to it, so catch-up
+            # traffic cannot touch a frontier rank's resources — and any
+            # exception still trips the hazard maps or the mailbox check
+            # at the next resolve.  Blocked mid-round ranks unblock from
+            # the laggards' sends and park alongside the frontier.
+            min_steps = min(op.steps for (op, _at) in parked.values())
+            sel = [
+                task for task, (op, _at) in parked.items()
+                if op.steps > min_steps or self._mailbox[task_rank(task)]
+            ]
+            if sel and len(sel) < len(parked):
+                for task in sel:
+                    op, at = parked.pop(task)
+                    rank = task_rank(task)
+                    self._hazard_channels.pop((rank, op.a_to), None)
+                    self._hazard_channels.pop((rank, op.b_to), None)
+                    self._hazard_nodes.pop(rank, None)
+                    self._schedule(at, _RESUME, (task, SHIFT_FALLBACK))
+                return
+        self._release_parked()
+
+    def _release_parked(self) -> None:
+        """Release every parked task onto the event path, each resumed
+        with SHIFT_FALLBACK at the virtual time it parked."""
+        parked = self._parked
+        self._parked = {}
+        self._hazard_nodes.clear()
+        self._hazard_channels.clear()
+        for task, (_op, at) in parked.items():
+            self._schedule(at, _RESUME, (task, SHIFT_FALLBACK))
+
     def note_retransmission(self) -> None:
         """Count one reliable-layer retransmission in the run's stats."""
         self._retransmissions += 1
@@ -393,8 +522,10 @@ class Engine:
         ready = self._ready
         if time == self._now and (not ready or ready[0][0] == time):
             ready.append((time, next(self._seq), kind, payload))
-        else:
+        elif self._calendar is None:
             heapq.heappush(self._events, (time, next(self._seq), kind, payload))
+        else:
+            self._calendar.push((time, next(self._seq), kind, payload))
 
     def _step(
         self, task: Task, time: float, value: Any, throw: BaseException | None = None
@@ -506,6 +637,30 @@ class Engine:
                     self._parallel[task] = _ParallelWait(children)
                     for child in children:
                         self._schedule(now, _RESUME, (child, None))
+                    return
+
+                if cls is ShiftPhaseOp:
+                    if not self._superstep_ok:
+                        # This run needs per-hop events (faults, scenario,
+                        # tracing, watchdog, or superstep=False): answer
+                        # immediately so the program runs the equivalent
+                        # loop inline — zero extra events, identical trace.
+                        value = SHIFT_FALLBACK
+                        continue
+                    self._parked[task] = (op, now)
+                    if op.steps > 1:
+                        # Resources this phase will reserve, with the time
+                        # of its first reservation (after the step-0
+                        # multiply); a foreign hop reserving one later
+                        # than that forces release (see _start_hop).
+                        ar, ac = op.a_block.shape
+                        thr = now + self.config.params.flops_time(
+                            2.0 * ar * ac * op.b_block.shape[1]
+                        )
+                        self._hazard_channels[(rank, op.a_to)] = thr
+                        self._hazard_channels[(rank, op.b_to)] = thr
+                        if self._one_port:
+                            self._hazard_nodes[rank] = thr
                     return
 
                 if cls is BarrierOp:
@@ -829,6 +984,22 @@ class Engine:
             return
         msg, hops = transfer.msg, transfer.hops
         u, v = hops[hop_index]
+        if self._parked:
+            thr = self._hazard_channels.get((u, v))
+            if thr is None:
+                thr = self._hazard_nodes.get(u)
+            if thr is not None and time > thr:
+                # A foreign hop (e.g. a straggler's multi-hop skew
+                # traffic) is about to reserve a resource a parked phase
+                # would already be using by now.  The event path would
+                # have ordered the parked ranks' reservations first, so
+                # reserving here would invert the FIFO order: release the
+                # parked ranks onto the event path at their park times,
+                # then retry this hop after their reservations have gone
+                # in first.
+                self._release_parked()
+                self._schedule(time, _HOP_READY, (transfer, hop_index, handle))
+                return
         fs = self.faults
         tw_factor = 1.0
         if fs is not None:
@@ -1084,14 +1255,20 @@ def run_spmd(
     trace: bool = False,
     max_events: int | None = None,
     max_virtual_time: float | None = None,
+    superstep: bool = True,
+    timing_only: bool = False,
+    event_queue: str = "heap",
 ) -> RunResult:
     """Run the SPMD ``program`` (one generator per rank) on ``config``.
 
     ``max_events`` / ``max_virtual_time`` are watchdog caps: exceeding
     either raises :class:`~repro.errors.LivelockError` with a per-rank
-    progress snapshot instead of spinning forever.
+    progress snapshot instead of spinning forever.  ``superstep``,
+    ``timing_only`` and ``event_queue`` select the engine's fast paths —
+    see :class:`Engine` for their (bit-identical) semantics.
     """
     return Engine(
         config, trace=trace, max_events=max_events,
-        max_virtual_time=max_virtual_time,
+        max_virtual_time=max_virtual_time, superstep=superstep,
+        timing_only=timing_only, event_queue=event_queue,
     ).run(program)

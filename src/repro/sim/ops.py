@@ -20,7 +20,9 @@ __all__ = [
     "ElapseOp",
     "BarrierOp",
     "ParallelOp",
+    "ShiftPhaseOp",
     "TIMED_OUT",
+    "SHIFT_FALLBACK",
 ]
 
 _handle_ids = itertools.count()
@@ -148,6 +150,63 @@ class BarrierOp:
     Algorithms under measurement never use this; it exists so test and
     benchmark harnesses can separate phases without perturbing timings.
     """
+
+
+class _ShiftFallback:
+    """Sentinel the engine feeds back into a ``yield ShiftPhaseOp`` when the
+    phase cannot be advanced in closed form: the program must run the
+    equivalent per-message loop instead (see ``ProcessContext.shift_phase``).
+    """
+
+    _instance = None
+
+    def __new__(cls):
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "<SHIFT_FALLBACK>"
+
+
+SHIFT_FALLBACK = _ShiftFallback()
+
+
+@dataclass
+class ShiftPhaseOp:
+    """Declare a uniform shift-multiply superstep (Cannon-style inner loop).
+
+    Semantically identical to::
+
+        for step in range(steps):
+            C = local_matmul(A, B, C)
+            if step == steps - 1: break
+            waitall([isend(a_to, A, tag_a), irecv(a_from, tag_a),
+                     isend(b_to, B, tag_b), irecv(b_from, tag_b)])
+            A, B = received
+
+    Yielding this op instead of the loop lets the engine *try* to advance
+    every rank's remaining rounds at once in closed form (see
+    :mod:`repro.sim.superstep`).  The engine answers either with the final
+    ``(A, B, C)`` triple — the phase is done, the rank's clock already
+    advanced — or with :data:`SHIFT_FALLBACK`, in which case the program
+    runs *one* round of the loop above through the ordinary event path and
+    yields a fresh op for the remainder.  ``c_block`` carries the partial
+    accumulator across those round boundaries (``None`` before the first
+    multiply).  Both answers produce bit-identical simulated times; the
+    fast path merely skips the per-hop events.
+    """
+
+    steps: int
+    a_to: int
+    a_from: int
+    b_to: int
+    b_from: int
+    a_block: Any
+    b_block: Any
+    tag_a: int
+    tag_b: int
+    c_block: Any = None
 
 
 @dataclass

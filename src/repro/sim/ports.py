@@ -150,4 +150,11 @@ class ContentionTracker:
         return max(r.busy_time for r in self._channel.values())
 
     def total_channel_busy(self) -> float:
-        return sum(r.busy_time for r in self._channel.values())
+        # Summed in channel-key order, not creation order: the closed-form
+        # superstep path may create a phase's channels in rank order while
+        # the event path creates them in reservation order, and float
+        # addition is order-sensitive.  A fixed order keeps the metric
+        # well-defined (and bit-identical) across both.
+        return sum(
+            self._channel[k].busy_time for k in sorted(self._channel)
+        )

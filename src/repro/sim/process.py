@@ -30,6 +30,7 @@ import numpy as np
 from repro.errors import CommTimeoutError, SimulationError
 from repro.sim.message import payload_words
 from repro.sim.ops import (
+    SHIFT_FALLBACK,
     TIMED_OUT,
     BarrierOp,
     ElapseOp,
@@ -37,6 +38,7 @@ from repro.sim.ops import (
     ParallelOp,
     RecvOp,
     SendOp,
+    ShiftPhaseOp,
     WaitOp,
 )
 
@@ -225,6 +227,17 @@ class ProcessContext:
         m, k = A.shape
         n = B.shape[1]
         flops = 2.0 * m * k * n
+        if self.engine.timing_only:
+            # Timing-only mode: charge the same flops/time, skip the real
+            # product (and corruption, which would write into the view).
+            # The zero-cost broadcast view keeps the product's shape so
+            # later sends/matmuls still size their messages correctly.
+            if C is not None and C.shape != (m, n):
+                raise SimulationError(
+                    f"accumulator shape {C.shape} != product shape {(m, n)}"
+                )
+            yield ElapseOp(self.config.params.flops_time(flops), flops)
+            return C if C is not None else np.broadcast_to(0.0, (m, n))
         if C is None:
             out = A @ B
         else:
@@ -240,6 +253,61 @@ class ProcessContext:
         # silently perturbed (see FaultPlan.with_node_corruption).
         self.engine.apply_node_corruption(self.rank, out)
         return out
+
+    def shift_phase(
+        self,
+        *,
+        steps: int,
+        a_to: int,
+        a_from: int,
+        b_to: int,
+        b_from: int,
+        a_block: np.ndarray,
+        b_block: np.ndarray,
+        tag_a: int,
+        tag_b: int,
+    ):
+        """Run a uniform shift-multiply superstep (generator).
+
+        Equivalent to ``steps`` rounds of ``C (+)= A @ B`` each followed
+        (except the last) by a concurrent unit shift of ``A`` to ``a_to``
+        / from ``a_from`` and ``B`` to ``b_to`` / from ``b_from``.
+        Returns the final ``(a_block, b_block, c_block)``.
+
+        Declaring the phase at each round boundary (a fresh
+        :class:`~repro.sim.ops.ShiftPhaseOp` carrying the remaining round
+        count and the partial accumulator) lets the engine advance every
+        rank's remaining rounds in closed form the moment the whole
+        machine sits at a compatible boundary with a quiet network — see
+        :mod:`repro.sim.superstep`.  When it cannot (faults, scenarios,
+        tracing, residual foreign traffic, anything irregular), the engine
+        answers :data:`~repro.sim.ops.SHIFT_FALLBACK` and exactly one
+        round runs through the ordinary event machinery before the next
+        attempt; both routes produce bit-identical times, stats and
+        results.
+        """
+        if steps < 1:
+            raise SimulationError(f"shift_phase needs steps >= 1, got {steps}")
+        c_block = None
+        for step in range(steps):
+            verdict = yield ShiftPhaseOp(
+                steps - step, a_to, a_from, b_to, b_from,
+                a_block, b_block, tag_a, tag_b, c_block,
+            )
+            if verdict is not SHIFT_FALLBACK:
+                return verdict
+            c_block = yield from self.local_matmul(a_block, b_block, c_block)
+            if step == steps - 1:
+                break
+            handles = [
+                (yield from self.isend(a_to, a_block, tag_a)),
+                (yield from self.irecv(a_from, tag_a)),
+                (yield from self.isend(b_to, b_block, tag_b)),
+                (yield from self.irecv(b_from, tag_b)),
+            ]
+            values = yield from self.waitall(handles)
+            a_block, b_block = values[1], values[3]
+        return a_block, b_block, c_block
 
     # -- intra-rank concurrency ----------------------------------------------
 

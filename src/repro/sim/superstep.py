@@ -1,0 +1,310 @@
+"""Closed-form advancement of uniform shift-multiply supersteps.
+
+The event engine normally drains one heap event per hop: a Cannon-style
+inner loop of ``K`` multiply steps on ``p`` ranks costs ``O(K·p)`` events
+(four handles, two single-hop transfers and a resume per rank per step).
+Programs instead park a :class:`~repro.sim.ops.ShiftPhaseOp` at every
+round boundary; the moment every active rank is parked at a compatible
+boundary with drained event queues, this module advances all remaining
+rounds at once with a handful of numpy recurrences — *bit-identically* to
+what the event path would have produced.  Until then (residual foreign
+traffic, ranks at different boundaries), the engine releases laggards one
+event-path round at a time (see ``Engine._resolve_superstep`` and the
+hazard maps in ``Engine._start_hop``), so irregular prefixes such as
+Cannon's contended multi-hop skew stay exact and only the synchronized
+tail is batched.
+
+Why the closed form is exact
+----------------------------
+Within a uniform shift superstep every directional channel ``r -> a_to[r]``
+(and ``r -> b_to[r]``) is reserved by exactly one rank, and each rank
+reserves its A-hop strictly before its B-hop (they are issued by the same
+generator step; the one-port send engagement additionally serializes them).
+Inter-rank event interleaving therefore cannot change any reservation's
+start time, so the per-rank recurrence
+
+* ``startA = max(T, chanA_free, port_free)``, ``endA = startA + dA``
+* ``startB = max(T, chanB_free, endA)``, ``endB = startB + dB``  (one-port)
+* ``T' = max(endA, endB, endA[a_from], endB[b_from]) + t_c·flops``
+
+— seeded from the live :class:`~repro.sim.ports.ContentionTracker` state,
+so contention left over from a preceding event-driven phase (e.g. Cannon's
+multi-hop skew) carries in exactly — reproduces the event path's times to
+the last bit: ``max`` is exact, and every addition replays the same IEEE
+operations in the same per-rank order the event path folds them in.
+
+Eligibility
+-----------
+The fast path refuses (and the engine releases every parked rank with
+:data:`~repro.sim.ops.SHIFT_FALLBACK`) whenever any per-hop behaviour
+could differ from the closed form: active fault plans or heterogeneous
+scenarios, per-hop trace records, in-flight messages or posted receives,
+sub-tasks/barriers in progress, non-uniform step counts, block shapes or
+tags, shifts that are not neighbour permutations, or self/overlapping
+channels.  Fallback is always safe: the program runs the identical
+per-message loop through the ordinary event machinery.
+
+Per-channel busy times are bitwise identical between the two paths even
+though the fast path may *create* a phase's channels in rank order rather
+than event order: every aggregate over them
+(``NetworkStats.total_channel_busy``) folds in sorted channel-key order,
+never creation order, so non-dyadic parameter sets are exact too.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.sim.machine import PortModel
+from repro.sim.ops import ShiftPhaseOp
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import Engine
+
+__all__ = ["engine_supports_superstep", "try_advance_superstep"]
+
+
+def engine_supports_superstep(engine: "Engine") -> bool:
+    """Whether this engine run may ever use the closed-form path.
+
+    Checked once at construction: fault plans, heterogeneous scenarios and
+    per-hop tracing all need real events, and a ``max_virtual_time``
+    watchdog must observe every intermediate event time.
+    """
+    return (
+        engine.superstep_enabled
+        and engine.faults is None
+        and engine.scenario is None
+        and not engine.trace_enabled
+        and engine.max_virtual_time is None
+    )
+
+
+def _compatible(engine: "Engine", parked: dict) -> dict | None:
+    """Validate the parked phase; returns the vector spec or ``None``.
+
+    ``parked`` maps task -> (op, park_time).  All checks are conservative:
+    any doubt means event-path fallback, never a wrong fast answer.
+    """
+    # Only main rank programs (sub-tasks share ports unpredictably), and
+    # nothing else in flight anywhere in the engine.
+    if engine._blocked or engine._parallel or engine._barrier_waiting:
+        return None
+    active = engine.config.num_nodes - len(engine.done) - len(engine.failed)
+    if len(parked) != active:
+        return None
+    for task in parked:
+        if isinstance(task, tuple):
+            return None
+    if any(engine._mailbox.values()) or any(engine._pending_recvs.values()):
+        return None
+
+    ranks = sorted(parked)
+    first_op: ShiftPhaseOp = parked[ranks[0]][0]
+    steps = first_op.steps
+    tag_a, tag_b = first_op.tag_a, first_op.tag_b
+    a_shape = np.shape(first_op.a_block)
+    b_shape = np.shape(first_op.b_block)
+    if steps < 1:
+        return None
+    for r in ranks:
+        op = parked[r][0]
+        if (
+            op.steps != steps
+            or op.tag_a != tag_a
+            or op.tag_b != tag_b
+            or np.shape(op.a_block) != a_shape
+            or np.shape(op.b_block) != b_shape
+        ):
+            return None
+    if steps > 1:
+        if tag_a == tag_b:
+            return None
+        cube = engine.config.cube
+        index = {r: i for i, r in enumerate(ranks)}
+        a_to = [parked[r][0].a_to for r in ranks]
+        b_to = [parked[r][0].b_to for r in ranks]
+        seen_a: set[int] = set()
+        seen_b: set[int] = set()
+        for i, r in enumerate(ranks):
+            ta, tb = a_to[i], b_to[i]
+            if ta == r or tb == r or ta == tb:
+                return None
+            if ta not in index or tb not in index:
+                return None
+            if not cube.are_neighbors(r, ta) or not cube.are_neighbors(r, tb):
+                return None
+            # The receiver must expect exactly this sender on this tag.
+            if parked[ta][0].a_from != r or parked[tb][0].b_from != r:
+                return None
+            seen_a.add(ta)
+            seen_b.add(tb)
+        if len(seen_a) != len(ranks) or len(seen_b) != len(ranks):
+            return None  # not a permutation
+        a_from_idx = np.array(
+            [index[parked[r][0].a_from] for r in ranks], dtype=np.intp
+        )
+        b_from_idx = np.array(
+            [index[parked[r][0].b_from] for r in ranks], dtype=np.intp
+        )
+    else:
+        a_from_idx = b_from_idx = None
+    return {
+        "ranks": ranks,
+        "steps": steps,
+        "a_shape": a_shape,
+        "b_shape": b_shape,
+        "a_from_idx": a_from_idx,
+        "b_from_idx": b_from_idx,
+    }
+
+
+def try_advance_superstep(engine: "Engine", parked: dict) -> dict | None:
+    """Advance a fully-parked shift phase in closed form.
+
+    Returns ``{task: (finish_time, (a, b, c))}`` on success or ``None``
+    when the phase is not eligible (caller then releases every task with
+    :data:`~repro.sim.ops.SHIFT_FALLBACK`).
+    """
+    spec = _compatible(engine, parked)
+    if spec is None:
+        return None
+    ranks: list[int] = spec["ranks"]
+    steps: int = spec["steps"]
+    n_ranks = len(ranks)
+    params = engine.config.params
+    one_port = engine.config.port_model is PortModel.ONE_PORT
+
+    a_rows, a_cols = spec["a_shape"]
+    b_rows, b_cols = spec["b_shape"]
+    if a_cols != b_rows:
+        return None
+    m_a = a_rows * a_cols
+    m_b = b_rows * b_cols
+    flops = 2.0 * a_rows * a_cols * b_cols
+    d_c = params.flops_time(flops)
+    # Exactly the engine's healthy single-hop cost (t_s + t_w·nwords).
+    d_a = engine._t_s + engine._t_w * m_a
+    d_b = engine._t_s + engine._t_w * m_b
+
+    T = np.array([parked[r][1] for r in ranks], dtype=np.float64)
+    stats = engine.stats
+    # Per-step stat folds replicate the event path's float accumulation
+    # order: each rank adds the same scalar once per multiply step.
+    flops_acc = np.array([stats[r].flops for r in ranks], dtype=np.float64)
+    compute_acc = np.array(
+        [stats[r].compute_time for r in ranks], dtype=np.float64
+    )
+    for _ in range(steps):
+        flops_acc += flops
+        compute_acc += d_c
+
+    shifts = steps - 1
+    if shifts > 0:
+        a_from_idx = spec["a_from_idx"]
+        b_from_idx = spec["b_from_idx"]
+        tracker = engine.tracker
+        chan_a = [
+            tracker._channel_resource(r, parked[r][0].a_to) for r in ranks
+        ]
+        chan_b = [
+            tracker._channel_resource(r, parked[r][0].b_to) for r in ranks
+        ]
+        chan_a_free = np.array([c.next_free for c in chan_a])
+        chan_b_free = np.array([c.next_free for c in chan_b])
+        chan_a_busy = np.array([c.busy_time for c in chan_a])
+        chan_b_busy = np.array([c.busy_time for c in chan_b])
+        if one_port:
+            ports = [tracker._send_port[r] for r in ranks]
+            port_free = np.array([p.next_free for p in ports])
+            port_busy = np.array([p.busy_time for p in ports])
+        T = T + d_c  # step-0 multiply before the first shift
+        for _ in range(shifts):
+            if one_port:
+                sA = np.maximum(T, np.maximum(chan_a_free, port_free))
+                eA = sA + d_a
+                sB = np.maximum(T, np.maximum(chan_b_free, eA))
+                eB = sB + d_b
+                port_free = eB
+                port_busy += d_a
+                port_busy += d_b
+            else:
+                sA = np.maximum(T, chan_a_free)
+                eA = sA + d_a
+                sB = np.maximum(T, chan_b_free)
+                eB = sB + d_b
+            chan_a_free = eA
+            chan_b_free = eB
+            chan_a_busy += d_a
+            chan_b_busy += d_b
+            # Resume when the sends' first (only) hops and both inbound
+            # deliveries are done, then charge the next multiply.
+            T = np.maximum(
+                np.maximum(eA, eB),
+                np.maximum(eA[a_from_idx], eB[b_from_idx]),
+            )
+            T = T + d_c
+        for i in range(n_ranks):
+            ra, rb = chan_a[i], chan_b[i]
+            ra.next_free = float(chan_a_free[i])
+            ra.busy_time = float(chan_a_busy[i])
+            ra.reservations += shifts
+            rb.next_free = float(chan_b_free[i])
+            rb.busy_time = float(chan_b_busy[i])
+            rb.reservations += shifts
+            if one_port:
+                pr = ports[i]
+                pr.next_free = float(port_free[i])
+                pr.busy_time = float(port_busy[i])
+                pr.reservations += 2 * shifts
+    else:
+        T = T + d_c
+
+    for i, r in enumerate(ranks):
+        st = stats[r]
+        st.flops = float(flops_acc[i])
+        st.compute_time = float(compute_acc[i])
+        st.messages_sent += 2 * shifts
+        st.words_sent += (m_a + m_b) * shifts
+        st.messages_received += 2 * shifts
+        st.words_received += (m_a + m_b) * shifts
+
+    # -- data plane: rotate blocks and accumulate the same products in the
+    # same per-rank order the event path would have (bitwise equal C).
+    a_blocks = [parked[r][0].a_block for r in ranks]
+    b_blocks = [parked[r][0].b_block for r in ranks]
+    # Continue each rank's partial accumulator from earlier event-path
+    # rounds (same array object the event path would have kept adding
+    # into, so the float accumulation order is bitwise unchanged).
+    c_blocks: list = [parked[r][0].c_block for r in ranks]
+    if not engine.timing_only:
+        a_from_list = (
+            list(spec["a_from_idx"]) if shifts > 0 else None
+        )
+        b_from_list = (
+            list(spec["b_from_idx"]) if shifts > 0 else None
+        )
+        for step in range(steps):
+            for i in range(n_ranks):
+                if c_blocks[i] is None:
+                    c_blocks[i] = a_blocks[i] @ b_blocks[i]
+                else:
+                    c_blocks[i] += a_blocks[i] @ b_blocks[i]
+            if step < shifts:
+                a_blocks = [a_blocks[j] for j in a_from_list]
+                b_blocks = [b_blocks[j] for j in b_from_list]
+    else:
+        # Timing-only runs never read block *values* and shapes are
+        # uniform, so the rotation is a no-op: keep the entry references.
+        # C becomes a zero-cost broadcast view with the product's shape,
+        # mirroring what ctx.local_matmul returns in timing-only mode, so
+        # downstream communication phases still see correctly-sized blocks.
+        c_view = np.broadcast_to(0.0, (a_rows, b_cols))
+        c_blocks = [c_view] * n_ranks
+
+    return {
+        ranks[i]: (float(T[i]), (a_blocks[i], b_blocks[i], c_blocks[i]))
+        for i in range(n_ranks)
+    }

@@ -109,28 +109,30 @@ class TestReproducerReplay:
 
 
 class TestSampling:
-    def test_atoms_are_deterministic(self):
-        a = sample_atoms(np.random.default_rng([7, 1]), 16, 1000.0)
-        b = sample_atoms(np.random.default_rng([7, 1]), 16, 1000.0)
+    def test_atoms_are_deterministic(self, rng_seed):
+        a = sample_atoms(np.random.default_rng([rng_seed, 1]), 16, 1000.0)
+        b = sample_atoms(np.random.default_rng([rng_seed, 1]), 16, 1000.0)
         assert a == b
         assert 1 <= len(a) <= 3
 
-    def test_at_most_one_node_level_fault(self):
+    def test_at_most_one_node_level_fault(self, rng_seed):
         """The sampler never combines fail-stop and compute corruption —
         an erasure and a silent error in one decode line poison each
         other's reconstruction."""
         for trial in range(200):
             atoms = sample_atoms(
-                np.random.default_rng([0, trial]), 16, 1000.0
+                np.random.default_rng([rng_seed, trial]), 16, 1000.0
             )
             node_level = [
                 a for a in atoms if a["kind"] in ("node_fail", "node_corrupt")
             ]
             assert len(node_level) <= 1, atoms
 
-    def test_corruption_rates_stay_below_one(self):
+    def test_corruption_rates_stay_below_one(self, rng_seed):
         for trial in range(100):
-            for a in sample_atoms(np.random.default_rng([1, trial]), 16, 500.0):
+            for a in sample_atoms(
+                np.random.default_rng([rng_seed + 1, trial]), 16, 500.0
+            ):
                 if "rate" in a:
                     assert 0.0 < a["rate"] < 1.0
 

@@ -14,6 +14,11 @@ import repro.analysis.parallel as parallel_mod
 from repro.analysis.parallel import default_jobs
 
 
+def _square(cell: int) -> int:
+    """Module-level so worker processes can unpickle it."""
+    return cell * cell
+
+
 class TestDefaultJobs:
     def test_env_override_wins(self, monkeypatch):
         monkeypatch.setenv("REPRO_JOBS", "7")
@@ -110,3 +115,66 @@ class TestChunkPlanning:
         assert resolve_jobs(4) == 4
         assert resolve_jobs(0) == 1
         assert resolve_jobs(-3) == 1
+
+
+class TestWeightedChunks:
+    """Cost-weighted planning: same coverage guarantees, balanced cost."""
+
+    def test_weighted_plan_covers_every_cell_exactly_once(self):
+        from repro.analysis.parallel import plan_chunks
+
+        weights = [float(2 ** (i % 11)) for i in range(100)]
+        plan = plan_chunks(100, 4, weights=weights)
+        covered = [i for start, stop in plan for i in range(start, stop)]
+        assert covered == list(range(100))
+
+    def test_weighted_plan_is_deterministic(self):
+        from repro.analysis.parallel import plan_chunks
+
+        weights = [1.0, 5.0, 1.0, 1.0, 20.0, 1.0]
+        assert plan_chunks(6, 2, weights=weights) == plan_chunks(
+            6, 2, weights=weights
+        )
+
+    def test_skewed_weights_isolate_heavy_cells(self):
+        """A tail of heavy cells must not ride in one oversized chunk:
+        every chunk stays near the per-chunk cost target (one cell may
+        overshoot it — chunks are contiguous and never split a cell)."""
+        from repro.analysis.parallel import plan_chunks
+
+        weights = [1.0] * 12 + [100.0] * 4
+        plan = plan_chunks(16, 2, weights=weights)
+        costs = [sum(weights[start:stop]) for start, stop in plan]
+        target = sum(weights) / 8
+        assert all(
+            c <= target or (stop - start) == 1
+            for c, (start, stop) in zip(costs, plan)
+        )
+        # each heavy cell travels alone
+        assert [(start, stop) for start, stop in plan if start >= 12] == [
+            (i, i + 1) for i in range(12, 16)
+        ]
+
+    def test_explicit_chunk_size_overrides_weights(self):
+        from repro.analysis.parallel import plan_chunks
+
+        assert plan_chunks(4, 2, 2, weights=[9.0, 1.0, 1.0, 1.0]) == [
+            (0, 2), (2, 4)
+        ]
+
+    def test_weight_validation(self):
+        from repro.analysis.parallel import plan_chunks
+
+        with pytest.raises(ValueError, match="entries"):
+            plan_chunks(3, 2, weights=[1.0, 1.0])
+        with pytest.raises(ValueError, match="non-negative"):
+            plan_chunks(2, 2, weights=[1.0, -1.0])
+
+    def test_run_grid_with_weights_is_bit_identical(self):
+        from repro.analysis.parallel import run_grid
+
+
+        cells = list(range(37))
+        weights = [float(1 + (i * 7) % 13) for i in cells]
+        expected = [c * c for c in cells]
+        assert run_grid(_square, cells, jobs=2, weights=weights) == expected

@@ -155,6 +155,70 @@ class TestRegionMap:
                     )
                     assert rm.times[i][j] == pytest.approx(t)
 
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ModelError, match="backend"):
+            region_map(ONE, 150, 3, log2_n_max=4, log2_p_max=4,
+                       backend="quantum")
+
+
+class TestSimBackend:
+    """``backend="sim"``: winners timed by the engine, not Table 2."""
+
+    _LATTICE = dict(
+        log2_n_min=3, log2_n_max=5, log2_p_min=2, log2_p_max=4
+    )
+
+    def test_simulated_map_structure(self):
+        rm = region_map(ONE, 150, 3, backend="sim", **self._LATTICE)
+        assert rm.winner_idx.shape == (3, 3)
+        some_winner = False
+        for i in range(3):
+            for j in range(3):
+                w = rm.winners[i][j]
+                if w is None:
+                    assert math.isnan(rm.times[i][j])
+                    continue
+                some_winner = True
+                assert w in rm.algorithms
+                assert math.isfinite(rm.times[i][j])
+                assert rm.times[i][j] >= 0.0
+        assert some_winner
+
+    def test_sim_map_bit_identical_across_jobs(self):
+        """Weighted sharding is a load-balancing hint, never an output."""
+        import numpy as np
+
+        seq = region_map(ONE, 150, 3, backend="sim", jobs=1, **self._LATTICE)
+        par = region_map(ONE, 150, 3, backend="sim", jobs=2, **self._LATTICE)
+        assert np.array_equal(seq.winner_idx, par.winner_idx)
+        assert np.array_equal(seq.times, par.times, equal_nan=True)
+
+    def test_sim_winner_is_cheapest_simulated_candidate(self):
+        """Cross-check one lattice point against direct engine runs."""
+        import numpy as np
+
+        from repro.algorithms import get_algorithm
+        from repro.sim.machine import MachineConfig
+
+        rm = region_map(ONE, 150, 3, backend="sim", log2_n_min=4,
+                        log2_n_max=4, log2_p_min=4, log2_p_max=4)
+        n, p = 16, 16
+        times = {}
+        for key in rm.algorithms:
+            algo = get_algorithm(key)
+            if not algo.applicable(n, p):
+                continue
+            Z = np.zeros((n, n))
+            run = algo.run(
+                Z, Z, MachineConfig.create(p, t_s=150, t_w=3, t_c=0.0),
+                timing_only=True,
+            )
+            times[key] = run.result.total_time
+        assert times
+        best = min(times, key=times.get)
+        assert rm.winner_at(4.0, 4.0) == best
+        assert rm.times[0][0] == times[best]
+
 
 class TestFigures:
     def test_figure13_has_four_panels(self):

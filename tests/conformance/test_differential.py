@@ -1,0 +1,102 @@
+"""Differential conformance: fast path ≡ event path ≡ calendar backend.
+
+This suite is the enforcement arm of the superstep contract: for a
+seeded sample of ≥ 50 (algorithm, machine, fault, scenario)
+configurations spanning every registered algorithm, all three execution
+paths must produce bit-identical simulated times, statistics, trace
+digests, and result matrices — and identical *errors* when a fault plan
+makes the run fail.  On mismatch the failing configuration is shrunk
+with the chaos ddmin helper and a paste-ready reproducer is printed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro.algorithms import ALGORITHMS
+from repro.analysis.conformance import (
+    Case,
+    diff_case,
+    reproducer,
+    sample_cases,
+    shrink_case,
+)
+
+SEED = 2026
+COUNT = 52
+
+CASES = sample_cases(SEED, COUNT)
+
+
+class TestSampler:
+    def test_covers_every_registered_algorithm(self):
+        assert len(CASES) >= 50
+        assert {c.algorithm for c in CASES} == set(ALGORITHMS)
+
+    def test_sampler_is_deterministic(self):
+        assert sample_cases(SEED, COUNT) == CASES
+        assert sample_cases(SEED + 1, COUNT) != CASES
+
+    def test_sampler_spans_fault_and_scenario_flavors(self):
+        fault_kinds = {
+            a["kind"] for c in CASES for a in c.atoms if a["kind"] != "scenario"
+        }
+        assert fault_kinds  # at least one chaos fault flavor in the sample
+        assert any(
+            a["kind"] == "scenario" for c in CASES for a in c.atoms
+        )
+        assert any(not c.atoms for c in CASES)  # and plain healthy runs
+
+
+@pytest.mark.parametrize(
+    "case", CASES, ids=lambda c: f"{c.algorithm}-p{c.p}-s{c.data_seed}"
+)
+def test_paths_bit_identical(case):
+    label = diff_case(case)
+    if label is not None:
+        minimal = shrink_case(case)
+        pytest.fail(
+            f"{label}\n  shrunk case: {minimal!r}\n"
+            f"  reproduce: {reproducer(minimal)}"
+        )
+
+
+class TestShrinker:
+    """The shrinker itself is pinned against a synthetic mismatch (real
+    ones must not exist), so a future regression gets a small repro."""
+
+    def test_shrinks_atoms_and_axes_to_local_minimum(self):
+        case = next(
+            c for c in CASES
+            if len(c.atoms) >= 2 and c.port == "multi-port"
+        )
+
+        # Synthetic oracle: "mismatches" iff the last atom survives.
+        culprit = case.atoms[-1]
+        seen = []
+
+        def mismatches(c: Case) -> bool:
+            seen.append(c)
+            return culprit in c.atoms
+
+        minimal = shrink_case(case, mismatches)
+        assert minimal.atoms == (culprit,)
+        # Axis resets applied: everything the oracle ignores was simplified.
+        assert minimal.port == "one-port"
+        assert minimal.routing == "store-and-forward"
+        assert (minimal.t_s, minimal.t_w, minimal.t_c) == (1.0, 1.0, 0.0)
+        assert len(seen) > 1
+
+    def test_refuses_non_mismatching_start(self):
+        from repro.errors import ReproError
+
+        with pytest.raises(ReproError, match="mismatching"):
+            shrink_case(CASES[0], lambda c: False)
+
+    def test_minimal_case_without_atoms_keeps_machine_shrinks(self):
+        case = replace(CASES[0], atoms=())
+        minimal = shrink_case(case, lambda c: True)
+        assert minimal.atoms == ()
+        assert minimal.routing == "store-and-forward"

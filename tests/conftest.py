@@ -26,6 +26,13 @@ def pytest_addoption(parser):
         help="regenerate the committed golden-trace fixtures instead of "
         "comparing against them (use after an intentional engine change)",
     )
+    parser.addoption(
+        "--rng-seed",
+        type=int,
+        default=12345,
+        help="seed for the shared `rng` fixture (default 12345; change to "
+        "explore other deterministic draws, e.g. --rng-seed=$RANDOM)",
+    )
 
 
 @pytest.fixture
@@ -40,8 +47,23 @@ def port_model(request):
 
 
 @pytest.fixture
-def rng():
-    return np.random.default_rng(12345)
+def rng(request):
+    """Shared seeded RNG: deterministic by default, overridable per run.
+
+    The seed comes from ``--rng-seed`` (default 12345) and is printed on
+    entry; pytest swallows the line for passing tests and replays it in
+    the captured-stdout section of any failure, so a failing seeded test
+    always names the seed that reproduces it.
+    """
+    seed = request.config.getoption("--rng-seed")
+    print(f"[rng fixture] seed={seed} (rerun with --rng-seed={seed})")
+    return np.random.default_rng(seed)
+
+
+@pytest.fixture
+def rng_seed(request):
+    """The ``--rng-seed`` value itself, for tests that spawn sub-streams."""
+    return request.config.getoption("--rng-seed")
 
 
 def make_config(

@@ -2,7 +2,8 @@
 
 Every registered algorithm is executed (traced) on small one-port and
 multi-port machines at ``p ∈ {8, 64}`` plus a handful of extra cases
-(cut-through routing, a rerouted link fault), and the resulting
+(cut-through routing, a rerouted link fault, heterogeneous-machine
+scenarios, and one sweep-service report digest), and the resulting
 :meth:`~repro.sim.tracing.RunResult.trace_digest` is compared against the
 committed fixture ``tests/golden/golden_traces.json``.
 
@@ -29,6 +30,7 @@ import pytest
 
 from repro.algorithms import ALGORITHMS, get_algorithm
 from repro.sim import FaultPlan, MachineConfig, PortModel, RoutingMode
+from repro.sim.scenario import hotspot, random_heterogeneous
 
 GOLDEN_PATH = pathlib.Path(__file__).parent / "golden_traces.json"
 
@@ -100,6 +102,31 @@ def _run_fault_case():
 FAULT_CASE_ID = "cannon-n8-p16-one-port-sf-linkfault"
 
 
+def _run_scenario_case(key: str, n: int, p: int, scenario):
+    """A degraded-machine run: pins the scenario-scaled link timings."""
+    rng = np.random.default_rng(0)
+    A = rng.standard_normal((n, n))
+    B = rng.standard_normal((n, n))
+    config = MachineConfig.create(p, scenario=scenario, **_PARAMS)
+    return get_algorithm(key).run(A, B, config, verify=True, trace=True)
+
+
+#: (case_id, key, n, p, scenario) — one random-heterogeneous profile and
+#: one hotspot, covering both scenario generators in the timeline gate
+SCENARIO_CASES = [
+    (
+        "cannon-n8-p16-one-port-sf-hetero",
+        "cannon", 8, 16,
+        random_heterogeneous(16, 1.5, seed=3),
+    ),
+    (
+        "3d_all-n8-p8-one-port-sf-hotspot",
+        "3d_all", 8, 8,
+        hotspot(8, node=0, factor=3.0),
+    ),
+]
+
+
 def _load_fixtures() -> dict:
     if not GOLDEN_PATH.exists():
         return {}
@@ -117,9 +144,8 @@ def _record(run) -> dict:
     }
 
 
-def _check_or_regen(case_id: str, run, regen: bool) -> None:
+def _check_or_regen(case_id: str, got: dict, regen: bool) -> None:
     fixtures = _load_fixtures()
-    got = _record(run)
     if regen:
         fixtures[case_id] = got
         GOLDEN_PATH.write_text(
@@ -132,10 +158,11 @@ def _check_or_regen(case_id: str, run, regen: bool) -> None:
             "--regen-golden to record it"
         )
     want = fixtures[case_id]
-    assert got["total_time"] == want["total_time"], (
-        f"{case_id}: makespan changed {want['total_time']!r} -> "
-        f"{got['total_time']!r}"
-    )
+    if "total_time" in want:
+        assert got["total_time"] == want["total_time"], (
+            f"{case_id}: makespan changed {want['total_time']!r} -> "
+            f"{got['total_time']!r}"
+        )
     assert got == want, (
         f"{case_id}: event timeline diverged from the committed golden "
         f"trace ({want['events']} events, digest {want['digest'][:12]}…) — "
@@ -149,13 +176,53 @@ def _check_or_regen(case_id: str, run, regen: bool) -> None:
 )
 def test_golden_trace(case_id, key, n, p, port, routing, regen_golden):
     run = _run_case(key, n, p, port, routing)
-    _check_or_regen(case_id, run, regen_golden)
+    _check_or_regen(case_id, _record(run), regen_golden)
 
 
 def test_golden_trace_rerouted_fault(regen_golden):
     run = _run_fault_case()
     assert run.result.network.hops_rerouted > 0  # the detour actually fired
-    _check_or_regen(FAULT_CASE_ID, run, regen_golden)
+    _check_or_regen(FAULT_CASE_ID, _record(run), regen_golden)
+
+
+@pytest.mark.parametrize(
+    "case_id,key,n,p,scenario", SCENARIO_CASES,
+    ids=[c[0] for c in SCENARIO_CASES],
+)
+def test_golden_trace_heterogeneous(case_id, key, n, p, scenario,
+                                    regen_golden):
+    run = _run_scenario_case(key, n, p, scenario)
+    _check_or_regen(case_id, _record(run), regen_golden)
+
+
+SERVICE_CASE_ID = "service-sweep-n-cannon-berntsen"
+
+
+def test_golden_service_report_digest(regen_golden):
+    """The sweep service's report digest is itself golden: any change to
+    cell evaluation, record schema, params normalization, or the
+    canonical-JSON digest recipe moves it."""
+    from repro.service.jobs import (
+        build_cells,
+        evaluate_chunk,
+        finalize,
+        make_spec,
+    )
+
+    spec = make_spec("sweep", {
+        "algorithms": ["cannon", "berntsen"],
+        "variable": "n",
+        "values": [64.0, 256.0],
+        "p": 64,
+    })
+    cells = build_cells(spec)
+    report = finalize(spec, evaluate_chunk(spec.kind, spec.params, cells))
+    got = {
+        "digest": report["digest"],
+        "cells": len(cells),
+        "bests": [pt["best"] for pt in report["points"]],
+    }
+    _check_or_regen(SERVICE_CASE_ID, got, regen_golden)
 
 
 def test_trace_digest_is_order_and_time_sensitive():

@@ -1,0 +1,55 @@
+"""Job-kind normalization and evaluation, beyond what the end-to-end
+service tests cover: the region-map backend switch."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.service.jobs import build_cells, evaluate_chunk, make_spec
+
+_LATTICE = {
+    "log2_n_min": 3, "log2_n_max": 4,
+    "log2_p_min": 2, "log2_p_max": 3,
+}
+
+
+class TestRegionMapBackend:
+    def test_backend_defaults_to_scalar(self):
+        spec = make_spec("region_map", dict(_LATTICE))
+        assert spec.params["backend"] == "scalar"
+
+    def test_vector_backend_rejected_for_jobs(self):
+        """The supervisor leases per-row cells; whole-lattice vectorized
+        evaluation has no row worker, so it is not a job backend."""
+        with pytest.raises(ServiceError, match="backend"):
+            make_spec("region_map", {**_LATTICE, "backend": "vector"})
+
+    def test_sim_backend_rows_match_direct_sim_row(self):
+        from repro.analysis.regions import _sim_row
+        from repro.sim.machine import PortModel
+
+        spec = make_spec("region_map", {**_LATTICE, "backend": "sim"})
+        cells = build_cells(spec)
+        records = evaluate_chunk(spec.kind, spec.params, cells)
+        assert [r["log2_n"] for r in records] == [3.0, 4.0]
+        for cell, rec in zip(cells, records):
+            port_value, t_s, t_w, ln, log2_p, algos = cell
+            row_w, row_t = _sim_row(
+                (PortModel(port_value), t_s, t_w, ln, log2_p, algos)
+            )
+            assert rec["winners"] == row_w
+            assert rec["times"] == [None if t != t else t for t in row_t]
+
+    def test_sim_and_scalar_backends_can_disagree_only_in_times(self):
+        """Same cells, different oracle: the record schema is identical
+        so finalize/digest machinery never needs to know the backend."""
+        sim = make_spec("region_map", {**_LATTICE, "backend": "sim"})
+        scalar = make_spec("region_map", dict(_LATTICE))
+        sim_recs = evaluate_chunk(sim.kind, sim.params, build_cells(sim))
+        sca_recs = evaluate_chunk(
+            scalar.kind, scalar.params, build_cells(scalar)
+        )
+        for a, b in zip(sim_recs, sca_recs):
+            assert set(a) == set(b) == {"log2_n", "winners", "times"}
+            assert len(a["winners"]) == len(b["winners"])

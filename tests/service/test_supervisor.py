@@ -2,9 +2,18 @@
 
 These tests run real worker processes against a small sweep job; the
 reference records come from evaluating the same chunks sequentially.
+
+Lease deadlines are driven through the supervisor's injected clock
+(the same injected-time discipline ``admission.py`` uses): the stall
+test keeps a deadline that real time can never reach and advances a
+virtual clock past it only once every healthy chunk has completed, so
+a loaded CI host can be arbitrarily slow without expiring a healthy
+lease or leaving the stalled one undetected.
 """
 
 from __future__ import annotations
+
+import time
 
 import pytest
 
@@ -12,6 +21,24 @@ from repro.analysis.parallel import plan_chunks
 from repro.service.chaos import ChaosPolicy
 from repro.service.jobs import build_cells, evaluate_chunk, make_spec
 from repro.service.supervisor import Supervisor
+
+
+class VirtualClock:
+    """Monotonic clock plus a test-controlled offset.
+
+    Real time keeps flowing (workers are real processes), but the test
+    decides when whole virtual hours pass — deadline expiry becomes an
+    explicit test action instead of a race against host load.
+    """
+
+    def __init__(self):
+        self._offset = 0.0
+
+    def __call__(self) -> float:
+        return time.monotonic() + self._offset
+
+    def advance(self, seconds: float) -> None:
+        self._offset += seconds
 
 PARAMS = {
     "algorithms": ["cannon", "berntsen"],
@@ -75,12 +102,31 @@ def test_killed_worker_is_respawned_and_chunk_retried(job):
 def test_stalled_worker_lease_expires(job):
     _, _, plan, reference = job
     events = []
+    clock = VirtualClock()
+    done: set[int] = set()
+    expired = False
+
+    def nap(_poll_s: float) -> None:
+        # Real nap keeps the poll loop polite; the virtual jump fires
+        # exactly once, after every healthy chunk has reported, so the
+        # only lease it can expire is the stalled one.
+        nonlocal expired
+        time.sleep(0.005)
+        if not expired and len(done) == len(plan) - 1:
+            clock.advance(7201.0)
+            expired = True
+
     outcomes = _run(
         job,
-        chaos=ChaosPolicy(stall_at_chunks=frozenset({2}), stall_seconds=30.0),
+        chaos=ChaosPolicy(
+            stall_at_chunks=frozenset({2}), stall_seconds=3600.0
+        ),
         events=events,
-        chunk_deadline_s=0.4,
+        chunk_deadline_s=7200.0,
         backoff_base_s=0.01,
+        clock=clock,
+        sleep=nap,
+        on_chunk_done=lambda chunk, records: done.add(chunk),
     )
     assert outcomes[2].attempts == 2
     reasons = {e["chunk"]: e["reason"] for e in events if e["t"] == "retry"}

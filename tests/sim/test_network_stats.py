@@ -45,9 +45,8 @@ class TestNetworkStats:
         )
         assert res.network.total_channel_busy == pytest.approx(expected)
 
-    def test_lower_bound_property(self):
+    def test_lower_bound_property(self, rng):
         """The most-loaded channel bounds the completion time from below."""
-        rng = np.random.default_rng(0)
         A = rng.standard_normal((16, 16))
         B = rng.standard_normal((16, 16))
         for key, p in [("cannon", 16), ("3d_all", 8), ("simple", 16)]:
@@ -56,8 +55,7 @@ class TestNetworkStats:
             )
             assert run.result.network.max_channel_busy <= run.total_time + 1e-9
 
-    def test_mean_utilization_bounds(self):
-        rng = np.random.default_rng(1)
+    def test_mean_utilization_bounds(self, rng):
         A = rng.standard_normal((16, 16))
         B = rng.standard_normal((16, 16))
         run = get_algorithm("3d_all").run(
@@ -76,10 +74,9 @@ class TestNetworkStats:
         assert res.network == NetworkStats(0, 0.0, 0.0)
         assert res.network.mean_utilization(10.0) == 0.0
 
-    def test_multiport_uses_more_channels_concurrently(self):
+    def test_multiport_uses_more_channels_concurrently(self, rng):
         """Same algorithm, same traffic — multi-port finishes faster with
         identical total channel busy time (work conserved, concurrency up)."""
-        rng = np.random.default_rng(2)
         A = rng.standard_normal((16, 16))
         B = rng.standard_normal((16, 16))
         one = get_algorithm("simple").run(

@@ -89,10 +89,9 @@ class TestWithAlgorithms:
         assert measured[1] == pytest.approx(model[1])
         assert measured[0] <= model[0]
 
-    def test_all_algorithms_correct_under_cut_through(self):
+    def test_all_algorithms_correct_under_cut_through(self, rng):
         from repro.algorithms import ALGORITHMS
 
-        rng = np.random.default_rng(5)
         for key, algo in ALGORITHMS.items():
             n, p = next(
                 (n, p)

@@ -1,0 +1,230 @@
+"""Unit tests for the closed-form superstep fast path.
+
+The heavyweight guarantee (bit-identical times/digests on every
+registered algorithm across seeded configurations) lives in
+``tests/conformance/``; these tests pin the mechanics — eligibility
+gating, per-round fallback, hazard release, selective laggard release,
+timing-only mode — on machines small enough to read.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro.sim.engine as engine_mod
+from repro.algorithms import get_algorithm
+from repro.errors import AlgorithmError, SimulationError
+from repro.sim import FaultPlan, MachineConfig, PortModel, run_spmd
+from repro.sim.engine import Engine
+from repro.sim.scenario import hotspot
+from repro.sim.superstep import engine_supports_superstep
+
+PARAMS = {"t_s": 7.0, "t_w": 3.0, "t_c": 0.5}
+
+
+def _shift_program(steps: int, *, tag_b: int = 2, delay_rank: int | None = None):
+    """A uniform shift phase on p=4: A partners via XOR 1, B via XOR 2.
+
+    Both masks are self-inverse cube-neighbor permutations, so the phase
+    is closed-form eligible by construction.  ``delay_rank`` staggers one
+    rank's park time to prove mixed park times still batch exactly.
+    """
+
+    def prog(ctx):
+        if delay_rank is not None and ctx.rank == delay_rank:
+            yield from ctx.elapse(11.0)
+        a = np.full((2, 2), float(ctx.rank + 1))
+        b = np.full((2, 2), float(10 * ctx.rank + 1))
+        return (
+            yield from ctx.shift_phase(
+                steps=steps,
+                a_to=ctx.rank ^ 1, a_from=ctx.rank ^ 1,
+                b_to=ctx.rank ^ 2, b_from=ctx.rank ^ 2,
+                a_block=a, b_block=b, tag_a=1, tag_b=tag_b,
+            )
+        )
+
+    return prog
+
+
+class _PathCounter:
+    """Counts closed-form successes/refusals seen by the engine."""
+
+    def __init__(self, monkeypatch):
+        self.ok = 0
+        self.refused = 0
+        real = engine_mod.try_advance_superstep
+
+        def counted(engine, parked):
+            out = real(engine, parked)
+            if out is None:
+                self.refused += 1
+            else:
+                self.ok += 1
+            return out
+
+        monkeypatch.setattr(engine_mod, "try_advance_superstep", counted)
+
+
+def _both_paths(prog, p=4, *, trace=False, **cfg_kw):
+    kw = {**PARAMS, **cfg_kw}
+    fast = run_spmd(MachineConfig.create(p, **kw), prog, superstep=True,
+                    trace=trace)
+    slow = run_spmd(MachineConfig.create(p, **kw), prog, superstep=False,
+                    trace=trace)
+    return fast, slow
+
+
+def _assert_identical(fast, slow):
+    assert fast.total_time == slow.total_time
+    assert fast.trace_digest() == slow.trace_digest()
+    assert fast.stats == slow.stats
+    assert fast.network == slow.network
+    for rank, value in slow.results.items():
+        a, b, c = value
+        fa, fb, fc = fast.results[rank]
+        assert np.array_equal(fa, a) and np.array_equal(fb, b)
+        assert np.array_equal(fc, c)
+
+
+class TestClosedForm:
+    def test_uniform_phase_is_batched_and_bitwise_identical(self, monkeypatch):
+        counter = _PathCounter(monkeypatch)
+        fast, slow = _both_paths(_shift_program(5))
+        _assert_identical(fast, slow)
+        assert counter.ok == 1 and counter.refused == 0
+
+    def test_staggered_park_times_still_batch(self, monkeypatch):
+        counter = _PathCounter(monkeypatch)
+        fast, slow = _both_paths(_shift_program(4, delay_rank=2))
+        _assert_identical(fast, slow)
+        assert counter.ok == 1
+
+    def test_multiport_phase_batches(self, monkeypatch):
+        counter = _PathCounter(monkeypatch)
+        fast, slow = _both_paths(
+            _shift_program(3), port_model=PortModel.MULTI_PORT
+        )
+        _assert_identical(fast, slow)
+        assert counter.ok == 1
+
+    def test_single_step_phase(self):
+        fast, slow = _both_paths(_shift_program(1))
+        _assert_identical(fast, slow)
+
+    def test_tag_collision_falls_back(self, monkeypatch):
+        """tag_a == tag_b would cross-match receives; the closed form must
+        refuse every shifting round (the final steps=1 boundary is a pure
+        multiply, tag-safe by construction) and the event-path rounds
+        still agree bitwise."""
+        counter = _PathCounter(monkeypatch)
+        fast, slow = _both_paths(_shift_program(3, tag_b=1))
+        _assert_identical(fast, slow)
+        assert counter.refused == 2  # boundaries with 3 and 2 rounds left
+        assert counter.ok == 1       # the shift-free final round
+
+    def test_steps_below_one_rejected(self):
+        with pytest.raises(SimulationError, match="steps"):
+            run_spmd(
+                MachineConfig.create(4, **PARAMS), _shift_program(0)
+            )
+
+
+class TestCannonPaths:
+    """Cannon's skewed alignment drives every engine mechanism at once:
+    hazard releases during the contended skew, selective laggard release
+    through the ±1-round staircase, then one closed-form batch."""
+
+    def _runs(self, n, p, **kw):
+        rng = np.random.default_rng(3)
+        A = rng.standard_normal((n, n))
+        B = rng.standard_normal((n, n))
+        cfg_kw = {**PARAMS, **kw}
+        algo = get_algorithm("cannon")
+        fast = algo.run(A, B, MachineConfig.create(p, **cfg_kw))
+        slow = algo.run(
+            A, B, MachineConfig.create(p, **cfg_kw), superstep=False
+        )
+        return fast, slow
+
+    def test_contended_run_exercises_release_then_batches(self, monkeypatch):
+        counter = _PathCounter(monkeypatch)
+        releases = []
+        real_release = Engine._release_parked
+        monkeypatch.setattr(
+            Engine, "_release_parked",
+            lambda self: (releases.append(1), real_release(self))[1],
+        )
+        fast, slow = self._runs(16, 64)
+        assert counter.ok >= 1      # the synchronized tail batched
+        assert counter.refused >= 1  # the skew staircase refused at least once
+        assert len(releases) >= 1    # and forced an event-path round
+        assert fast.total_time == slow.total_time
+        assert fast.result.trace_digest() == slow.result.trace_digest()
+        assert np.array_equal(fast.C, slow.C)
+
+    def test_uncontended_run_batches_immediately(self, monkeypatch):
+        counter = _PathCounter(monkeypatch)
+        fast, slow = self._runs(8, 16)
+        assert counter.ok == 1 and counter.refused == 0
+        assert fast.total_time == slow.total_time
+        assert np.array_equal(fast.C, slow.C)
+
+
+class TestEligibilityGates:
+    def test_engine_mode_gates(self):
+        cfg = MachineConfig.create(16, **PARAMS)
+        assert engine_supports_superstep(Engine(cfg))
+        assert not engine_supports_superstep(Engine(cfg, superstep=False))
+        assert not engine_supports_superstep(Engine(cfg, trace=True))
+        assert not engine_supports_superstep(
+            Engine(cfg, max_virtual_time=1e9)
+        )
+        faulty = MachineConfig.create(
+            16, faults=FaultPlan(seed=1).with_link_fault(0, 1, start=0.0),
+            **PARAMS,
+        )
+        assert not engine_supports_superstep(Engine(faulty))
+        degraded = MachineConfig.create(
+            16, scenario=hotspot(16, node=0, factor=3.0), **PARAMS
+        )
+        assert not engine_supports_superstep(Engine(degraded))
+
+    def test_ineligible_engine_still_answers_shift_ops(self):
+        """A traced engine runs shift phases wholly through events, and its
+        timeline digest matches the untraced event path's counters."""
+        cfg = MachineConfig.create(4, **PARAMS)
+        traced = run_spmd(cfg, _shift_program(3), trace=True)
+        plain = run_spmd(
+            MachineConfig.create(4, **PARAMS), _shift_program(3),
+            superstep=False,
+        )
+        assert traced.total_time == plain.total_time
+        assert traced.stats == plain.stats
+
+
+class TestTimingOnly:
+    def test_timing_only_matches_full_run_time(self):
+        rng = np.random.default_rng(11)
+        A = rng.standard_normal((16, 16))
+        B = rng.standard_normal((16, 16))
+        algo = get_algorithm("cannon")
+        cfg = MachineConfig.create(16, **PARAMS)
+        full = algo.run(A, B, cfg)
+        timed = algo.run(
+            A, B, MachineConfig.create(16, **PARAMS), timing_only=True
+        )
+        assert timed.total_time == full.total_time
+        assert timed.C is None
+        assert timed.result.stats == full.result.stats
+
+    def test_timing_only_refuses_verify(self):
+        rng = np.random.default_rng(11)
+        A = rng.standard_normal((8, 8))
+        B = rng.standard_normal((8, 8))
+        with pytest.raises(AlgorithmError, match="timing_only"):
+            get_algorithm("cannon").run(
+                A, B, MachineConfig.create(16, **PARAMS),
+                timing_only=True, verify=True,
+            )
