@@ -154,6 +154,25 @@ def _wl_cannon_fastpath():
     )
 
 
+def _wl_3d_all_fastpath():
+    """Fault-free 3d_all at p=4096 (multi-port) via the collective closed form.
+
+    Like the Cannon fast-path entry, the 'before' number is the identical
+    run with ``superstep=False`` (pure event path) measured interleaved on
+    the same host; the conformance suite proves the two paths bit-identical,
+    so the ratio is the collective phase algebra's speed-up.
+    """
+    rng = np.random.default_rng(0)
+    A = rng.standard_normal((256, 256))
+    B = rng.standard_normal((256, 256))
+    get_algorithm("3d_all").run(
+        A, B,
+        MachineConfig.create(
+            4096, t_s=150, t_w=3, t_c=0.5, port_model=PortModel.MULTI_PORT
+        ),
+    )
+
+
 def _wl_regionmap_sim_p32768():
     """One simulation-backed region-map cell at p = 2^15.
 
@@ -165,6 +184,20 @@ def _wl_regionmap_sim_p32768():
         PortModel.ONE_PORT, 150.0, 3.0, backend="sim",
         algorithms=("3dd",),
         log2_n_min=9, log2_n_max=9, log2_p_min=15, log2_p_max=15,
+    )
+
+
+def _wl_regionmap_sim_p262144():
+    """One simulation-backed region-map cell at p = 2^18 (multi-port 3dd).
+
+    The stretch target of the collective phase algebra: a quarter-million
+    simulated ranks per cell.  Runs in the dedicated ``regionmap-sim-smoke``
+    CI step (via ``--only``) so the main perf-smoke job stays fast.
+    """
+    region_map(
+        PortModel.MULTI_PORT, 150.0, 3.0, backend="sim",
+        algorithms=("3dd",),
+        log2_n_min=9, log2_n_max=9, log2_p_min=18, log2_p_max=18,
     )
 
 
@@ -259,7 +292,9 @@ def _workloads(jobs):
         ("cannon_n64_p256", _wl_cannon),
         ("3d_all_n64_p512", _wl_3d_all),
         ("cannon_fastpath_n128_p4096", _wl_cannon_fastpath),
+        ("3d_all_fastpath_p4096", _wl_3d_all_fastpath),
         ("regionmap_sim_3dd_p32768", _wl_regionmap_sim_p32768),
+        ("regionmap_sim_3dd_p262144", _wl_regionmap_sim_p262144),
         ("fig13_panels_x4", _wl_fig13_panels),
         ("fig13_panels_x4_big", _wl_fig13_panels_big),
         ("fig13_cache_cold", _wl_fig13_cache_cold),
@@ -344,6 +379,15 @@ def main(argv=None):
         help="rewrite the committed baseline's 'after' numbers",
     )
     parser.add_argument(
+        "--only", action="append", default=None, metavar="NAME",
+        help="run only the named workload(s); repeatable.  Used by the "
+             "regionmap-sim-smoke CI step to gate the p=2^18 row alone",
+    )
+    parser.add_argument(
+        "--skip", action="append", default=None, metavar="NAME",
+        help="skip the named workload(s); repeatable",
+    )
+    parser.add_argument(
         "--cache-check", action="store_true",
         help="only verify cold/warm cache bit-identity and warm speed-up "
              "(ephemeral cache dir), then exit",
@@ -354,9 +398,18 @@ def main(argv=None):
         return _cache_check()
 
     reps = 2 if args.smoke else 5
+    selected = _workloads(args.jobs)
+    if args.only:
+        unknown = set(args.only) - {name for name, _ in selected}
+        if unknown:
+            print(f"unknown workload(s): {sorted(unknown)}", file=sys.stderr)
+            return 2
+        selected = [(n, f) for n, f in selected if n in args.only]
+    if args.skip:
+        selected = [(n, f) for n, f in selected if n not in args.skip]
     results = {}
     try:
-        for name, fn in _workloads(args.jobs):
+        for name, fn in selected:
             if name.endswith("_warm"):
                 _prime_warm_cache()  # priming stays outside the timing
             results[name] = round(_best_of(fn, reps), 4)

@@ -42,7 +42,8 @@ from repro.algorithms.common import (
     require_cubic_grid,
 )
 from repro.blocks.partition import PartitionFig8, f_index
-from repro.collectives import allgather, alltoall, reduce_scatter
+from repro.collectives import alltoall, reduce_scatter
+from repro.collectives.phase import allgather_call, parallel_pair
 from repro.topology.embedding import Grid3DEmbedding
 from repro.topology.hypercube import Hypercube
 
@@ -106,9 +107,10 @@ class All3DAlgorithm(MatmulAlgorithm):
 
         # -- phase 2: all-to-all broadcasts along z (B) and x (A) --------------
         ctx.phase("broadcasts")
-        a_list, b_list = yield from ctx.parallel(
-            allgather(view.x_comm, a_block, tag=TAG_C),
-            allgather(view.z_comm, b_fig9, tag=TAG_D),
+        a_list, b_list = yield from parallel_pair(
+            ctx,
+            allgather_call(view.x_comm, a_block, tag=TAG_C),
+            allgather_call(view.z_comm, b_fig9, tag=TAG_D),
         )
         # a_list[l] = A_{k, f(l,j)};  b_list[m] = B_{f(m,j), i}.
         ctx.note_memory(q * a_block.size + q * b_fig9.size + (n // q) ** 2)

@@ -34,7 +34,8 @@ import numpy as np
 
 from repro.algorithms.base import MatmulAlgorithm
 from repro.algorithms.common import TAG_A, TAG_B, TAG_C, TAG_D, require
-from repro.collectives import allgather, alltoall, reduce_scatter
+from repro.collectives import alltoall, reduce_scatter
+from repro.collectives.phase import allgather_call, parallel_pair
 from repro.errors import NotApplicableError
 from repro.mpi.communicator import Comm
 from repro.topology.embedding import Grid3DRectEmbedding
@@ -157,9 +158,10 @@ class All3DRectAlgorithm(MatmulAlgorithm):
 
         # -- phase 2: all-to-all broadcasts along x (A) and z (B) -------------
         ctx.phase("broadcasts")
-        a_list, b_list = yield from ctx.parallel(
-            allgather(x_comm, a_block, tag=TAG_C),
-            allgather(z_comm, b_wide, tag=TAG_D),
+        a_list, b_list = yield from parallel_pair(
+            ctx,
+            allgather_call(x_comm, a_block, tag=TAG_C),
+            allgather_call(z_comm, b_wide, tag=TAG_D),
         )
         ctx.note_memory(q1 * a_block.size + q1 * b_wide.size + (n // q1) ** 2)
 

@@ -28,7 +28,8 @@ from repro.algorithms.base import MatmulAlgorithm
 from repro.algorithms.common import TAG_A, TAG_B, TAG_C, TAG_D, cannon_kernel, require
 from repro.algorithms.supernode import SupernodeLayout, decompose
 from repro.blocks.partition import BlockPartition2D
-from repro.collectives import broadcast, reduce
+from repro.collectives import reduce
+from repro.collectives.phase import broadcast_call, parallel_pair
 from repro.errors import NotApplicableError
 from repro.mpi.communicator import Comm
 from repro.topology.hypercube import Hypercube
@@ -99,9 +100,10 @@ class Diag3DCannonAlgorithm(MatmulAlgorithm):
         z_comm = Comm(ctx, layout.z_line(I, J, u, v))
         a_src = local.get("A") if I == J else None
         ctx.phase("broadcasts")
-        a_block, b_block = yield from ctx.parallel(
-            broadcast(x_comm, a_src, root=J, tag=TAG_C),
-            broadcast(z_comm, b_root, root=J, tag=TAG_D),
+        a_block, b_block = yield from parallel_pair(
+            ctx,
+            broadcast_call(x_comm, a_src, root=J, tag=TAG_C),
+            broadcast_call(z_comm, b_root, root=J, tag=TAG_D),
         )
         ctx.note_memory(3 * a_block.size)
 

@@ -38,7 +38,8 @@ from repro.algorithms.common import (
     require_cubic_grid,
 )
 from repro.blocks.partition import BlockPartition2D
-from repro.collectives import broadcast, reduce
+from repro.collectives import reduce
+from repro.collectives.phase import broadcast_call, parallel_pair
 from repro.errors import AlgorithmError
 from repro.topology.embedding import Grid3DEmbedding
 from repro.topology.hypercube import Hypercube
@@ -90,9 +91,10 @@ class Diagonal3DAlgorithm(MatmulAlgorithm):
         # holding B_{j,i} from phase 1).
         ctx.phase("broadcasts")
         a_src = local.get("A") if i == j else None
-        a_block, b_block = yield from ctx.parallel(
-            broadcast(view.x_comm, a_src, root=j, tag=TAG_C),
-            broadcast(view.z_comm, b_root, root=j, tag=TAG_D),
+        a_block, b_block = yield from parallel_pair(
+            ctx,
+            broadcast_call(view.x_comm, a_src, root=j, tag=TAG_C),
+            broadcast_call(view.z_comm, b_root, root=j, tag=TAG_D),
         )
         ctx.note_memory(3 * block_words)  # A, B, and the partial-C block
 

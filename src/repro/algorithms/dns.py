@@ -33,7 +33,8 @@ from repro.algorithms.common import (
     require_cubic_grid,
 )
 from repro.blocks.partition import BlockPartition2D
-from repro.collectives import broadcast, reduce
+from repro.collectives import reduce
+from repro.collectives.phase import broadcast_call, parallel_pair
 from repro.topology.embedding import Grid3DEmbedding
 from repro.topology.hypercube import Hypercube
 
@@ -87,9 +88,10 @@ class DNSAlgorithm(MatmulAlgorithm):
         # p_{i,j,k} gets A_{ik} from p_{i,k,k} (root y=k of its y-line) and
         # B_{kj} from p_{k,j,k} (root x=k of its x-line).
         ctx.phase("broadcasts")
-        a_block, b_block = yield from ctx.parallel(
-            broadcast(view.y_comm, a_root, root=k, tag=TAG_C),
-            broadcast(view.x_comm, b_root, root=k, tag=TAG_D),
+        a_block, b_block = yield from parallel_pair(
+            ctx,
+            broadcast_call(view.y_comm, a_root, root=k, tag=TAG_C),
+            broadcast_call(view.x_comm, b_root, root=k, tag=TAG_D),
         )
         ctx.note_memory(3 * block_words)  # A, B, and the partial-C block
 

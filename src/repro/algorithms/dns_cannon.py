@@ -34,7 +34,8 @@ from repro.algorithms.common import (
     require,
 )
 from repro.blocks.partition import BlockPartition2D
-from repro.collectives import broadcast, reduce
+from repro.collectives import reduce
+from repro.collectives.phase import broadcast_call, parallel_pair
 from repro.algorithms.supernode import SupernodeLayout, decompose
 from repro.errors import NotApplicableError
 from repro.mpi.communicator import Comm
@@ -111,9 +112,10 @@ class DNSCannonAlgorithm(MatmulAlgorithm):
         y_comm = Comm(ctx, [layout.node(I, y, K, u, v) for y in range(sigma)])
         x_comm = Comm(ctx, [layout.node(x, J, K, u, v) for x in range(sigma)])
         ctx.phase("broadcasts")
-        a_block, b_block = yield from ctx.parallel(
-            broadcast(y_comm, a_root, root=K, tag=TAG_C),
-            broadcast(x_comm, b_root, root=K, tag=TAG_D),
+        a_block, b_block = yield from parallel_pair(
+            ctx,
+            broadcast_call(y_comm, a_root, root=K, tag=TAG_C),
+            broadcast_call(x_comm, b_root, root=K, tag=TAG_D),
         )
         ctx.note_memory(3 * a_block.size)
 

@@ -20,7 +20,7 @@ from typing import Any
 from repro.algorithms.base import MatmulAlgorithm
 from repro.algorithms.common import GridView2D, TAG_A, TAG_B, require_square_grid
 from repro.blocks.partition import BlockPartition2D
-from repro.collectives import allgather
+from repro.collectives.phase import allgather_call, parallel_pair
 from repro.topology.embedding import Grid2DEmbedding
 from repro.topology.hypercube import Hypercube
 
@@ -56,9 +56,10 @@ class SimpleAlgorithm(MatmulAlgorithm):
         block_words = a_block.size
 
         ctx.phase("broadcasts")
-        a_row, b_col = yield from ctx.parallel(
-            allgather(view.row_comm, a_block, tag=TAG_A),
-            allgather(view.col_comm, b_block, tag=TAG_B),
+        a_row, b_col = yield from parallel_pair(
+            ctx,
+            allgather_call(view.row_comm, a_block, tag=TAG_A),
+            allgather_call(view.col_comm, b_block, tag=TAG_B),
         )
         # Resident: full A-row + full B-column + the C block being built.
         ctx.note_memory(2 * q * block_words + block_words)

@@ -65,6 +65,17 @@ PARAM_SETS: tuple[tuple[float, float, float], ...] = (
 _P_LADDER = (4, 8, 16, 32, 64, 128, 256, 512)
 _N_LADDER = (4, 6, 8, 9, 12, 16, 24, 27, 32, 48, 64)
 
+#: the 3D family plus DNS: every algorithm whose communication is dominated
+#: by collective phases (allgather / reduce-scatter / broadcast / reduce
+#: rounds) rather than pairwise shifts.  ``sample_cases`` oversamples these
+#: once full-registry coverage is secured, because the collective closed
+#: form (``sim/superstep.py``) has far more schedule surface to pin down
+#: than the shift recurrence.
+_COLLECTIVE_HEAVY: tuple[str, ...] = (
+    "3d_all", "3d_all_rect", "3d_all_trans", "3dd", "dns",
+    "3dd_cannon", "dns_cannon",
+)
+
 
 @dataclass(frozen=True)
 class Case:
@@ -102,19 +113,34 @@ def sample_cases(
 ) -> list[Case]:
     """A deterministic case list covering every requested algorithm.
 
-    Cases cycle through the algorithm list, so ``count >= len(algorithms)``
-    guarantees full registry coverage; successive passes add fault plans
-    and heterogeneous scenarios on top of fresh machine draws.  Pure
-    function of ``(seed, count, algorithms)``.
+    The first two passes cycle through the algorithm list, so
+    ``count >= 2 * len(algorithms)`` guarantees full registry coverage
+    with both healthy and faulty flavors; every case after that
+    oversamples the collective-heavy 3D family (largest applicable
+    machines, alternating fault-free with chaos flavors) where the
+    closed-form collective path has the most surface.  Pure function of
+    ``(seed, count, algorithms)``.
     """
     algos = tuple(algorithms if algorithms is not None else sorted(ALGORITHMS))
+    heavy = tuple(k for k in _COLLECTIVE_HEAVY if k in algos) or algos
     machines = {key: _applicable_machines(key) for key in algos}
+    base = 2 * len(algos)
     cases: list[Case] = []
     for i in range(count):
-        key = algos[i % len(algos)]
-        flavor = (i // len(algos)) % 4  # healthy, faulty, degraded, both
+        if i < base:
+            key = algos[i % len(algos)]
+            flavor = (i // len(algos)) % 4  # healthy, faulty, degraded, both
+            pool = machines[key][:2] or machines[key]
+        else:
+            j = i - base
+            key = heavy[j % len(heavy)]
+            # Every other oversampled case stays fault-free, so the
+            # collective closed form itself (not just its fallback) is
+            # what gets differentially pinned; the rest walk the chaos
+            # flavors on the same large machines.
+            flavor = 0 if j % 2 == 0 else 1 + (j // 2) % 3
+            pool = machines[key][-2:] or machines[key]
         rng = np.random.default_rng([seed, i])
-        pool = machines[key][:2] or machines[key]
         if not pool:
             raise ReproError(f"no applicable machine for {key!r}")
         n, p = pool[int(rng.integers(len(pool)))]

@@ -209,6 +209,14 @@ def _map_row(
 #: path.  Only a chunk-costing hint — never affects results.
 _SUPERSTEP_BATCHED = frozenset({"cannon", "dns_cannon", "3dd_cannon"})
 
+#: 3D-family algorithms whose collective phases (allgather, all-to-all,
+#: reduce-scatter, broadcast, reduce) advance in closed form on fault-free
+#: uniform machines.  On multi-port every communication phase batches; on
+#: one-port the fused overlapped phase (two collectives interleaving on one
+#: send port) still runs the event path, so roughly one of three
+#: communication phases keeps its per-message cost.
+_COLLECTIVE_BATCHED = frozenset({"3d_all", "3d_all_rect", "3dd", "dns"})
+
 
 def _sim_row(
     task: tuple[PortModel, float, float, float, tuple[float, ...], tuple[str, ...]],
@@ -254,14 +262,19 @@ def _sim_row(
 
 
 def _sim_row_weight(
-    ln: float, log2_p: tuple[float, ...], algos: tuple[str, ...]
+    ln: float,
+    log2_p: tuple[float, ...],
+    algos: tuple[str, ...],
+    port: PortModel = PortModel.ONE_PORT,
 ) -> float:
     """Estimated cost of one simulated lattice row, for chunk planning.
 
     Event-path collectives cost roughly ``p·log₂p`` engine events per
-    point; superstep-batched algorithms collapse their rounds and scale
-    like ``p``.  Rows near the top of the ``p`` range are therefore
-    orders of magnitude heavier than the rest — exactly the skew
+    point; superstep- and collective-batched algorithms collapse their
+    rounds and scale like ``p`` (on one-port the 3D family keeps roughly
+    one event-path phase in three — see :data:`_COLLECTIVE_BATCHED`).
+    Rows near the top of the ``p`` range are therefore orders of
+    magnitude heavier than the rest — exactly the skew
     :func:`~repro.analysis.parallel.plan_chunks` weights exist for.
     """
     from repro.algorithms import get_algorithm
@@ -273,7 +286,15 @@ def _sim_row_weight(
         for key in algos:
             if not get_algorithm(key).applicable(n, p):
                 continue
-            weight += p if key in _SUPERSTEP_BATCHED else p * max(1.0, lp)
+            if key in _SUPERSTEP_BATCHED:
+                weight += p
+            elif key in _COLLECTIVE_BATCHED:
+                if port is PortModel.MULTI_PORT:
+                    weight += p
+                else:
+                    weight += p * max(1.0, lp) / 3.0
+            else:
+                weight += p * max(1.0, lp)
     return weight or 1.0
 
 
@@ -330,7 +351,8 @@ def region_map(
         if backend == "sim":
             worker = _sim_row
             weights = [
-                _sim_row_weight(ln, tuple(log2_p), algos) for ln in log2_n
+                _sim_row_weight(ln, tuple(log2_p), algos, port)
+                for ln in log2_n
             ]
         index = {key: k for k, key in enumerate(algos)}
         rows_w: list[list[int]] = []

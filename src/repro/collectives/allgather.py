@@ -18,8 +18,10 @@ import numpy as np
 
 from repro.collectives.api import Schedule, resolve_schedule, subtag
 from repro.collectives.chunking import chunk_header, rebuild_from_header, split_chunks
+from repro.collectives.phase import attempt, make_spec
 from repro.mpi.communicator import Comm
 from repro.mpi.detector import LOST_PAYLOAD, lost_like
+from repro.sim.ops import COLLECTIVE_FALLBACK
 
 __all__ = ["allgather"]
 
@@ -36,6 +38,9 @@ def allgather(
     """
     if comm.size == 1:
         return [block]
+    verdict = yield from attempt(make_spec("allgather", comm, block, tag, schedule))
+    if verdict is not COLLECTIVE_FALLBACK:
+        return verdict
     sched = resolve_schedule(comm, schedule)
     if sched is Schedule.SBT:
         return (yield from _allgather_doubling(comm, block, tag))

@@ -26,7 +26,9 @@ from repro.collectives.sbt import (
     identity_order,
     rotated_order,
 )
+from repro.collectives.phase import attempt, make_spec
 from repro.mpi.communicator import Comm
+from repro.sim.ops import COLLECTIVE_FALLBACK
 
 __all__ = ["broadcast"]
 
@@ -45,6 +47,11 @@ def broadcast(
     """
     if comm.size == 1:
         return data
+    verdict = yield from attempt(
+        make_spec("broadcast", comm, data, tag, schedule, root=root)
+    )
+    if verdict is not COLLECTIVE_FALLBACK:
+        return verdict
     sched = resolve_schedule(comm, schedule)
     if sched is Schedule.SBT:
         return (yield from _broadcast_sbt(comm, data, root, tag))

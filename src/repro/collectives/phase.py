@@ -1,0 +1,125 @@
+"""Collective phase declaration: the fast-path handshake with the engine.
+
+Every collective dispatch function first *declares* the phase it is about
+to run by yielding a :class:`~repro.sim.ops.CollectivePhaseOp`.  On a
+fault-free uniform machine the engine may advance the whole phase in
+closed form (see :mod:`repro.sim.superstep`) and answer with the
+collective's return value; otherwise it answers
+:data:`~repro.sim.ops.COLLECTIVE_FALLBACK` and the schedule runs its
+ordinary per-message rounds through the event path.  Both answers are
+bit-identical in simulated time; the declaration itself costs nothing
+(no events, no virtual time).
+
+The 3D algorithm family additionally fuses its "two collectives in
+parallel" phases through :func:`parallel_pair`, giving the engine a
+single two-spec op to advance — on a multi-port machine the two subcube
+collectives use disjoint channels and each admits its standalone closed
+form.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.collectives.api import Schedule, resolve_schedule
+from repro.mpi.communicator import Comm
+from repro.sim.ops import COLLECTIVE_FALLBACK, CollectivePhaseOp, CollectiveSpec
+from repro.sim.process import ProcessContext
+
+__all__ = [
+    "make_spec",
+    "attempt",
+    "CollectiveCall",
+    "allgather_call",
+    "broadcast_call",
+    "parallel_pair",
+]
+
+
+def make_spec(
+    kind: str,
+    comm: Comm,
+    payload: Any,
+    tag: int,
+    schedule: Schedule | None,
+    root: int | None = None,
+    op: Any = None,
+) -> CollectiveSpec | None:
+    """Build this rank's phase spec, or None when declaring is pointless.
+
+    Wrapped contexts (reliable delivery, CRC integrity, recovery) add
+    protocol traffic the closed forms do not model, so only a plain
+    :class:`ProcessContext` declares; everything else goes straight to the
+    event path.
+    """
+    if type(comm.ctx) is not ProcessContext:
+        return None
+    sched = resolve_schedule(comm, schedule)
+    return CollectiveSpec(
+        kind=kind,
+        sched=sched.value,
+        members=tuple(comm.members),
+        rank=comm.rank,
+        free_dims=tuple(comm.free_dims),
+        tag=tag,
+        payload=payload,
+        root=root,
+        op=op,
+    )
+
+
+def attempt(spec: CollectiveSpec | None):
+    """Yield the phase declaration; return the engine's verdict.
+
+    Returns :data:`COLLECTIVE_FALLBACK` when the caller must run the
+    ordinary schedule (including when ``spec`` is None).
+    """
+    if spec is None:
+        return COLLECTIVE_FALLBACK
+    return (yield CollectivePhaseOp((spec,)))
+
+
+@dataclass
+class CollectiveCall:
+    """A collective invocation held un-started: its spec plus a generator
+    thunk producing the equivalent event-path schedule."""
+
+    spec: CollectiveSpec | None
+    gen: Callable[[], Any]
+
+
+def allgather_call(comm: Comm, block: Any, tag: int = 4) -> CollectiveCall:
+    """Package an allgather over ``comm`` as a fusable :class:`CollectiveCall`."""
+    from repro.collectives.allgather import allgather
+
+    spec = None
+    if comm.size > 1:
+        spec = make_spec("allgather", comm, block, tag, None)
+    return CollectiveCall(spec, lambda: allgather(comm, block, tag))
+
+
+def broadcast_call(comm: Comm, data: Any, root: int = 0, tag: int = 1) -> CollectiveCall:
+    """Package a broadcast over ``comm`` as a fusable :class:`CollectiveCall`."""
+    from repro.collectives.broadcast import broadcast
+
+    spec = None
+    if comm.size > 1:
+        spec = make_spec("broadcast", comm, data, tag, None, root=root)
+    return CollectiveCall(spec, lambda: broadcast(comm, data, root, tag))
+
+
+def parallel_pair(ctx: ProcessContext, call_a: CollectiveCall, call_b: CollectiveCall):
+    """Run two collectives concurrently, declaring them as one fused phase.
+
+    Semantically identical to ``ctx.parallel(call_a.gen(), call_b.gen())``;
+    the fused declaration lets the engine advance both subcube collectives
+    in closed form when their dimension sets are disjoint (the paper's
+    "the two broadcasts can occur in parallel on a multi-port hypercube").
+    Returns the two collectives' results in slot order.
+    """
+    if call_a.spec is not None and call_b.spec is not None:
+        verdict = yield CollectivePhaseOp((call_a.spec, call_b.spec))
+        if verdict is not COLLECTIVE_FALLBACK:
+            return verdict
+    return (yield from ctx.parallel(call_a.gen(), call_b.gen()))

@@ -22,7 +22,9 @@ from repro.collectives.sbt import (
     identity_order,
     rotated_order,
 )
+from repro.collectives.phase import attempt, make_spec
 from repro.mpi.communicator import Comm
+from repro.sim.ops import COLLECTIVE_FALLBACK
 
 __all__ = ["reduce"]
 
@@ -42,6 +44,11 @@ def reduce(
     """
     if comm.size == 1:
         return np.asarray(block)
+    verdict = yield from attempt(
+        make_spec("reduce", comm, block, tag, schedule, root=root, op=op)
+    )
+    if verdict is not COLLECTIVE_FALLBACK:
+        return verdict
     sched = resolve_schedule(comm, schedule)
     if sched is Schedule.SBT:
         return (yield from _reduce_sbt(comm, block, root, op, tag))

@@ -21,9 +21,11 @@ import numpy as np
 
 from repro.collectives.api import Schedule, resolve_schedule, subtag
 from repro.collectives.chunking import chunk_header, rebuild_from_header, split_chunks
+from repro.collectives.phase import attempt, make_spec
 from repro.errors import SimulationError
 from repro.mpi.communicator import Comm
 from repro.mpi.detector import LOST_PAYLOAD, lost_like
+from repro.sim.ops import COLLECTIVE_FALLBACK
 
 __all__ = ["reduce_scatter"]
 
@@ -45,6 +47,11 @@ def reduce_scatter(
         )
     if comm.size == 1:
         return np.asarray(blocks[0])
+    verdict = yield from attempt(
+        make_spec("reduce_scatter", comm, tuple(blocks), tag, schedule, op=op)
+    )
+    if verdict is not COLLECTIVE_FALLBACK:
+        return verdict
     sched = resolve_schedule(comm, schedule)
     if sched is Schedule.SBT:
         return (yield from _reduce_scatter_halving(comm, blocks, op, tag))

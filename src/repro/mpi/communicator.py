@@ -19,6 +19,7 @@ point helpers are namespaced by the caller, not the communicator.
 
 from __future__ import annotations
 
+from functools import lru_cache
 from typing import Any, Sequence
 
 from repro.errors import CommunicatorError
@@ -26,6 +27,63 @@ from repro.sim.process import ProcessContext
 from repro.util.bits import set_bits
 
 __all__ = ["Comm"]
+
+
+@lru_cache(maxsize=65536)
+def _subcube_structure(
+    members: tuple[int, ...],
+) -> tuple[tuple[int, ...], dict[int, int], tuple[int, ...], tuple[int, ...]]:
+    """Validated subcube structure shared by every rank of a communicator.
+
+    The derived maps depend only on the member tuple, and every member of a
+    grid line constructs the identical communicator — caching turns the
+    per-rank O(size) validation into a lookup.  Returned containers are
+    shared across ranks and must be treated as read-only.
+    """
+    if not members:
+        raise CommunicatorError("communicator needs at least one member")
+    if len(set(members)) != len(members):
+        raise CommunicatorError(f"duplicate members in {list(members)}")
+    size = len(members)
+    if size & (size - 1):
+        raise CommunicatorError(
+            f"communicator size must be a power of two, got {size}"
+        )
+    base = members[0]
+    varying = 0
+    for node in members:
+        varying |= node ^ base
+    free_dims = tuple(set_bits(varying))
+    if 1 << len(free_dims) != size:
+        raise CommunicatorError(
+            f"members {list(members)} do not form a subcube: {len(free_dims)} "
+            f"varying bits for {size} nodes"
+        )
+
+    index_of_node: dict[int, int] = {}
+    subidx_of_commrank: list[int] = []
+    for cr, node in enumerate(members):
+        sub = 0
+        for k, dim in enumerate(free_dims):
+            if (node >> dim) & 1:
+                sub |= 1 << k
+        index_of_node[node] = cr
+        subidx_of_commrank.append(sub)
+    commrank_of_subidx = [0] * size
+    seen = set()
+    for cr, sub in enumerate(subidx_of_commrank):
+        if sub in seen:
+            raise CommunicatorError(
+                f"members {list(members)} do not form a subcube"
+            )
+        seen.add(sub)
+        commrank_of_subidx[sub] = cr
+    return (
+        free_dims,
+        index_of_node,
+        tuple(subidx_of_commrank),
+        tuple(commrank_of_subidx),
+    )
 
 
 class Comm:
@@ -52,47 +110,17 @@ class Comm:
     )
 
     def __init__(self, ctx: ProcessContext, members: Sequence[int]):
-        members = list(members)
-        if not members:
-            raise CommunicatorError("communicator needs at least one member")
-        if len(set(members)) != len(members):
-            raise CommunicatorError(f"duplicate members in {members}")
-        size = len(members)
-        if size & (size - 1):
-            raise CommunicatorError(
-                f"communicator size must be a power of two, got {size}"
-            )
-        base = members[0]
-        varying = 0
-        for node in members:
-            varying |= node ^ base
-        free_dims = set_bits(varying)
-        if 1 << len(free_dims) != size:
-            raise CommunicatorError(
-                f"members {members} do not form a subcube: {len(free_dims)} "
-                f"varying bits for {size} nodes"
-            )
-
-        index_of_node: dict[int, int] = {}
-        subidx_of_commrank: list[int] = []
-        for cr, node in enumerate(members):
-            sub = 0
-            for k, dim in enumerate(free_dims):
-                if (node >> dim) & 1:
-                    sub |= 1 << k
-            index_of_node[node] = cr
-            subidx_of_commrank.append(sub)
-        commrank_of_subidx = [0] * size
-        seen = set()
-        for cr, sub in enumerate(subidx_of_commrank):
-            if sub in seen:
-                raise CommunicatorError(f"members {members} do not form a subcube")
-            seen.add(sub)
-            commrank_of_subidx[sub] = cr
+        members = tuple(members)
+        (
+            free_dims,
+            index_of_node,
+            subidx_of_commrank,
+            commrank_of_subidx,
+        ) = _subcube_structure(members)
 
         if ctx.rank not in index_of_node:
             raise CommunicatorError(
-                f"rank {ctx.rank} is not a member of communicator {members}"
+                f"rank {ctx.rank} is not a member of communicator {list(members)}"
             )
 
         self.ctx = ctx

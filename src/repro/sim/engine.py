@@ -28,6 +28,7 @@ from __future__ import annotations
 
 import heapq
 import itertools
+import math
 from collections import deque
 from typing import Any, Callable, Generator
 
@@ -41,12 +42,19 @@ from repro.errors import (
 )
 from repro.sim.faults import FaultState
 from repro.sim.machine import MachineConfig, RoutingMode
-from repro.sim.message import CORRUPT_VERDICT, Message, message_crc
+from repro.sim.message import (
+    CORRUPT_VERDICT,
+    Message,
+    MessageTable,
+    message_crc,
+)
 from repro.sim.calendar import CalendarQueue
 from repro.sim.ops import (
+    COLLECTIVE_FALLBACK,
     SHIFT_FALLBACK,
     TIMED_OUT,
     BarrierOp,
+    CollectivePhaseOp,
     ElapseOp,
     Handle,
     ParallelOp,
@@ -56,7 +64,11 @@ from repro.sim.ops import (
     WaitOp,
 )
 from repro.sim.ports import ContentionTracker
-from repro.sim.superstep import engine_supports_superstep, try_advance_superstep
+from repro.sim.superstep import (
+    engine_supports_superstep,
+    try_advance_collective,
+    try_advance_superstep,
+)
 from repro.sim.process import ANY_SOURCE, ANY_TAG, ProcessContext
 from repro.sim.tracing import NetworkStats, RankStats, RunResult, TraceRecord
 from repro.topology.routing import RouteCache
@@ -249,6 +261,9 @@ class Engine:
         # threshold land ahead of every phase reservation on both paths,
         # so they simply fold into the closed form's seeds.
         self._parked: dict[Task, tuple[ShiftPhaseOp, float]] = {}
+        # Parked collective phases: task -> (CollectivePhaseOp, park time).
+        # Same protocol with COLLECTIVE_FALLBACK; see _resolve_collective.
+        self._parked_coll: dict[Task, tuple[CollectivePhaseOp, float]] = {}
         self._hazard_nodes: dict[int, float] = {}
         self._hazard_channels: dict[tuple[int, int], float] = {}
         self._one_port = config.port_model.name == "ONE_PORT"
@@ -266,6 +281,9 @@ class Engine:
         self._integrity_rejects = 0
         self._events_processed = 0
         self._msg_seq = itertools.count()
+        # struct-of-arrays envelope store: one row per message, in
+        # creation order (rows mirror _msg_seq ids)
+        self._messages = MessageTable(max(1024, 4 * n))
 
         self._task_time: dict[Task, float] = {r: 0.0 for r in range(n)}
         self._gens: dict[Task, Generator] = {}
@@ -317,11 +335,20 @@ class Engine:
 
         while True:
             self._drain_events()
+            if self._parked and self._parked_coll:
+                # Transitional mixed parking (shift and collective phases
+                # co-resident): no combined closed form — release everyone
+                # onto the event path.
+                self._release_all_parked()
+                continue
             if self._parked:
                 # Every pending event is consumed and one or more ranks
                 # sit parked on a ShiftPhaseOp: advance the phase in
                 # closed form, or release everyone onto the event path.
                 self._resolve_superstep()
+                continue
+            if self._parked_coll:
+                self._resolve_collective()
                 continue
             break
 
@@ -483,6 +510,34 @@ class Engine:
         self._hazard_channels.clear()
         for task, (_op, at) in parked.items():
             self._schedule(at, _RESUME, (task, SHIFT_FALLBACK))
+
+    def _resolve_collective(self) -> None:
+        """Advance the parked collective phase(s) in closed form, or release.
+
+        Called only with drained event queues and no shift-phase parks.
+        On success each parked task resumes at its phase-exit time with
+        the collective's return value(s); on any incompatibility every
+        task re-enters the event path via COLLECTIVE_FALLBACK at the time
+        it parked and the schedule runs message by message.
+        """
+        outcome = try_advance_collective(self, self._parked_coll)
+        if outcome is not None:
+            self._parked_coll = {}
+            self._hazard_nodes.clear()
+            self._hazard_channels.clear()
+            for task, (finish, value) in outcome.items():
+                self._schedule(finish, _RESUME, (task, value))
+            return
+        self._release_all_parked()
+
+    def _release_all_parked(self) -> None:
+        """Release both parked sets (shift and collective) onto the event
+        path at their park times."""
+        parked_coll = self._parked_coll
+        self._parked_coll = {}
+        self._release_parked()
+        for task, (_op, at) in parked_coll.items():
+            self._schedule(at, _RESUME, (task, COLLECTIVE_FALLBACK))
 
     def note_retransmission(self) -> None:
         """Count one reliable-layer retransmission in the run's stats."""
@@ -661,6 +716,46 @@ class Engine:
                         self._hazard_channels[(rank, op.b_to)] = thr
                         if self._one_port:
                             self._hazard_nodes[rank] = thr
+                    return
+
+                if cls is CollectivePhaseOp:
+                    if (
+                        not self._superstep_ok
+                        or isinstance(task, tuple)
+                        or (self._one_port and len(op.specs) > 1)
+                    ):
+                        # Ineligible runs, ctx.parallel sub-tasks (whose
+                        # fused parent already declared the pair), and
+                        # fused pairs on one-port machines (the two
+                        # schedules interleave through a single port
+                        # engagement, which only the event path models):
+                        # answer immediately — the schedule runs its
+                        # ordinary rounds; zero extra events, identical
+                        # trace.
+                        value = COLLECTIVE_FALLBACK
+                        continue
+                    self._parked_coll[task] = (op, now)
+                    # Unlike a shift phase (whose first reservation comes
+                    # after the step-0 multiply), a collective's first
+                    # sends can start at the park time itself, so the
+                    # hazard threshold sits just *below* the park time:
+                    # the strict `>` in _start_hop then forces a release
+                    # even for a same-time foreign hop, whose reservation
+                    # order against the phase's would otherwise be
+                    # ambiguous.
+                    thr = math.nextafter(now, -math.inf)
+                    hz_ch = self._hazard_channels
+                    for spec in op.specs:
+                        node = spec.members[spec.rank]
+                        for dim in spec.free_dims:
+                            key = (node, node ^ (1 << dim))
+                            cur = hz_ch.get(key)
+                            hz_ch[key] = thr if cur is None else min(cur, thr)
+                    if self._one_port:
+                        cur = self._hazard_nodes.get(rank)
+                        self._hazard_nodes[rank] = (
+                            thr if cur is None else min(cur, thr)
+                        )
                     return
 
                 if cls is BarrierOp:
@@ -903,7 +998,7 @@ class Engine:
         msg = Message(
             src=rank, dst=op.dst, tag=op.tag, data=data, nwords=op.nwords,
             send_time=now, msg_id=next(self._msg_seq), ack_tag=op.ack_tag,
-            crc=op.crc,
+            crc=op.crc, table=self._messages,
         )
         st = self.stats[rank]
         st.messages_sent += 1
@@ -984,7 +1079,7 @@ class Engine:
             return
         msg, hops = transfer.msg, transfer.hops
         u, v = hops[hop_index]
-        if self._parked:
+        if self._parked or self._parked_coll:
             thr = self._hazard_channels.get((u, v))
             if thr is None:
                 thr = self._hazard_nodes.get(u)
@@ -997,7 +1092,7 @@ class Engine:
                 # parked ranks onto the event path at their park times,
                 # then retry this hop after their reservations have gone
                 # in first.
-                self._release_parked()
+                self._release_all_parked()
                 self._schedule(time, _HOP_READY, (transfer, hop_index, handle))
                 return
         fs = self.faults
@@ -1096,6 +1191,26 @@ class Engine:
         self, transfer: _Transfer, hop_index: int, handle: Handle, time: float
     ) -> None:
         msg, hops = transfer.msg, transfer.hops
+        if (
+            hop_index == len(hops) - 1
+            and not transfer.dropped
+            and msg.dst in self._parked_coll
+        ):
+            # A message that was already in flight when its destination
+            # parked on a collective is about to land in the parked rank's
+            # mailbox.  The collective resolver refuses on any queued
+            # delivery, and the ensuing release would resume the rank at
+            # its (earlier) park time, where its next recv would find this
+            # *future* delivery already queued and continue on a stale
+            # clock.  Same remedy as the reservation hazards in
+            # _start_hop: release every parked rank onto the event path
+            # first (their resumes sort before this time), then redo the
+            # delivery.  Shift parks are exempt: _resolve_superstep
+            # handles their mailbox traffic with selective laggard
+            # catch-up rounds.
+            self._release_all_parked()
+            self._schedule(time, _HOP_DONE, (transfer, hop_index, handle))
+            return
         if hop_index == 0 and not handle.done:
             handle.complete(time)
             self._notify(handle.task)
@@ -1182,7 +1297,7 @@ class Engine:
                     nack = Message(
                         src=msg.dst, dst=msg.src, tag=msg.ack_tag,
                         data=CORRUPT_VERDICT, nwords=0, send_time=time,
-                        msg_id=next(self._msg_seq),
+                        msg_id=next(self._msg_seq), table=self._messages,
                     )
                     self.stats[msg.dst].messages_sent += 1
                     nack_handle = Handle("send", msg.dst)
@@ -1199,6 +1314,7 @@ class Engine:
             ack = Message(
                 src=msg.dst, dst=msg.src, tag=msg.ack_tag, data=None,
                 nwords=0, send_time=time, msg_id=next(self._msg_seq),
+                table=self._messages,
             )
             self.stats[msg.dst].messages_sent += 1
             ack_handle = Handle("send", msg.dst)

@@ -21,8 +21,11 @@ __all__ = [
     "BarrierOp",
     "ParallelOp",
     "ShiftPhaseOp",
+    "CollectiveSpec",
+    "CollectivePhaseOp",
     "TIMED_OUT",
     "SHIFT_FALLBACK",
+    "COLLECTIVE_FALLBACK",
 ]
 
 _handle_ids = itertools.count()
@@ -207,6 +210,69 @@ class ShiftPhaseOp:
     tag_a: int
     tag_b: int
     c_block: Any = None
+
+
+class _CollectiveFallback:
+    """Sentinel the engine feeds back into a ``yield CollectivePhaseOp`` when
+    the collective cannot be advanced in closed form: the calling schedule
+    must run its ordinary per-message rounds instead (see
+    :mod:`repro.collectives`).
+    """
+
+    _instance = None
+
+    def __new__(cls):
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "<COLLECTIVE_FALLBACK>"
+
+
+COLLECTIVE_FALLBACK = _CollectiveFallback()
+
+
+@dataclass(frozen=True)
+class CollectiveSpec:
+    """One rank's view of a subcube collective it is about to run.
+
+    ``members`` lists the participating node addresses in communicator-rank
+    order and ``rank`` is this rank's position in it; ``free_dims`` are the
+    hypercube dimensions the subcube spans (sorted ascending, matching
+    ``Comm.free_dims``).  ``sched`` names the wire schedule the fallback
+    would run ("sbt" or "rotated") — the closed form must reproduce exactly
+    that schedule's hop pattern.  ``payload`` is the object the rank
+    contributes (a single block, or the per-destination block list for
+    alltoall/reduce-scatter); the engine only reads it, never mutates it.
+    """
+
+    kind: str  # "allgather" | "alltoall" | "reduce_scatter" | "broadcast" | "reduce"
+    sched: str  # "sbt" | "rotated"
+    members: tuple
+    rank: int
+    free_dims: tuple
+    tag: int
+    payload: Any
+    root: int | None = None
+    op: Any = None
+
+
+@dataclass
+class CollectivePhaseOp:
+    """Declare a dimension-exchange collective phase (or a fused pair).
+
+    Yielded by the dispatch functions in :mod:`repro.collectives` before
+    they fall into their per-message rounds, and by the 3D family's fused
+    "two collectives in parallel" phases (``specs`` then holds two entries,
+    one per sub-collective, in ``ctx.parallel`` slot order).  The engine
+    answers either with the collective's return value(s) — the phase is
+    done and the rank's clock already advanced, bit-identically to the
+    event path — or with :data:`COLLECTIVE_FALLBACK`, in which case the
+    caller runs the ordinary schedule through the event path.
+    """
+
+    specs: tuple
 
 
 @dataclass

@@ -58,12 +58,18 @@ from typing import TYPE_CHECKING
 import numpy as np
 
 from repro.sim.machine import PortModel
+from repro.sim.message import payload_words
 from repro.sim.ops import ShiftPhaseOp
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.engine import Engine
 
-__all__ = ["engine_supports_superstep", "try_advance_superstep"]
+__all__ = [
+    "engine_supports_superstep",
+    "superstep_ineligibility_reason",
+    "try_advance_superstep",
+    "try_advance_collective",
+]
 
 
 def engine_supports_superstep(engine: "Engine") -> bool:
@@ -80,6 +86,26 @@ def engine_supports_superstep(engine: "Engine") -> bool:
         and not engine.trace_enabled
         and engine.max_virtual_time is None
     )
+
+
+def superstep_ineligibility_reason(engine: "Engine") -> str | None:
+    """Name the feature forcing the event path, or None when eligible.
+
+    The counterpart of :func:`engine_supports_superstep` for user-facing
+    diagnostics: a sim-backed figure run that silently takes the slow path
+    can name why (``repro figure --backend sim`` prints this).
+    """
+    if not engine.superstep_enabled:
+        return "superstep disabled"
+    if engine.faults is not None:
+        return "fault plan"
+    if engine.scenario is not None:
+        return "heterogeneous scenario"
+    if engine.trace_enabled:
+        return "per-hop tracing"
+    if engine.max_virtual_time is not None:
+        return "max_virtual_time watchdog"
+    return None
 
 
 def _compatible(engine: "Engine", parked: dict) -> dict | None:
@@ -308,3 +334,877 @@ def try_advance_superstep(engine: "Engine", parked: dict) -> dict | None:
         ranks[i]: (float(T[i]), (a_blocks[i], b_blocks[i], c_blocks[i]))
         for i in range(n_ranks)
     }
+
+
+# ---------------------------------------------------------------------------
+# Collective phases (CollectivePhaseOp)
+# ---------------------------------------------------------------------------
+#
+# The collectives in ``repro.collectives`` declare themselves to the engine
+# before running their wire schedule (see ``repro.collectives.phase``).  When
+# every active rank is parked on a CollectivePhaseOp with quiet queues, the
+# phase decomposes into independent *groups* — one per (kind, schedule,
+# member-tuple, tag, root, op) — whose channels are provably disjoint, and
+# each group advances through the same recurrence the event path would fold:
+#
+# * one-port SBT exchange (allgather / alltoall / reduce_scatter):
+#   per step ``k``: ``s = max(T, chan_free, port_free)``, ``e = s + d_k``,
+#   ``T' = max(e, e[partner_k])``;
+# * one-port SBT broadcast / reduce: the binomial tree replayed in
+#   BFS / combining-step order with blocking-send and blocking-recv resume
+#   rules (``T' = max(T, arrival)``, sends serialize through the port);
+# * multi-port rotated trees (all five kinds): round-synchronized — each
+#   round reserves one channel per active tree at ``max(T, chan_free)`` and
+#   resumes at the max of the round's send ends and arrivals; rounds with no
+#   handles leave a rank's clock untouched, exactly like the skipped
+#   ``waitall``.
+#
+# Word counts and result values come from a faithful replay of each
+# schedule's moving dicts/chunks (same helper functions, same fold order),
+# so makespans, per-channel busy times, message/word counters and returned
+# arrays are all bit-identical to the event path.  Any doubt — schedule
+# mismatch with the port model, malformed groups, foreign traffic, or any
+# exception while planning (which the event path would reproduce verbatim) —
+# refuses, and the engine releases every parked rank with
+# ``COLLECTIVE_FALLBACK``.  Planning mutates nothing: tracker resources and
+# stats are written only after every group has planned successfully.
+
+_EXCHANGE_KINDS = frozenset({"allgather", "alltoall", "reduce_scatter"})
+_ROOTED_KINDS = frozenset({"broadcast", "reduce"})
+
+
+class _Refuse(Exception):
+    """Internal: abandon the closed form, fall back to the event path."""
+
+
+class _CollGroup:
+    """One collective operation instance: a member set running one schedule."""
+
+    __slots__ = (
+        "kind", "sched", "nodes", "free_dims", "tag", "root", "op",
+        "n", "d", "sub", "cr_of_sub", "at", "payloads", "slots",
+    )
+
+    def __init__(self, kind, sched, nodes, free_dims, tag, root, op):
+        self.kind = kind
+        self.sched = sched
+        self.nodes = list(nodes)
+        self.free_dims = list(free_dims)
+        self.tag = tag
+        self.root = root
+        self.op = op
+        self.n = len(nodes)
+        self.d = len(free_dims)
+        self.sub = None
+        self.cr_of_sub = None
+        self.at = [0.0] * self.n
+        self.payloads = [None] * self.n
+        self.slots = [0] * self.n
+
+    def build_tables(self) -> bool:
+        """Recompute the subcube-index maps Comm guarantees; False if broken."""
+        base = self.nodes[0]
+        mask = 0
+        for dim in self.free_dims:
+            mask |= 1 << dim
+        sub = []
+        for node in self.nodes:
+            if (node ^ base) & ~mask:
+                return False
+            s_val = 0
+            for k, dim in enumerate(self.free_dims):
+                if (node >> dim) & 1:
+                    s_val |= 1 << k
+            sub.append(s_val)
+        cr_of_sub = [-1] * self.n
+        for cr, s_val in enumerate(sub):
+            if cr_of_sub[s_val] != -1:
+                return False
+            cr_of_sub[s_val] = cr
+        self.sub = np.asarray(sub, dtype=np.intp)
+        self.cr_of_sub = np.asarray(cr_of_sub, dtype=np.intp)
+        return True
+
+    def partner(self, k: int) -> np.ndarray:
+        """Comm rank of every member's neighbour across subcube dim ``k``."""
+        return self.cr_of_sub[self.sub ^ (1 << k)]
+
+
+def _collective_groups(engine: "Engine", parked: dict) -> list | None:
+    """Partition the parked ops into validated groups, or ``None``."""
+    if engine._blocked or engine._parallel or engine._barrier_waiting:
+        return None
+    active = engine.config.num_nodes - len(engine.done) - len(engine.failed)
+    if len(parked) != active:
+        return None
+    if any(engine._mailbox.values()) or any(engine._pending_recvs.values()):
+        return None
+    one_port = engine.config.port_model is PortModel.ONE_PORT
+
+    groups: dict[tuple, _CollGroup] = {}
+    filled: dict[tuple, int] = {}
+    for task, (op, at) in parked.items():
+        if isinstance(task, tuple):
+            return None
+        specs = op.specs
+        if not 1 <= len(specs) <= 2:
+            return None
+        if len(specs) == 2:
+            # Fused pairs overlap only on multi-port machines (a one-port
+            # node interleaves the two schedules through its single
+            # engagement — keep that contention on the event path), and
+            # only when the two subcubes use disjoint physical dimensions.
+            if one_port:
+                return None
+            if set(specs[0].free_dims) & set(specs[1].free_dims):
+                return None
+        for slot, spec in enumerate(specs):
+            kind = spec.kind
+            if kind in _EXCHANGE_KINDS:
+                if spec.root is not None:
+                    return None
+            elif kind in _ROOTED_KINDS:
+                if not isinstance(spec.root, int):
+                    return None
+            else:
+                return None
+            if spec.sched != ("sbt" if one_port else "rotated"):
+                return None
+            n = len(spec.members)
+            if n < 2 or n != (1 << len(spec.free_dims)):
+                return None
+            if not 0 <= spec.rank < n or spec.members[spec.rank] != task:
+                return None
+            key = (
+                kind, spec.sched, spec.members, spec.free_dims,
+                spec.tag, spec.root, spec.op,
+            )
+            g = groups.get(key)
+            if g is None:
+                g = _CollGroup(
+                    kind, spec.sched, spec.members, spec.free_dims,
+                    spec.tag, spec.root, spec.op,
+                )
+                if not g.build_tables():
+                    return None
+                groups[key] = g
+                filled[key] = 0
+            cr = spec.rank
+            if (filled[key] >> cr) & 1:
+                return None
+            filled[key] |= 1 << cr
+            g.at[cr] = at
+            g.payloads[cr] = spec.payload
+            g.slots[cr] = slot
+    out = []
+    for key, g in groups.items():
+        if filled[key] != (1 << g.n) - 1:
+            return None
+        if g.kind in _ROOTED_KINDS and not 0 <= g.root < g.n:
+            return None
+        out.append(g)
+    return out
+
+
+def _channel_seed(tracker, key: tuple) -> tuple:
+    """(next_free, busy_time) of a channel *without* creating it.
+
+    Channel resources are created lazily and ``channels_used`` counts every
+    created one, so planning must never instantiate a channel a refused
+    attempt would not have touched — creation is deferred to commit.
+    """
+    i = tracker._channel_ids.get(key)
+    if i is None:
+        return 0.0, 0.0
+    return float(tracker._free[i]), float(tracker._busy[i])
+
+
+def _copy_value(x):
+    from repro.sim.engine import _copy_payload
+
+    return _copy_payload(x)
+
+
+def _new_plan(n: int):
+    return {
+        "finish": [0.0] * n,
+        "values": [None] * n,
+        "channels": {},
+        "ports": {},
+        "ms": np.zeros(n, dtype=np.int64), "ws": np.zeros(n, dtype=np.int64),
+        "mr": np.zeros(n, dtype=np.int64), "wr": np.zeros(n, dtype=np.int64),
+    }
+
+
+# -- one-port SBT planners ---------------------------------------------------
+
+
+def _replay_sbt_exchange(g: _CollGroup):
+    """Per-step word counts + final values of a one-port dimension exchange."""
+    n, d = g.n, g.d
+    words = []
+    if g.kind == "allgather":
+        # Recursive doubling over {comm_rank: block} dicts; track held key
+        # sets, word counts via the engine's own payload accounting.
+        word_of = [payload_words({0: p}) for p in g.payloads]
+        held = [{i} for i in range(n)]
+        for k in range(d):
+            pidx = g.partner(k)
+            w = np.array(
+                [sum(word_of[s] for s in held[i]) for i in range(n)],
+                dtype=np.int64,
+            )
+            words.append(w)
+            held = [held[i] | held[pidx[i]] for i in range(n)]
+        values = [
+            [g.payloads[src] if src == i else _copy_value(g.payloads[src])
+             for src in range(n)]
+            for i in range(n)
+        ]
+        return words, values
+    if g.kind == "alltoall":
+        blocks = [list(p) for p in g.payloads]
+        for b in blocks:
+            if len(b) != n:
+                raise _Refuse
+        word_of = [[payload_words({0: b}) for b in row] for row in blocks]
+        held = [{(i, dst) for dst in range(n)} for i in range(n)]
+        bit = [[(int(g.sub[i]) >> k) & 1 for k in range(d)] for i in range(n)]
+        for k in range(d):
+            pidx = g.partner(k)
+            moving = [
+                {key for key in held[i] if bit[key[1]][k] != bit[i][k]}
+                for i in range(n)
+            ]
+            w = np.array(
+                [sum(word_of[s][t] for (s, t) in moving[i]) for i in range(n)],
+                dtype=np.int64,
+            )
+            words.append(w)
+            held = [
+                (held[i] - moving[i]) | moving[pidx[i]] for i in range(n)
+            ]
+        for i in range(n):
+            if held[i] != {(src, i) for src in range(n)}:
+                raise _Refuse
+        values = [
+            [blocks[i][i] if src == i else _copy_value(blocks[src][i])
+             for src in range(n)]
+            for i in range(n)
+        ]
+        return words, values
+    # reduce_scatter: recursive halving with real folds (values matter).
+    op = g.op
+    acc = [
+        {dst: np.array(g.payloads[i][dst]) for dst in range(n)}
+        for i in range(n)
+    ]
+    for i in range(n):
+        if len(g.payloads[i]) != n:
+            raise _Refuse
+    for k in range(d):
+        pidx = g.partner(k)
+        moving = []
+        for i in range(n):
+            my_bit = (int(g.sub[i]) >> k) & 1
+            moving.append({
+                dst: acc[i].pop(dst)
+                for dst in list(acc[i])
+                if (int(g.sub[dst]) >> k) & 1 != my_bit
+            })
+        words.append(np.array(
+            [payload_words(moving[i]) for i in range(n)], dtype=np.int64
+        ))
+        for i in range(n):
+            for dst, arr in moving[pidx[i]].items():
+                acc[i][dst] = op(acc[i][dst], arr)
+    for i in range(n):
+        if set(acc[i]) != {i}:
+            raise _Refuse
+    return words, [acc[i][i] for i in range(n)]
+
+
+def _plan_sbt_exchange(engine: "Engine", g: _CollGroup) -> dict:
+    n, d = g.n, g.d
+    t_s, t_w = engine._t_s, engine._t_w
+    tracker = engine.tracker
+    words, values = _replay_sbt_exchange(g)
+    plan = _new_plan(n)
+    plan["values"] = values
+
+    T = np.array(g.at, dtype=np.float64)
+    port_free = np.empty(n)
+    port_busy = np.empty(n)
+    for i, node in enumerate(g.nodes):
+        p = tracker._send_port[node]
+        port_free[i] = p.next_free
+        port_busy[i] = p.busy_time
+    sent = np.zeros(n, dtype=np.int64)
+    rcvd = np.zeros(n, dtype=np.int64)
+    for k in range(d):
+        pidx = g.partner(k)
+        w = words[k]
+        dur = t_s + t_w * w
+        dim = g.free_dims[k]
+        cf = np.empty(n)
+        cb = np.empty(n)
+        keys = []
+        for i, node in enumerate(g.nodes):
+            key = (node, node ^ (1 << dim))
+            cf[i], cb[i] = _channel_seed(tracker, key)
+            keys.append(key)
+        s = np.maximum(T, np.maximum(cf, port_free))
+        e = s + dur
+        port_busy = port_busy + dur
+        port_free = e
+        eb = cb + dur
+        for i in range(n):
+            plan["channels"][keys[i]] = (float(e[i]), float(eb[i]), 1)
+        T = np.maximum(e, e[pidx])
+        sent += w
+        rcvd += w[pidx]
+    for i in range(n):
+        plan["finish"][i] = float(T[i])
+        plan["ports"][g.nodes[i]] = (
+            float(port_free[i]), float(port_busy[i]), d
+        )
+        plan["ms"][i] = d
+        plan["mr"][i] = d
+        plan["ws"][i] = int(sent[i])
+        plan["wr"][i] = int(rcvd[i])
+    return plan
+
+
+def _plan_sbt_broadcast(engine: "Engine", g: _CollGroup) -> dict:
+    n, d = g.n, g.d
+    t_s, t_w = engine._t_s, engine._t_w
+    tracker = engine.tracker
+    plan = _new_plan(n)
+    root = g.root
+    sub_root = int(g.sub[root])
+    rel = [int(g.sub[i]) ^ sub_root for i in range(n)]
+    data = g.payloads[root]
+    m = payload_words(data)
+    dur = t_s + t_w * m
+
+    # Identity order: receive at the highest set bit, send every later step.
+    t_recv = [r.bit_length() - 1 for r in rel]  # root: -1
+    e_send: dict[tuple[int, int], float] = {}
+    # Parents (smaller relative index, earlier recv step) resolve first.
+    for i in sorted(range(n), key=lambda i: t_recv[i]):
+        Ti = g.at[i]
+        if rel[i]:
+            tr = t_recv[i]
+            parent = int(g.cr_of_sub[int(g.sub[i]) ^ (1 << tr)])
+            Ti = max(Ti, e_send[(parent, tr)])
+            start_t = tr + 1
+            plan["mr"][i] = 1
+            plan["wr"][i] = m
+        else:
+            start_t = 0
+        node = g.nodes[i]
+        if start_t < d:
+            port = tracker._send_port[node]
+            pf = port.next_free
+            pb = port.busy_time
+            for t in range(start_t, d):
+                v = node ^ (1 << g.free_dims[t])
+                cf, cb = _channel_seed(tracker, (node, v))
+                s = max(Ti, cf, pf)
+                e = s + dur
+                pf = e
+                pb += dur
+                plan["channels"][(node, v)] = (e, cb + dur, 1)
+                e_send[(i, t)] = e
+                Ti = e  # blocking send: resume at the hop's end
+            plan["ports"][node] = (pf, pb, d - start_t)
+            plan["ms"][i] = d - start_t
+            plan["ws"][i] = m * (d - start_t)
+        plan["finish"][i] = Ti
+        plan["values"][i] = data if i == root else _copy_value(data)
+    return plan
+
+
+def _plan_sbt_reduce(engine: "Engine", g: _CollGroup) -> dict:
+    n, d = g.n, g.d
+    t_s, t_w = engine._t_s, engine._t_w
+    tracker = engine.tracker
+    op = g.op
+    plan = _new_plan(n)
+    root = g.root
+    sub_root = int(g.sub[root])
+    rel = [int(g.sub[i]) ^ sub_root for i in range(n)]
+    # Identity order: send the accumulator at the lowest set bit; receive
+    # (and fold) at every earlier step.
+    my_step = [(r & -r).bit_length() - 1 if r else d for r in rel]
+    acc = [np.array(g.payloads[i]) for i in range(n)]
+    T = list(g.at)
+    e_by_receiver: dict[tuple[int, int], tuple[float, int]] = {}
+    for t in range(d):
+        senders = [i for i in range(n) if my_step[i] == t]
+        for i in senders:
+            parent = int(g.cr_of_sub[int(g.sub[i]) ^ (1 << t)])
+            w = payload_words(acc[i])
+            dur = t_s + t_w * w
+            node = g.nodes[i]
+            v = node ^ (1 << g.free_dims[t])
+            port = tracker._send_port[node]
+            cf, cb = _channel_seed(tracker, (node, v))
+            s = max(T[i], cf, port.next_free)
+            e = s + dur
+            plan["ports"][node] = (e, port.busy_time + dur, 1)
+            plan["channels"][(node, v)] = (e, cb + dur, 1)
+            plan["finish"][i] = e
+            plan["ms"][i] = 1
+            plan["ws"][i] = w
+            e_by_receiver[(parent, t)] = (e, i)
+        for i in range(n):
+            if my_step[i] > t:
+                e_child, child = e_by_receiver[(i, t)]
+                T[i] = max(T[i], e_child)
+                acc[i] = op(acc[i], acc[child])
+                plan["mr"][i] += 1
+                plan["wr"][i] += payload_words(acc[child])
+    plan["finish"][root] = T[root]
+    plan["values"][root] = acc[root]
+    return plan
+
+
+# -- multi-port rotated planners --------------------------------------------
+
+
+def _chunk_sizes(total: int, d: int) -> list[int]:
+    """Element counts ``np.array_split`` gives each of ``d`` flat chunks."""
+    base, extra = divmod(total, d)
+    return [base + 1 if j < extra else base for j in range(d)]
+
+
+def _rotated_steps(rel: list[int], d: int, combine: bool) -> np.ndarray:
+    """Per-(rank, tree) recv step (distribution) or send step (combining).
+
+    Distribution trees receive at the *last* order position of a set bit,
+    combining trees send at the *first*.  The root's sentinel is -1
+    (distribution: "sends from round 0") or ``d`` (combining: "receives at
+    every round").
+    """
+    n = len(rel)
+    out = np.empty((n, d), dtype=np.int64)
+    for i, r in enumerate(rel):
+        for j in range(d):
+            if r == 0:
+                out[i, j] = -1 if not combine else d
+                continue
+            best = -1 if not combine else d
+            for b in range(d):
+                if (r >> b) & 1:
+                    pos = (b - j) % d
+                    if combine:
+                        if pos < best:
+                            best = pos
+                    elif pos > best:
+                        best = pos
+            out[i, j] = best
+    return out
+
+
+def _rotated_round(plan, g, T, Tn, chan_free, chan_busy, chan_used,
+                   t, j, senders, receivers, dur, t_w_words):
+    """Advance one (round, tree) of a rotated schedule; updates Tn in place.
+
+    ``senders``/``receivers`` are boolean masks; ``dur`` the per-sender hop
+    durations (array over members).  Returns the send-end array (NaN where
+    inactive) so callers can read arrivals.
+    """
+    n = g.n
+    k = (j + t) % g.d
+    e_full = np.full(n, -np.inf)
+    idx = np.nonzero(senders)[0]
+    if idx.size:
+        s = np.maximum(T[idx], chan_free[idx, k])
+        e = s + dur[idx]
+        chan_free[idx, k] = e
+        chan_busy[idx, k] += dur[idx]
+        chan_used[idx, k] += 1
+        e_full[idx] = e
+        np.maximum(Tn, np.where(senders, e_full, -np.inf), out=Tn)
+        plan["ms"][idx] += 1
+        plan["ws"][idx] += t_w_words[idx].astype(np.int64)
+    ridx = np.nonzero(receivers)[0]
+    if ridx.size:
+        pidx = g.partner(k)
+        arrival = e_full[pidx]
+        np.maximum(Tn, np.where(receivers, arrival, -np.inf), out=Tn)
+        plan["mr"][ridx] += 1
+        plan["wr"][ridx] += t_w_words[pidx[ridx]].astype(np.int64)
+    return e_full
+
+
+def _commit_rotated_channels(plan, g, chan_free, chan_busy, chan_used):
+    for i, node in enumerate(g.nodes):
+        for k in range(g.d):
+            used = int(chan_used[i, k])
+            if used:
+                key = (node, node ^ (1 << g.free_dims[k]))
+                plan["channels"][key] = (
+                    float(chan_free[i, k]), float(chan_busy[i, k]), used
+                )
+
+
+def _seed_rotated_channels(tracker, g):
+    n, d = g.n, g.d
+    chan_free = np.empty((n, d))
+    chan_busy = np.empty((n, d))
+    for i, node in enumerate(g.nodes):
+        for k in range(d):
+            key = (node, node ^ (1 << g.free_dims[k]))
+            chan_free[i, k], chan_busy[i, k] = _channel_seed(tracker, key)
+    return chan_free, chan_busy
+
+
+def _replay_rotated_exchange(g: _CollGroup):
+    """Word counts per (round, tree) + final values for rotated exchanges."""
+    from repro.collectives.chunking import (
+        chunk_header,
+        rebuild_from_header,
+        split_chunks,
+    )
+
+    n, d = g.n, g.d
+    words = [[None] * d for _ in range(d)]  # [t][j] -> int array (n,)
+    if g.kind == "allgather":
+        arrs = [np.asarray(p) for p in g.payloads]
+        wchunk = [_chunk_sizes(int(a.size), d) for a in arrs]
+        held = [[{i} for _ in range(d)] for i in range(n)]
+        for t in range(d):
+            for j in range(d):
+                k = (j + t) % d
+                pidx = g.partner(k)
+                w = np.array(
+                    [sum(wchunk[s][j] for s in held[i][j]) for i in range(n)],
+                    dtype=np.int64,
+                )
+                words[t][j] = w
+                snap = [held[i][j] for i in range(n)]
+                for i in range(n):
+                    held[i][j] = held[i][j] | snap[pidx[i]]
+        # The event path ships each block as d flat chunks and receivers
+        # reassemble them (split_chunks -> join_chunks round trip), which
+        # reproduces the block exactly; a plain copy is bit-identical and
+        # skips ~n^2 array_split calls per group.
+        values = [
+            [arrs[src].copy() for src in range(n)] for _ in range(n)
+        ]
+        return words, values
+    if g.kind == "alltoall":
+        blocks = [list(p) for p in g.payloads]
+        for b in blocks:
+            if len(b) != n:
+                raise _Refuse
+        arrs = [[np.asarray(b) for b in row] for row in blocks]
+        wchunk = [
+            [_chunk_sizes(int(a.size), d) for a in row] for row in arrs
+        ]
+        bit = [[(int(g.sub[i]) >> k) & 1 for k in range(d)] for i in range(n)]
+        held = [
+            [{(i, dst) for dst in range(n)} for _ in range(d)]
+            for i in range(n)
+        ]
+        for t in range(d):
+            for j in range(d):
+                k = (j + t) % d
+                pidx = g.partner(k)
+                moving = [
+                    {key for key in held[i][j] if bit[key[1]][k] != bit[i][k]}
+                    for i in range(n)
+                ]
+                words[t][j] = np.array(
+                    [
+                        sum(wchunk[s][dst][j] for (s, dst) in moving[i])
+                        for i in range(n)
+                    ],
+                    dtype=np.int64,
+                )
+                for i in range(n):
+                    held[i][j] = (held[i][j] - moving[i]) | moving[pidx[i]]
+        for i in range(n):
+            for j in range(d):
+                if held[i][j] != {(src, i) for src in range(n)}:
+                    raise _Refuse
+        # Chunked transport round-trips to an exact copy (see allgather).
+        values = [
+            [arrs[src][i].copy() for src in range(n)] for i in range(n)
+        ]
+        return words, values
+    # reduce_scatter: rotated halving with real folds.
+    op = g.op
+    for p in g.payloads:
+        if len(p) != n:
+            raise _Refuse
+    arrs = [[np.asarray(b) for b in row] for row in g.payloads]
+    # Split each block once; tree j owns chunk j of every destination.
+    chunks = [
+        [[np.array(c) for c in split_chunks(arrs[i][dst], d)]
+         for dst in range(n)]
+        for i in range(n)
+    ]
+    sched = [
+        [{dst: chunks[i][dst][j] for dst in range(n)} for j in range(d)]
+        for i in range(n)
+    ]
+    for t in range(d):
+        for j in range(d):
+            k = (j + t) % d
+            pidx = g.partner(k)
+            moving = []
+            for i in range(n):
+                my_bit = (int(g.sub[i]) >> k) & 1
+                moving.append({
+                    dst: sched[i][j].pop(dst)
+                    for dst in list(sched[i][j])
+                    if (int(g.sub[dst]) >> k) & 1 != my_bit
+                })
+            words[t][j] = np.array(
+                [payload_words(moving[i]) for i in range(n)], dtype=np.int64
+            )
+            for i in range(n):
+                for dst, arr in moving[pidx[i]].items():
+                    sched[i][j][dst] = op(sched[i][j][dst], arr)
+    values = []
+    for i in range(n):
+        for j in range(d):
+            if set(sched[i][j]) != {i}:
+                raise _Refuse
+        values.append(rebuild_from_header(
+            [sched[i][j][i] for j in range(d)], chunk_header(arrs[i][i])
+        ))
+    return words, values
+
+
+def _plan_rotated_exchange(engine: "Engine", g: _CollGroup) -> dict:
+    n, d = g.n, g.d
+    t_s, t_w = engine._t_s, engine._t_w
+    tracker = engine.tracker
+    words, values = _replay_rotated_exchange(g)
+    plan = _new_plan(n)
+    plan["values"] = values
+    T = np.array(g.at, dtype=np.float64)
+    chan_free, chan_busy = _seed_rotated_channels(tracker, g)
+    chan_used = np.zeros((n, d), dtype=np.int64)
+    everyone = np.ones(n, dtype=bool)
+    for t in range(d):
+        Tn = T.copy()
+        for j in range(d):
+            w = words[t][j]
+            _rotated_round(
+                plan, g, T, Tn, chan_free, chan_busy, chan_used,
+                t, j, everyone, everyone, t_s + t_w * w, w,
+            )
+        T = Tn
+    plan["finish"] = [float(x) for x in T]
+    _commit_rotated_channels(plan, g, chan_free, chan_busy, chan_used)
+    return plan
+
+
+def _plan_rotated_broadcast(engine: "Engine", g: _CollGroup) -> dict:
+    from repro.collectives.chunking import (
+        chunk_header,
+        rebuild_from_header,
+        split_chunks,
+    )
+
+    n, d = g.n, g.d
+    t_s, t_w = engine._t_s, engine._t_w
+    tracker = engine.tracker
+    plan = _new_plan(n)
+    root = g.root
+    sub_root = int(g.sub[root])
+    rel = [int(g.sub[i]) ^ sub_root for i in range(n)]
+    arr = np.asarray(g.payloads[root])
+    sizes = _chunk_sizes(int(arr.size), d)
+    recv_steps = _rotated_steps(rel, d, combine=False)
+
+    T = np.array(g.at, dtype=np.float64)
+    chan_free, chan_busy = _seed_rotated_channels(tracker, g)
+    chan_used = np.zeros((n, d), dtype=np.int64)
+    for t in range(d):
+        Tn = T.copy()
+        for j in range(d):
+            senders = recv_steps[:, j] < t  # root's sentinel is -1
+            receivers = recv_steps[:, j] == t
+            w = np.full(n, sizes[j], dtype=np.int64)
+            _rotated_round(
+                plan, g, T, Tn, chan_free, chan_busy, chan_used,
+                t, j, senders, receivers, t_s + t_w * w, w,
+            )
+        T = Tn
+    plan["finish"] = [float(x) for x in T]
+    _commit_rotated_channels(plan, g, chan_free, chan_busy, chan_used)
+    rebuilt = rebuild_from_header(list(split_chunks(arr, d)), chunk_header(arr))
+    for i in range(n):
+        plan["values"][i] = (
+            g.payloads[root] if i == root else rebuilt.copy()
+        )
+    return plan
+
+
+def _replay_rotated_reduce(engine: "Engine", g: _CollGroup, send_steps):
+    """Per-(rank, tree) send word counts + root value for rotated reduce."""
+    from repro.collectives.chunking import (
+        chunk_header,
+        rebuild_from_header,
+        split_chunks,
+    )
+
+    n, d = g.n, g.d
+    op = g.op
+    arrs = [np.asarray(p) for p in g.payloads]
+    shape = arrs[0].shape
+    if (
+        engine.timing_only
+        and op is np.add
+        and all(a.shape == shape and a.size and not a.any() for a in arrs)
+    ):
+        # Timing-only partials are zero views; np.add keeps every chunk an
+        # all-zero array of fixed size, so word counts follow from shapes
+        # and the root's rebuilt value is plain zeros — skipping the
+        # per-rank fold replay that dominates at region-map scale.
+        sizes = _chunk_sizes(int(arrs[0].size), d)
+        w_send = np.empty((n, d), dtype=np.int64)
+        for j in range(d):
+            w_send[:, j] = sizes[j]
+        return w_send, np.zeros(shape, dtype=arrs[0].dtype)
+    chunks = [
+        [np.array(c) for c in split_chunks(arrs[i], d)] for i in range(n)
+    ]
+    w_send = np.zeros((n, d), dtype=np.int64)
+    for t in range(d):
+        sent: dict[tuple[int, int], object] = {}
+        for i in range(n):
+            for j in range(d):
+                if send_steps[i, j] == t:
+                    w_send[i, j] = payload_words(chunks[i][j])
+                    sent[(i, j)] = chunks[i][j]
+        for i in range(n):
+            for j in range(d):
+                if send_steps[i, j] > t:
+                    k = (j + t) % d
+                    child = int(g.partner(k)[i])
+                    chunks[i][j] = op(chunks[i][j], sent[(child, j)])
+    root = g.root
+    return w_send, rebuild_from_header(
+        chunks[root], chunk_header(arrs[root])
+    )
+
+
+def _plan_rotated_reduce(engine: "Engine", g: _CollGroup) -> dict:
+    n, d = g.n, g.d
+    t_s, t_w = engine._t_s, engine._t_w
+    tracker = engine.tracker
+    plan = _new_plan(n)
+    root = g.root
+    sub_root = int(g.sub[root])
+    rel = [int(g.sub[i]) ^ sub_root for i in range(n)]
+    send_steps = _rotated_steps(rel, d, combine=True)  # root sentinel: d
+    w_send, root_value = _replay_rotated_reduce(engine, g, send_steps)
+
+    T = np.array(g.at, dtype=np.float64)
+    chan_free, chan_busy = _seed_rotated_channels(tracker, g)
+    chan_used = np.zeros((n, d), dtype=np.int64)
+    for t in range(d):
+        Tn = T.copy()
+        for j in range(d):
+            senders = send_steps[:, j] == t
+            receivers = send_steps[:, j] > t
+            w = w_send[:, j]
+            _rotated_round(
+                plan, g, T, Tn, chan_free, chan_busy, chan_used,
+                t, j, senders, receivers, t_s + t_w * w, w,
+            )
+        T = Tn
+    plan["finish"] = [float(x) for x in T]
+    _commit_rotated_channels(plan, g, chan_free, chan_busy, chan_used)
+    plan["values"][root] = root_value
+    return plan
+
+
+_PLANNERS = {
+    ("sbt", "allgather"): _plan_sbt_exchange,
+    ("sbt", "alltoall"): _plan_sbt_exchange,
+    ("sbt", "reduce_scatter"): _plan_sbt_exchange,
+    ("sbt", "broadcast"): _plan_sbt_broadcast,
+    ("sbt", "reduce"): _plan_sbt_reduce,
+    ("rotated", "allgather"): _plan_rotated_exchange,
+    ("rotated", "alltoall"): _plan_rotated_exchange,
+    ("rotated", "reduce_scatter"): _plan_rotated_exchange,
+    ("rotated", "broadcast"): _plan_rotated_broadcast,
+    ("rotated", "reduce"): _plan_rotated_reduce,
+}
+
+
+def try_advance_collective(engine: "Engine", parked: dict) -> dict | None:
+    """Advance fully-parked collective phases in closed form.
+
+    ``parked`` maps task -> (CollectivePhaseOp, park_time).  Returns
+    ``{task: (finish_time, value)}`` (fused pairs get ``[value_a, value_b]``
+    at the later finish, like ``ctx.parallel``) or ``None`` when the phase
+    must fall back to the event path.  Nothing — tracker state, statistics —
+    is mutated unless every group plans successfully, so a refusal leaves
+    the engine exactly where the event path would start.
+    """
+    groups = _collective_groups(engine, parked)
+    if groups is None:
+        return None
+    try:
+        plans = [_PLANNERS[(g.sched, g.kind)](engine, g) for g in groups]
+        # Assemble outcomes before committing anything: a malformed group
+        # surfaced here still refuses cleanly.
+        by_task: dict = {}
+        for g, plan in zip(groups, plans):
+            for i in range(g.n):
+                by_task.setdefault(g.nodes[i], {})[g.slots[i]] = (
+                    plan["finish"][i], plan["values"][i]
+                )
+        outcome = {}
+        for task, (op, _at) in parked.items():
+            per = by_task[task]
+            if len(per) != len(op.specs):
+                return None
+            if len(op.specs) == 1:
+                outcome[task] = per[0]
+            else:
+                fin = max(per[0][0], per[1][0])
+                outcome[task] = (fin, [per[0][1], per[1][1]])
+    except Exception:
+        return None
+
+    tracker = engine.tracker
+    stats = engine.stats
+    for g, plan in zip(groups, plans):
+        chans = plan["channels"]
+        if chans:
+            # Resolve every slot first (allocation may grow the columns and
+            # rebind the arrays), then scatter the phase's channel state in
+            # three vectorized writes.  Keys are unique, so += is safe.
+            slot = tracker._channel_slot
+            rows = np.fromiter(
+                (slot(u, v) for u, v in chans), dtype=np.intp, count=len(chans)
+            )
+            vals = np.fromiter(
+                (x for triple in chans.values() for x in triple),
+                dtype=np.float64, count=3 * len(chans),
+            ).reshape(-1, 3)
+            tracker._free[rows] = vals[:, 0]
+            tracker._busy[rows] = vals[:, 1]
+            tracker._nres[rows] += vals[:, 2].astype(np.int64)
+        for u, (free, busy, nres) in plan["ports"].items():
+            port = tracker._send_port[u]
+            port.next_free = free
+            port.busy_time = busy
+            port.reservations += nres
+        for i in range(g.n):
+            st = stats[g.nodes[i]]
+            st.messages_sent += int(plan["ms"][i])
+            st.words_sent += int(plan["ws"][i])
+            st.messages_received += int(plan["mr"][i])
+            st.words_received += int(plan["wr"][i])
+    return outcome

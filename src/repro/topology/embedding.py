@@ -36,6 +36,13 @@ __all__ = [
     "largest_live_subcube",
 ]
 
+# line_members memo shared by every embedding instance of the same shape:
+# a grid line's node list depends only on the grid signature, the axis, and
+# the fixed coordinates, and every rank on the line asks for the same list
+# (p·3 asks for p·3/q distinct lines on a 3-D grid).  Values are tuples;
+# the public methods return fresh lists.
+_line_cache: dict[tuple, tuple[int, ...]] = {}
+
 
 def largest_live_subcube(
     cube: Hypercube,
@@ -217,13 +224,25 @@ class Grid3DRectEmbedding:
         )
 
     def line_members(self, axis: str, x: int = 0, y: int = 0, z: int = 0) -> list[int]:
+        sig = ("rect", self.cube.dimension, self._kx, self._ky, self._kz)
         if axis == "x":
-            return [self.node_at(c, y, z) for c in range(self.sx)]
-        if axis == "y":
-            return [self.node_at(x, c, z) for c in range(self.sy)]
-        if axis == "z":
-            return [self.node_at(x, y, c) for c in range(self.sz)]
-        raise TopologyError(f"axis must be 'x', 'y' or 'z', got {axis!r}")
+            key = sig + ("x", y % self.sy, z % self.sz)
+        elif axis == "y":
+            key = sig + ("y", x % self.sx, z % self.sz)
+        elif axis == "z":
+            key = sig + ("z", x % self.sx, y % self.sy)
+        else:
+            raise TopologyError(f"axis must be 'x', 'y' or 'z', got {axis!r}")
+        cached = _line_cache.get(key)
+        if cached is None:
+            if axis == "x":
+                cached = tuple(self.node_at(c, y, z) for c in range(self.sx))
+            elif axis == "y":
+                cached = tuple(self.node_at(x, c, z) for c in range(self.sy))
+            else:
+                cached = tuple(self.node_at(x, y, c) for c in range(self.sz))
+            _line_cache[key] = cached
+        return list(cached)
 
 
 class SubcubeGrid2D:
@@ -324,12 +343,23 @@ class Grid3DEmbedding:
         """Cube nodes along ``axis``, ordered by that grid coordinate."""
         q = self.side
         if axis == "x":
-            return [self.node_at(c, y, z) for c in range(q)]
-        if axis == "y":
-            return [self.node_at(x, c, z) for c in range(q)]
-        if axis == "z":
-            return [self.node_at(x, y, c) for c in range(q)]
-        raise TopologyError(f"axis must be 'x', 'y' or 'z', got {axis!r}")
+            key = ("3d", self.cube.dimension, "x", y % q, z % q)
+        elif axis == "y":
+            key = ("3d", self.cube.dimension, "y", x % q, z % q)
+        elif axis == "z":
+            key = ("3d", self.cube.dimension, "z", x % q, y % q)
+        else:
+            raise TopologyError(f"axis must be 'x', 'y' or 'z', got {axis!r}")
+        cached = _line_cache.get(key)
+        if cached is None:
+            if axis == "x":
+                cached = tuple(self.node_at(c, y, z) for c in range(q))
+            elif axis == "y":
+                cached = tuple(self.node_at(x, c, z) for c in range(q))
+            else:
+                cached = tuple(self.node_at(x, y, c) for c in range(q))
+            _line_cache[key] = cached
+        return list(cached)
 
     def plane_members(self, axis: str, value: int) -> list[int]:
         """All nodes with the ``axis`` coordinate fixed to ``value``.

@@ -25,15 +25,30 @@ from repro.analysis.conformance import (
 )
 
 SEED = 2026
-COUNT = 52
+COUNT = 60
 
 CASES = sample_cases(SEED, COUNT)
 
 
 class TestSampler:
     def test_covers_every_registered_algorithm(self):
-        assert len(CASES) >= 50
+        assert len(CASES) >= 52
         assert {c.algorithm for c in CASES} == set(ALGORITHMS)
+
+    def test_oversamples_collective_heavy_family(self):
+        """Past full coverage, extra cases go to the 3D/DNS family (the
+        collective closed form's surface), including fault-free runs on
+        the largest applicable machines."""
+        from repro.analysis.conformance import _COLLECTIVE_HEAVY
+
+        heavy = [c for c in CASES if c.algorithm in _COLLECTIVE_HEAVY]
+        other = [c for c in CASES if c.algorithm not in _COLLECTIVE_HEAVY]
+        assert len(heavy) / len(_COLLECTIVE_HEAVY) > len(other) / (
+            len(ALGORITHMS) - len(_COLLECTIVE_HEAVY)
+        )
+        assert any(
+            not c.atoms and c.p >= 64 for c in heavy
+        )  # fault-free large-machine cases exercise the closed form itself
 
     def test_sampler_is_deterministic(self):
         assert sample_cases(SEED, COUNT) == CASES

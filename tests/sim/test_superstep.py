@@ -204,6 +204,102 @@ class TestEligibilityGates:
         assert traced.stats == plain.stats
 
 
+class _CollectiveCounter:
+    """Counts collective closed-form successes/refusals and records the
+    spec tuples of every op the resolver was shown."""
+
+    def __init__(self, monkeypatch):
+        self.ok = 0
+        self.refused = 0
+        self.specs_seen: list[tuple] = []
+        real = engine_mod.try_advance_collective
+
+        def counted(engine, parked):
+            self.specs_seen.extend(op.specs for op, _ in parked.values())
+            out = real(engine, parked)
+            if out is None:
+                self.refused += 1
+            else:
+                self.ok += 1
+            return out
+
+        monkeypatch.setattr(engine_mod, "try_advance_collective", counted)
+
+
+class TestCollectivePhases:
+    """The collective closed form: engagement, fused-pair gating, and the
+    delivery-into-parked-rank release."""
+
+    def _runs(self, key, n, p, port):
+        rng = np.random.default_rng(5)
+        A = rng.standard_normal((n, n))
+        B = rng.standard_normal((n, n))
+        cfg = MachineConfig.create(p, port_model=port, **PARAMS)
+        algo = get_algorithm(key)
+        fast = algo.run(A, B, cfg)
+        slow = algo.run(A, B, cfg, superstep=False)
+        return fast, slow
+
+    def test_multiport_3d_all_advances_in_closed_form(self, monkeypatch):
+        counter = _CollectiveCounter(monkeypatch)
+        fast, slow = self._runs("3d_all", 16, 64, PortModel.MULTI_PORT)
+        assert counter.ok >= 1 and counter.refused == 0
+        assert fast.total_time == slow.total_time
+        assert fast.result.trace_digest() == slow.result.trace_digest()
+        assert fast.result.stats == slow.result.stats
+        assert np.array_equal(fast.C, slow.C)
+
+    def test_one_port_fused_pairs_refuse_inline(self, monkeypatch):
+        """On a one-port machine the two halves of a fused pair contend for
+        the same send port, so 2-spec ops must be refused inline — the
+        resolver only ever sees single-spec phases."""
+        counter = _CollectiveCounter(monkeypatch)
+        fast, slow = self._runs("3d_all", 8, 8, PortModel.ONE_PORT)
+        assert all(len(specs) == 1 for specs in counter.specs_seen)
+        assert fast.total_time == slow.total_time
+        assert np.array_equal(fast.C, slow.C)
+
+    def test_multiport_fused_pair_reaches_resolver(self, monkeypatch):
+        counter = _CollectiveCounter(monkeypatch)
+        fast, slow = self._runs("3d_all", 8, 8, PortModel.MULTI_PORT)
+        assert any(len(specs) == 2 for specs in counter.specs_seen)
+        assert counter.ok >= 1
+        assert fast.total_time == slow.total_time
+        assert np.array_equal(fast.C, slow.C)
+
+    def test_delivery_into_parked_rank_releases_phase(self, monkeypatch):
+        """A unicast completing its final hop into a collective-parked rank
+        must release the whole phase to the event path and redo the
+        delivery — resolving a phase around a queued delivery is exactly
+        the hazard the conformance suite once caught on DNS."""
+        from repro.collectives.allgather import allgather
+        from repro.mpi import Comm
+
+        releases = []
+        real = Engine._release_all_parked
+        monkeypatch.setattr(
+            Engine, "_release_all_parked",
+            lambda self: (releases.append(1), real(self))[1],
+        )
+
+        def prog(ctx):
+            if ctx.rank < 4:
+                comm = Comm(ctx, [0, 1, 2, 3])
+                yield from allgather(comm, np.full(4, float(ctx.rank)))
+                if ctx.rank == 1:
+                    yield from ctx.recv(4, tag=9)
+                return ctx.now
+            if ctx.rank == 4:
+                yield from ctx.send(1, np.ones(4), tag=9)
+            return ctx.now
+
+        fast, slow = _both_paths(prog, p=8)
+        assert len(releases) >= 1
+        assert fast.total_time == slow.total_time
+        assert fast.stats == slow.stats
+        assert fast.results == slow.results
+
+
 class TestTimingOnly:
     def test_timing_only_matches_full_run_time(self):
         rng = np.random.default_rng(11)
