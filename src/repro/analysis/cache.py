@@ -48,7 +48,7 @@ import os
 import pathlib
 import pickle
 import time
-from typing import Any, Callable
+from typing import Any, Callable, Iterable
 
 from repro.errors import ModelError
 from repro.sim.machine import PortModel
@@ -284,13 +284,45 @@ class ResultCache:
         except Exception:
             return None
 
-    def stats(self) -> dict:
+    @staticmethod
+    def orphan_partials(
+        partials_dir: str | os.PathLike | None,
+        live_jobs: "Iterable[str]" = (),
+    ) -> list[pathlib.Path]:
+        """Streaming snapshots (``<job>.partial.json``) without a live job.
+
+        The sweep service streams each running job's completed chunk
+        prefix to ``results/<job>.partial.json`` and renames it to
+        ``.stream.jsonl`` on completion — so a partial file whose job is
+        neither pending nor running is crash debris from a dead daemon.
+        ``verify``/``stats`` count these so operators see them; the
+        service reports them as warnings on startup.
+        """
+        if partials_dir is None:
+            return []
+        root = pathlib.Path(partials_dir)
+        if not root.is_dir():
+            return []
+        live = set(live_jobs)
+        return sorted(
+            p for p in root.glob("*.partial.json")
+            if p.name[: -len(".partial.json")] not in live
+        )
+
+    def stats(
+        self,
+        *,
+        partials_dir: str | os.PathLike | None = None,
+        live_jobs: "Iterable[str]" = (),
+    ) -> dict:
         """Entry count, total bytes, per-kind breakdown, session hit/miss.
 
         Corrupt object files — entries :meth:`get` would reject — are
         reported under their own ``corrupt`` count (and as ``(corrupt)``
         in the per-kind breakdown) so operators can see dead weight that
-        never serves a hit; ``prune`` deletes them.
+        never serves a hit; ``prune`` deletes them.  With
+        ``partials_dir`` the report also counts orphaned streaming
+        snapshots (see :meth:`orphan_partials`).
         """
         by_kind: dict[str, int] = {}
         total = 0
@@ -311,6 +343,9 @@ class ResultCache:
             "by_kind": dict(sorted(by_kind.items())),
             "session_hits": self.hits,
             "session_misses": self.misses,
+            "orphan_partials": len(
+                self.orphan_partials(partials_dir, live_jobs)
+            ),
         }
 
     def clear(self) -> int:
@@ -322,7 +357,12 @@ class ResultCache:
         return removed
 
     def verify(
-        self, *, prune_tmp: bool = True, tmp_max_age_s: float = 3600.0
+        self,
+        *,
+        prune_tmp: bool = True,
+        tmp_max_age_s: float = 3600.0,
+        partials_dir: str | os.PathLike | None = None,
+        live_jobs: "Iterable[str]" = (),
     ) -> dict:
         """Audit the store for crash debris; optionally remove it.
 
@@ -332,11 +372,15 @@ class ResultCache:
         finds such files and (with ``prune_tmp``) deletes the ones older
         than ``tmp_max_age_s`` seconds; younger ones are assumed to
         belong to a live concurrent writer and are only counted.  It
-        also counts corrupt ``.pkl`` entries (``prune`` deletes those).
-        The sweep service calls this on startup so a crashed predecessor
+        also counts corrupt ``.pkl`` entries (``prune`` deletes those),
+        and — given ``partials_dir``/``live_jobs`` — orphaned streaming
+        snapshots (:meth:`orphan_partials`; counted, never deleted: they
+        are the last visible trace of a dead daemon's progress).  The
+        sweep service calls this on startup so a crashed predecessor
         never leaks tmp files indefinitely.
 
-        Returns ``{"checked", "corrupt", "tmp_found", "tmp_removed"}``.
+        Returns ``{"checked", "corrupt", "tmp_found", "tmp_removed",
+        "orphan_partials"}``.
         """
         objects = self.root / "objects"
         tmp_found = tmp_removed = 0
@@ -358,6 +402,9 @@ class ResultCache:
             "corrupt": corrupt,
             "tmp_found": tmp_found,
             "tmp_removed": tmp_removed,
+            "orphan_partials": len(
+                self.orphan_partials(partials_dir, live_jobs)
+            ),
         }
 
     def prune(

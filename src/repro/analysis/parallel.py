@@ -28,7 +28,10 @@ import os
 from concurrent.futures import ProcessPoolExecutor
 from typing import Callable, Iterable, Sequence, TypeVar
 
-__all__ = ["run_grid", "default_jobs", "resolve_jobs", "plan_chunks"]
+__all__ = [
+    "run_grid", "default_jobs", "resolve_jobs", "plan_chunks",
+    "contiguous_spans",
+]
 
 C = TypeVar("C")
 R = TypeVar("R")
@@ -139,6 +142,25 @@ def plan_chunks(
         (i, min(i + chunk_size, n_cells))
         for i in range(0, n_cells, chunk_size)
     ]
+
+
+def contiguous_spans(indices: Iterable[int]) -> list[tuple[int, int]]:
+    """Collapse a set of chunk indices into sorted half-open spans.
+
+    ``{0, 1, 2, 5, 7, 8} -> [(0, 3), (5, 6), (7, 9)]``.  The sweep
+    service uses this in two places with opposite polarities: the host
+    pool grants each host one contiguous span per lease (fewer task
+    files, cache-friendly cell ranges), and ``repro jobs --watch``
+    renders a job's completed chunks as spans instead of a wall of
+    integers.
+    """
+    spans: list[tuple[int, int]] = []
+    for i in sorted(set(indices)):
+        if spans and spans[-1][1] == i:
+            spans[-1] = (spans[-1][0], i + 1)
+        else:
+            spans.append((i, i + 1))
+    return spans
 
 
 def _run_chunk(fn: Callable[[C], R], chunk: Sequence[C]) -> list[R]:

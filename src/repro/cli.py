@@ -28,6 +28,7 @@ from __future__ import annotations
 import argparse
 import os
 import sys
+import time
 
 import numpy as np
 
@@ -371,13 +372,29 @@ def _cmd_recover(args) -> int:
 
 
 def _cmd_cache(args) -> int:
-    cache = ResultCache(args.cache_dir)
+    # With --state-dir the audit targets a sweep-service state: its
+    # embedded cache, plus the results/ dir checked for orphaned
+    # streaming snapshots (partials whose job is neither pending nor
+    # running — debris from a daemon that died mid-stream).
+    partials_dir = None
+    live_jobs: list[str] = []
+    if getattr(args, "state_dir", None):
+        from repro.service import SweepService
+
+        cache = ResultCache(os.path.join(args.state_dir, "cache"))
+        partials_dir = os.path.join(args.state_dir, "results")
+        with SweepService(args.state_dir, read_only=True) as svc:
+            live_jobs = [j.id for j in svc.pending_jobs()]
+    else:
+        cache = ResultCache(args.cache_dir)
     if args.action == "stats":
-        stats = cache.stats()
+        stats = cache.stats(partials_dir=partials_dir, live_jobs=live_jobs)
         print(f"cache root : {stats['root']}")
         print(f"entries    : {stats['entries']}")
         print(f"size       : {stats['bytes']} bytes")
         print(f"corrupt    : {stats['corrupt']}")
+        if partials_dir is not None:
+            print(f"orphan partials: {stats['orphan_partials']}")
         for kind, count in stats["by_kind"].items():
             print(f"  {kind:20s} {count}")
         return 0
@@ -385,12 +402,18 @@ def _cmd_cache(args) -> int:
         print(f"removed {cache.clear()} cache entr(ies) from {cache.root}")
         return 0
     if args.action == "verify":
-        audit = cache.verify(prune_tmp=not args.keep_tmp)
+        audit = cache.verify(
+            prune_tmp=not args.keep_tmp,
+            partials_dir=partials_dir,
+            live_jobs=live_jobs,
+        )
         print(f"cache root : {cache.root}")
         print(f"checked    : {audit['checked']}")
         print(f"corrupt    : {audit['corrupt']}")
         print(f"tmp found  : {audit['tmp_found']}")
         print(f"tmp removed: {audit['tmp_removed']}")
+        if partials_dir is not None:
+            print(f"orphan partials: {audit['orphan_partials']}")
         return 1 if audit["corrupt"] else 0
     removed = cache.prune(
         max_age_days=args.max_age_days, max_bytes=args.max_bytes
@@ -527,11 +550,85 @@ def _service_params(args) -> dict:
     return params
 
 
+def _submit_outcome(args, kind: str, outcome: dict) -> int:
+    """Render one submission outcome (direct or via daemon spool ack).
+
+    A shed always echoes its ``retry_after`` — in the human line *and*
+    in ``--json`` — so callers can back off precisely instead of
+    guessing from a bare exit 75.
+    """
+    import json as _json
+
+    if args.json:
+        print(_json.dumps(outcome, indent=2, sort_keys=True))
+    if outcome.get("shed"):
+        if not args.json:
+            print(
+                f"overloaded: {outcome['reason']} — retry after "
+                f"{outcome['retry_after']:.2f}s",
+                file=sys.stderr,
+            )
+        return 75  # EX_TEMPFAIL: the client should back off and retry
+    if outcome.get("error"):
+        if not args.json:
+            print(f"error: {outcome['error']}", file=sys.stderr)
+        return 1
+    if not args.json:
+        note = (
+            " (coalesced with identical in-flight job)"
+            if outcome.get("coalesced") else ""
+        )
+        via = " via running daemon" if outcome.get("spooled") else ""
+        print(f"submitted {outcome['job']} kind={kind}{via}{note}")
+    return 0
+
+
+def _submit_via_spool(args, kind: str, params: dict) -> dict:
+    """Hand the submission to a live daemon through the spool directory.
+
+    The daemon holds the single-writer LOCK, so this process cannot
+    journal the submission itself; instead it drops a request file and
+    polls for the daemon's ack (which carries the job id or the shed
+    verdict with its ``retry_after``).
+    """
+    import json as _json
+    import pathlib
+    import uuid
+
+    spool = pathlib.Path(args.state_dir) / "spool"
+    spool.mkdir(parents=True, exist_ok=True)
+    nonce = uuid.uuid4().hex[:12]
+    tmp = spool / f".req-{nonce}.tmp.{os.getpid()}"
+    tmp.write_text(_json.dumps({
+        "nonce": nonce, "kind": kind, "params": params,
+        "tenant": args.tenant, "ts": time.time(),
+    }), encoding="utf-8")
+    os.replace(tmp, spool / f"req-{nonce}.json")
+    ack_path = spool / f"ack-{nonce}.json"
+    deadline = time.monotonic() + args.wait
+    while time.monotonic() < deadline:
+        if ack_path.is_file():
+            try:
+                ack = _json.loads(ack_path.read_text(encoding="utf-8"))
+            except ValueError:
+                time.sleep(0.02)  # mid-rename
+                continue
+            ack_path.unlink(missing_ok=True)
+            ack["spooled"] = True
+            return ack
+        time.sleep(0.05)
+    return {
+        "error": f"daemon did not ack within {args.wait:g}s "
+                 f"(request {nonce} left in spool)",
+    }
+
+
 def _cmd_submit(args) -> int:
-    from repro.errors import ServiceOverloadError
+    from repro.errors import ServiceError, ServiceOverloadError
     from repro.service import SweepService
 
     kind = args.kind.replace("-", "_")
+    params = _service_params(args)
     try:
         with SweepService(
             args.state_dir,
@@ -539,25 +636,46 @@ def _cmd_submit(args) -> int:
             tenant_rate=args.tenant_rate,
             tenant_burst=args.tenant_burst,
         ) as svc:
-            job_id, coalesced = svc.submit(
-                kind, _service_params(args), tenant=args.tenant
-            )
+            job_id, coalesced = svc.submit(kind, params, tenant=args.tenant)
+            outcome = {"job": job_id, "coalesced": coalesced}
     except ServiceOverloadError as exc:
-        print(
-            f"overloaded: {exc.reason} — retry after {exc.retry_after:.2f}s",
-            file=sys.stderr,
-        )
-        return 75  # EX_TEMPFAIL: the client should back off and retry
-    note = " (coalesced with identical in-flight job)" if coalesced else ""
-    print(f"submitted {job_id} kind={kind}{note}")
-    return 0
+        outcome = {
+            "shed": True, "reason": exc.reason,
+            "retry_after": exc.retry_after, "tenant": exc.tenant,
+        }
+    except ServiceError as exc:
+        # A live daemon owns the state: spool the request to it instead.
+        if "locked by live pid" not in str(exc):
+            raise
+        outcome = _submit_via_spool(args, kind, params)
+    return _submit_outcome(args, kind, outcome)
+
+
+def _tenant_weights(specs) -> dict[str, float] | None:
+    """Parse repeatable ``--tenant-weight NAME=W`` flags."""
+    if not specs:
+        return None
+    weights: dict[str, float] = {}
+    for spec in specs:
+        name, _, value = spec.partition("=")
+        if not name or not value:
+            raise SystemExit(
+                f"error: --tenant-weight expects NAME=WEIGHT, got {spec!r}"
+            )
+        weights[name] = float(value)
+    return weights
 
 
 def _cmd_serve(args) -> int:
+    import signal
+
     from repro.service import InjectedServiceCrash, SweepService
     from repro.service.chaos import parse_injections
 
     inject = parse_injections(args.inject or [])
+    use_hosts = None
+    if getattr(args, "hosts", None) is not None:
+        use_hosts = args.hosts
     with SweepService(
         args.state_dir,
         workers=args.workers,
@@ -565,10 +683,40 @@ def _cmd_serve(args) -> int:
         chunk_deadline_s=args.chunk_deadline,
         max_attempts=args.max_attempts,
         backoff_base_s=args.backoff_base,
+        tenant_weights=_tenant_weights(args.tenant_weight),
+        use_hosts=use_hosts,
+        stale_after_s=args.stale_after,
         inject=None if inject.is_noop() else inject,
     ) as svc:
         for warning in svc.warnings:
             print(f"warning: {warning}", file=sys.stderr)
+        if args.follow:
+            # Daemon mode: SIGTERM/SIGINT request a graceful drain — the
+            # executor stops leasing, in-flight chunks hand back to the
+            # journal, and the loop exits after the current bookkeeping.
+            def _drain(signum, frame):
+                print("drain requested — handing leases back",
+                      file=sys.stderr)
+                svc.request_stop()
+
+            old_term = signal.signal(signal.SIGTERM, _drain)
+            old_int = signal.signal(signal.SIGINT, _drain)
+            try:
+                summary = svc.serve_follow(
+                    poll_s=args.poll, max_seconds=args.max_seconds,
+                )
+            except InjectedServiceCrash as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 70
+            finally:
+                signal.signal(signal.SIGTERM, old_term)
+                signal.signal(signal.SIGINT, old_int)
+            print(
+                f"daemon exit: completed={summary['completed']} "
+                f"failed={summary['failed']} drained={summary['drained']} "
+                f"elapsed={summary['elapsed_s']:.1f}s"
+            )
+            return 0
         pending = svc.pending_jobs()
         if not pending:
             print("no pending jobs")
@@ -589,39 +737,97 @@ def _cmd_serve(args) -> int:
     return 0
 
 
-def _cmd_jobs(args) -> int:
-    import json as _json
+def _cmd_work(args) -> int:
+    from repro.service import HostAgent
 
-    from repro.service import SweepService
+    agent = HostAgent(
+        os.path.join(args.state_dir, "hosts"),
+        args.host_id,
+        heartbeat_s=args.heartbeat,
+        poll_s=args.poll,
+        max_seconds=args.max_seconds,
+        die_after_chunks=args.die_after_chunks,
+    )
+    print(
+        f"host agent {args.host_id} serving {args.state_dir} "
+        f"(heartbeat {args.heartbeat:g}s)"
+    )
+    done = agent.run()
+    print(f"host agent {args.host_id} exiting: {done} chunk(s) completed")
+    return 0
 
-    with SweepService(args.state_dir, read_only=True) as svc:
-        payload = svc.jobs()
-    if args.json:
-        print(_json.dumps(payload, indent=2, default=repr))
-        return 0
+
+def _render_jobs(payload) -> None:
     for warning in payload["warnings"]:
         print(f"warning: {warning}", file=sys.stderr)
     if not payload["jobs"]:
         print("no jobs")
-        return 0
     for job in payload["jobs"]:
         total = job["chunks_total"]
         progress = (
             f"{job['chunks_done']}/{total}" if total is not None else "-"
         )
+        streaming = " [streaming]" if job.get("partial") else ""
         print(
             f"{job['id']}  {job['kind']:10s} {job['tenant']:10s} "
             f"{job['status']:9s} chunks={progress:8s} "
-            f"digest={job['digest'] or '-':16s} retries={job['retries']}"
+            f"digest={job['digest'] or '-':16s} "
+            f"retries={job['retries']}{streaming}"
+        )
+        if job["quarantined"]:
+            print(
+                f"  quarantined chunks: "
+                f"{','.join(str(c) for c in job['quarantined'])} "
+                f"(poison — excluded from the report, see results file)"
+            )
+    for host in payload.get("hosts", []):
+        age = host["heartbeat_age_s"]
+        print(
+            f"host {host['host']}: "
+            f"{'alive' if host['alive'] else 'STALE'} "
+            f"heartbeat_age={age if age is not None else '-'}s "
+            f"epoch={host['epoch']} done={host['done']}"
+        )
+    shed = payload.get("last_shed")
+    if shed:
+        print(
+            f"last shed: tenant={shed['tenant']} reason={shed['reason']} "
+            f"retry_after={shed['retry_after']:.2f}s"
         )
     c = payload["counters"]
     print(
         f"counters: submitted={c['submitted']} coalesced={c['coalesced']} "
         f"sheds={c['sheds']} retries={c['retries']} leases={c['leases']} "
         f"quarantined={c['quarantined']} worker_deaths={c['worker_deaths']} "
-        f"lease_expiries={c['lease_expiries']}"
+        f"lease_expiries={c['lease_expiries']} "
+        f"host_leases={c.get('host_leases', 0)} "
+        f"host_revocations={c.get('host_revocations', 0)}"
     )
-    return 0
+
+
+def _cmd_jobs(args) -> int:
+    import json as _json
+
+    from repro.service import SweepService
+
+    iterations = args.iterations if args.watch else 1
+    i = 0
+    while True:
+        with SweepService(args.state_dir, read_only=True) as svc:
+            payload = svc.jobs()
+        if args.json:
+            print(_json.dumps(payload, indent=2, default=repr))
+        else:
+            if args.watch and i > 0:
+                print(f"--- refresh {i} ---")
+            _render_jobs(payload)
+        i += 1
+        if iterations is not None and i >= iterations:
+            return 0
+        try:
+            time.sleep(args.watch)
+        except KeyboardInterrupt:
+            return 0
 
 
 def _cmd_report(args) -> int:
@@ -895,6 +1101,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--max-bytes", type=int, default=None,
         help="prune: shrink the store to this byte budget (oldest first)",
     )
+    p_ca.add_argument(
+        "--state-dir", default=None,
+        help="audit a sweep-service state instead: its cache plus "
+             "orphaned streaming partials in results/",
+    )
     p_ca.set_defaults(func=_cmd_cache)
 
     p_rep = sub.add_parser(
@@ -922,6 +1133,16 @@ def build_parser() -> argparse.ArgumentParser:
     p_sub.add_argument("--max-pending", type=int, default=32)
     p_sub.add_argument("--tenant-rate", type=float, default=2.0)
     p_sub.add_argument("--tenant-burst", type=float, default=8.0)
+    p_sub.add_argument(
+        "--json", action="store_true",
+        help="emit the submission outcome (job id, or shed with "
+             "retry_after) as JSON",
+    )
+    p_sub.add_argument(
+        "--wait", type=float, default=10.0,
+        help="seconds to wait for a running daemon's ack when the state "
+             "is locked (submissions spool to it)",
+    )
     kind_sub = p_sub.add_subparsers(dest="kind", required=True)
 
     def _kind_parser(name: str, help_: str) -> argparse.ArgumentParser:
@@ -1023,13 +1244,79 @@ def build_parser() -> argparse.ArgumentParser:
              "poison-chunk:K, crash-service:K, corrupt-journal-tail "
              "(repeatable)",
     )
+    p_sv.add_argument(
+        "--follow", action="store_true",
+        help="daemon mode: keep tailing the submit spool after the "
+             "queue drains; SIGTERM drains gracefully",
+    )
+    p_sv.add_argument(
+        "--poll", type=float, default=0.1,
+        help="daemon idle poll interval in seconds",
+    )
+    p_sv.add_argument(
+        "--max-seconds", type=float, default=None,
+        help="daemon mode: exit after this long (soak/CI bound)",
+    )
+    p_sv.add_argument(
+        "--tenant-weight", action="append", default=None,
+        metavar="TENANT=W",
+        help="fair-scheduling weight for a tenant (repeatable; "
+             "unlisted tenants weigh 1.0)",
+    )
+    host_group = p_sv.add_mutually_exclusive_group()
+    host_group.add_argument(
+        "--hosts", dest="hosts", action="store_true", default=None,
+        help="execute chunks on `repro work` host agents (default: "
+             "auto-detect registered hosts)",
+    )
+    host_group.add_argument(
+        "--no-hosts", dest="hosts", action="store_false",
+        help="always use the in-process worker pool",
+    )
+    p_sv.add_argument(
+        "--stale-after", type=float, default=5.0,
+        help="seconds without a heartbeat before a host's leases are "
+             "revoked and re-sharded",
+    )
     p_sv.set_defaults(func=_cmd_serve)
+
+    p_wk = sub.add_parser(
+        "work",
+        help="run a multi-host worker agent leasing chunks from a "
+             "(possibly remote) service state directory",
+    )
+    _add_state_dir(p_wk)
+    p_wk.add_argument(
+        "--host-id", required=True,
+        help="this host's identity under <state>/hosts/",
+    )
+    p_wk.add_argument("--heartbeat", type=float, default=0.5)
+    p_wk.add_argument("--poll", type=float, default=0.05)
+    p_wk.add_argument(
+        "--max-seconds", type=float, default=None,
+        help="exit after this long even without a STOP file",
+    )
+    p_wk.add_argument(
+        "--die-after-chunks", type=int, default=None,
+        help="chaos: simulate a host crash (exit without cleanup) after "
+             "completing this many chunks",
+    )
+    p_wk.set_defaults(func=_cmd_work)
 
     p_jb = sub.add_parser(
         "jobs", help="inspect service jobs and robustness counters"
     )
     _add_state_dir(p_jb)
     p_jb.add_argument("--json", action="store_true")
+    p_jb.add_argument(
+        "--watch", type=float, default=None, metavar="SECONDS",
+        help="re-render every SECONDS (streamed partials show live "
+             "chunk progress); ctrl-c to stop",
+    )
+    p_jb.add_argument(
+        "--iterations", type=int, default=None,
+        help="with --watch: stop after N renders (tests/CI)",
+    )
     p_jb.set_defaults(func=_cmd_jobs)
 
     return parser

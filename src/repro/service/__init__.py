@@ -10,10 +10,13 @@ from repro.service.chaos import (
     InjectedServiceCrash,
     parse_injections,
 )
+from repro.service.hostpool import HostAgent, HostPool, host_status
 from repro.service.jobs import JobSpec, build_cells, finalize, make_spec
 from repro.service.journal import Journal
+from repro.service.scheduler import DeficitScheduler
 from repro.service.service import JobState, SweepService
-from repro.service.supervisor import ChunkOutcome, Supervisor
+from repro.service.streaming import StreamWriter, is_byte_prefix, read_stream
+from repro.service.supervisor import ChunkOutcome, Supervisor, seeded_backoff
 
 __all__ = [
     "AdmissionController",
@@ -30,4 +33,12 @@ __all__ = [
     "SweepService",
     "ChunkOutcome",
     "Supervisor",
+    "seeded_backoff",
+    "DeficitScheduler",
+    "StreamWriter",
+    "read_stream",
+    "is_byte_prefix",
+    "HostPool",
+    "HostAgent",
+    "host_status",
 ]

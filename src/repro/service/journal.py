@@ -136,11 +136,28 @@ class Journal:
             # A torn/corrupt tail record must be *physically* removed
             # before appending: writing after it would glue the new
             # record onto the damaged line, turning recoverable tail
-            # damage into unrecoverable mid-file corruption.
-            self._truncate_damaged_tail(self._active)
+            # damage into unrecoverable mid-file corruption.  The
+            # journal's logical tail lives in the last *non-empty*
+            # segment — a crash between rotation and the first append
+            # leaves an empty final segment, and appending to it while a
+            # torn record lingers one segment back would freeze that
+            # damage mid-history.
+            tail_seg = self._last_nonempty_segment(segs)
+            if tail_seg is not None:
+                self._truncate_damaged_tail(tail_seg)
         else:
             self._active = self.root / _SEGMENT_FMT.format(1)
         self._fh = open(self._active, "a", encoding="utf-8")
+
+    @staticmethod
+    def _last_nonempty_segment(
+        segs: list[pathlib.Path],
+    ) -> pathlib.Path | None:
+        """The segment holding the journal's logical tail record."""
+        for seg in reversed(segs):
+            if seg.stat().st_size > 0:
+                return seg
+        return None
 
     @staticmethod
     def _truncate_damaged_tail(segment: pathlib.Path) -> None:
@@ -211,16 +228,30 @@ class Journal:
     # -- replay --------------------------------------------------------------
 
     def _lines(self) -> Iterator[tuple[pathlib.Path, int, str, bool]]:
-        """Yield ``(segment, lineno, line, is_final)`` across all segments."""
-        segs = self.segments()
-        for s_idx, seg in enumerate(segs):
+        """Yield ``(segment, lineno, line, is_final)`` across all segments.
+
+        Exactly one line is ever final: the last line of the last
+        *non-empty* segment.  Rotation can leave an empty trailing
+        segment (crash between ``rotate()`` and the first append); that
+        empty file must not strip finality from the journal's true tail
+        record — a torn write there is still the recoverable
+        dropped-with-a-warning case, not mid-file corruption.
+        """
+        per_segment: list[tuple[pathlib.Path, list[str]]] = []
+        for seg in self.segments():
             with open(seg, "r", encoding="utf-8", errors="replace") as fh:
                 lines = fh.read().split("\n")
             # A well-formed file ends with "\n" -> last split element "".
             if lines and lines[-1] == "":
                 lines.pop()
+            per_segment.append((seg, lines))
+        tail_idx = max(
+            (i for i, (_, lines) in enumerate(per_segment) if lines),
+            default=-1,
+        )
+        for s_idx, (seg, lines) in enumerate(per_segment):
             for l_idx, line in enumerate(lines):
-                is_final = s_idx == len(segs) - 1 and l_idx == len(lines) - 1
+                is_final = s_idx == tail_idx and l_idx == len(lines) - 1
                 yield seg, l_idx + 1, line, is_final
 
     def replay(self) -> tuple[list[dict[str, Any]], list[str]]:

@@ -42,7 +42,7 @@ from dataclasses import dataclass, field
 from typing import Any
 
 from repro.analysis.cache import ResultCache, task_digest
-from repro.analysis.parallel import plan_chunks, resolve_jobs
+from repro.analysis.parallel import contiguous_spans, plan_chunks, resolve_jobs
 from repro.errors import ServiceError, ServiceOverloadError
 from repro.service.admission import AdmissionController
 from repro.service.chaos import (
@@ -50,8 +50,11 @@ from repro.service.chaos import (
     InjectedServiceCrash,
     corrupt_tail_bytes,
 )
+from repro.service.hostpool import HostPool, host_status
 from repro.service.jobs import JobSpec, build_cells, finalize, make_spec
 from repro.service.journal import Journal
+from repro.service.scheduler import DeficitScheduler
+from repro.service.streaming import StreamWriter
 from repro.service.supervisor import Supervisor
 
 __all__ = ["SweepService", "JobState"]
@@ -78,6 +81,10 @@ class JobState:
     coalesced: int = 0
     retries: int = 0
     leases: int = 0
+    # chunk -> the attempt number its *next* lease carries; rebuilt from
+    # journaled 'retry' records so the seeded backoff schedule survives
+    # a daemon restart instead of resetting to attempt 1.
+    attempts: dict = field(default_factory=dict)
 
     def summary(self) -> dict[str, Any]:
         total = len(self.plan) if self.plan is not None else None
@@ -89,6 +96,7 @@ class JobState:
             "key": self.key[:16],
             "chunks_done": len(self.done_chunks),
             "chunks_total": total,
+            "spans": [list(s) for s in contiguous_spans(self.done_chunks)],
             "quarantined": sorted(self.quarantined),
             "digest": self.digest,
             "coalesced": self.coalesced,
@@ -118,8 +126,15 @@ class SweepService:
         max_pending: int = 32,
         tenant_rate: float | None = 2.0,
         tenant_burst: float = 8.0,
+        tenant_weights: dict[str, float] | None = None,
         inject: ChaosPolicy | None = None,
         read_only: bool = False,
+        use_hosts: bool | None = None,
+        stale_after_s: float = 5.0,
+        host_span: int = 4,
+        host_rate: float | None = None,
+        host_burst: float = 4.0,
+        stream: bool = True,
         clock=time.time,
     ):
         self.state_dir = pathlib.Path(state_dir)
@@ -130,8 +145,17 @@ class SweepService:
         self.backoff_base_s = float(backoff_base_s)
         self.inject = inject
         self.read_only = read_only
+        # Multi-host tier: None = auto (use agents when <state>/hosts/
+        # has any registered host), True/False force either way.
+        self.use_hosts = use_hosts
+        self.stale_after_s = float(stale_after_s)
+        self.host_span = int(host_span)
+        self.host_rate = host_rate
+        self.host_burst = float(host_burst)
+        self.stream = stream
         self.clock = clock
         self._lock_fd: int | None = None
+        self._stop = False
 
         if not read_only:
             self._acquire_lock()
@@ -148,18 +172,34 @@ class SweepService:
             tenant_rate=tenant_rate,
             tenant_burst=tenant_burst,
         )
+        self.scheduler = DeficitScheduler(tenant_weights)
         self.warnings: list[str] = []
         self.jobs_by_id: dict[str, JobState] = {}
+        self.last_shed: dict[str, Any] | None = None
         self.counters: dict[str, int] = {
             "submitted": 0, "coalesced": 0, "sheds": 0,
             "retries": 0, "leases": 0, "quarantined": 0,
             "worker_deaths": 0, "lease_expiries": 0,
+            "host_leases": 0, "host_revocations": 0,
         }
+        # Journaled scheduling decisions whose jobs are still unfinished,
+        # in decision order — a resumed daemon replays this interleaving
+        # before asking the scheduler for anything new.
+        self._sched_decided: list[str] = []
+        self._sched_snapshot: dict | None = None
         self._replay()
+        if self._sched_snapshot is not None:
+            self.scheduler.restore(self._sched_snapshot)
         if not read_only:
             # Crash debris audit: a predecessor killed between tmp-write
-            # and rename must not leak files forever.
-            audit = self.cache.verify(prune_tmp=True)
+            # and rename must not leak files forever.  Partial streaming
+            # snapshots without a live job are counted, not deleted —
+            # they are a dead daemon's last visible progress.
+            audit = self.cache.verify(
+                prune_tmp=True,
+                partials_dir=self.state_dir / "results",
+                live_jobs=[j.id for j in self.pending_jobs()],
+            )
             if audit["tmp_found"]:
                 self.warnings.append(
                     f"cache verify: {audit['tmp_found']} orphaned tmp "
@@ -169,6 +209,12 @@ class SweepService:
                 self.warnings.append(
                     f"cache verify: {audit['corrupt']} corrupt cache "
                     f"entr(ies) (run `repro cache prune`)"
+                )
+            if audit["orphan_partials"]:
+                self.warnings.append(
+                    f"cache verify: {audit['orphan_partials']} orphaned "
+                    f"partial snapshot(s) in results/ (no live job — "
+                    f"crash debris from a dead daemon)"
                 )
 
     # -- lifecycle ----------------------------------------------------------
@@ -234,6 +280,19 @@ class SweepService:
             if t == "shed":
                 self.counters["sheds"] += 1
                 self.admission.sheds += 1
+                self.last_shed = {
+                    "tenant": rec.get("tenant"),
+                    "reason": rec.get("reason"),
+                    "retry_after": rec.get("retry_after"),
+                    "ts": rec.get("ts"),
+                }
+                continue
+            if t == "sched":
+                # Replay the fair scheduler's journaled interleaving: the
+                # decision order is authoritative, and the last snapshot
+                # restores the deficit counters for *new* decisions.
+                self._sched_snapshot = rec.get("state")
+                self._sched_decided.append(rec.get("job", ""))
                 continue
             job = self.jobs_by_id.get(rec.get("job", ""))
             if job is None:
@@ -249,17 +308,24 @@ class SweepService:
             elif t == "lease":
                 job.leases += 1
                 self.counters["leases"] += 1
+            elif t == "hlease":
+                self.counters["host_leases"] += 1
+            elif t == "hrevoke":
+                self.counters["host_revocations"] += 1
             elif t == "retry":
                 job.retries += 1
                 self.counters["retries"] += 1
+                job.attempts[int(rec["chunk"])] = int(rec["attempt"])
                 if rec.get("reason") == "worker-died":
                     self.counters["worker_deaths"] += 1
                 elif rec.get("reason") == "lease-expired":
                     self.counters["lease_expiries"] += 1
             elif t == "done":
                 job.done_chunks.add(int(rec["chunk"]))
+                job.attempts.pop(int(rec["chunk"]), None)
             elif t == "quarantine":
                 job.quarantined.add(int(rec["chunk"]))
+                job.attempts.pop(int(rec["chunk"]), None)
                 self.counters["quarantined"] += 1
             elif t == "job_done":
                 job.digest = rec.get("digest")
@@ -305,6 +371,10 @@ class SweepService:
             self.admission.admit(tenant, len(self.pending_jobs()), now)
         except ServiceOverloadError as exc:
             self.counters["sheds"] += 1
+            self.last_shed = {
+                "tenant": tenant, "reason": exc.reason,
+                "retry_after": exc.retry_after, "ts": now,
+            }
             self.journal.append({
                 "t": "shed", "tenant": tenant, "reason": exc.reason,
                 "retry_after": exc.retry_after, "ts": now,
@@ -334,29 +404,197 @@ class SweepService:
 
     # -- execution ----------------------------------------------------------
 
+    def request_stop(self) -> None:
+        """Ask the service to drain: the running supervisor/host pool
+        stops leasing, in-flight chunks are abandoned (their completions
+        are simply never journaled, so a resume re-leases exactly them),
+        and the execution loop returns.  Signal-handler safe."""
+        self._stop = True
+
+    def next_job(self) -> JobState | None:
+        """The next job under the fair-scheduling discipline.
+
+        Journaled-but-unfinished decisions replay first (in their
+        recorded order — a resumed daemon reproduces the dead daemon's
+        interleaving exactly); only then is the deficit scheduler asked
+        for a fresh decision, which is journaled before being returned.
+        """
+        while self._sched_decided:
+            job = self.jobs_by_id.get(self._sched_decided[0])
+            if job is not None and job.status in ("pending", "running"):
+                return job
+            self._sched_decided.pop(0)
+        backlog: dict[str, list[JobState]] = {}
+        for job in self.pending_jobs():
+            backlog.setdefault(job.tenant, []).append(job)
+        picked = self.scheduler.select(backlog)
+        if picked is None:
+            return None
+        self._sched_decided.append(picked.id)
+        self.journal.append({
+            "t": "sched", "job": picked.id, "tenant": picked.tenant,
+            "state": self.scheduler.snapshot(),
+        })
+        return picked
+
     def run_pending(self) -> list[dict]:
-        """Execute every unfinished job in submission order.
+        """Execute every unfinished job under fair scheduling.
 
         Returns the completed reports.  An
         :class:`~repro.service.chaos.InjectedServiceCrash` propagates
         (that is the point of the injection); per-job *task* errors mark
-        the job failed and execution moves on.
+        the job failed and execution moves on.  A drain request stops
+        the loop with the current job handed back to the journal.
         """
         if self.read_only:
             raise ServiceError("service opened read-only")
         reports = []
-        for job in list(self.pending_jobs()):
-            try:
-                reports.append(self._execute(job))
-            except InjectedServiceCrash:
-                raise
-            except ServiceError as exc:
-                job.status = "failed"
-                job.error = str(exc)
-                self.journal.append({
-                    "t": "job_failed", "job": job.id, "error": str(exc),
-                })
+        while not self._stop:
+            job = self.next_job()
+            if job is None:
+                break
+            report = self._execute_guarded(job)
+            if report is not None:
+                reports.append(report)
+            elif job.status in ("pending", "running"):
+                break  # drained mid-job; the journal has the rest
         return reports
+
+    def _execute_guarded(self, job: JobState) -> dict | None:
+        """Run one job; returns its report, or ``None`` when the job
+        failed (status ``failed``) or was drained (still ``running``)."""
+        try:
+            return self._execute(job)
+        except InjectedServiceCrash:
+            raise
+        except ServiceError as exc:
+            job.status = "failed"
+            job.error = str(exc)
+            self.journal.append({
+                "t": "job_failed", "job": job.id, "error": str(exc),
+            })
+            return None
+
+    # -- daemon mode ---------------------------------------------------------
+
+    def ingest_spool(self) -> int:
+        """Absorb submissions spooled by ``repro submit`` while this
+        daemon holds the LOCK.
+
+        Each ``spool/req-<nonce>.json`` goes through the normal
+        admission/coalescing path; the outcome is published as
+        ``spool/ack-<nonce>.json`` (job id, or shed with ``retry_after``)
+        for the submitting process to pick up.  Returns the number of
+        requests processed.
+        """
+        spool = self.state_dir / "spool"
+        if not spool.is_dir():
+            return 0
+        processed = 0
+        for req_path in sorted(spool.glob("req-*.json")):
+            try:
+                req = json.loads(req_path.read_text(encoding="utf-8"))
+            except (OSError, ValueError):
+                continue  # mid-rename; next tick
+            nonce = str(req.get("nonce") or req_path.stem[len("req-"):])
+            ack: dict[str, Any] = {"nonce": nonce}
+            try:
+                job_id, coalesced = self.submit(
+                    req["kind"], req.get("params", {}),
+                    tenant=req.get("tenant", "default"),
+                )
+                ack.update(job=job_id, coalesced=coalesced)
+            except ServiceOverloadError as exc:
+                ack.update(
+                    shed=True, reason=exc.reason,
+                    retry_after=exc.retry_after,
+                )
+            except ServiceError as exc:
+                ack.update(error=str(exc))
+            tmp = spool / f".ack-{nonce}.tmp.{os.getpid()}"
+            tmp.write_text(json.dumps(ack), encoding="utf-8")
+            os.replace(tmp, spool / f"ack-{nonce}.json")
+            req_path.unlink(missing_ok=True)
+            processed += 1
+        return processed
+
+    def serve_follow(
+        self,
+        *,
+        poll_s: float = 0.1,
+        max_seconds: float | None = None,
+        sleep=time.sleep,
+        monotonic=time.monotonic,
+    ) -> dict[str, Any]:
+        """Daemon loop: tail the spool, execute under fair scheduling,
+        stream partial results, drain on :meth:`request_stop`.
+
+        Unlike :meth:`run_pending` this does not return when the queue
+        empties — it keeps following the spool until a stop request (the
+        CLI wires SIGTERM/SIGINT here) or ``max_seconds`` elapses.
+        ``InjectedServiceCrash`` propagates, as everywhere.
+        """
+        if self.read_only:
+            raise ServiceError("service opened read-only")
+        started = monotonic()
+        completed = 0
+        failed = 0
+        while not self._stop:
+            if (max_seconds is not None
+                    and monotonic() - started >= max_seconds):
+                break
+            self.ingest_spool()
+            job = self.next_job()
+            if job is None:
+                sleep(poll_s)
+                continue
+            report = self._execute_guarded(job)
+            if report is not None:
+                completed += 1
+            elif job.status == "failed":
+                failed += 1
+        return {
+            "completed": completed,
+            "failed": failed,
+            "drained": self._stop,
+            "elapsed_s": monotonic() - started,
+        }
+
+    def hosts_enabled(self) -> bool:
+        """Whether jobs execute on the multi-host tier (``repro work``
+        agents over the shared ``<state>/hosts/`` directory) instead of
+        the in-process worker pool."""
+        if self.use_hosts is not None:
+            return self.use_hosts
+        hosts = self.state_dir / "hosts"
+        return hosts.is_dir() and any(p.is_dir() for p in hosts.iterdir())
+
+    def _executor(self, on_event, on_chunk_done):
+        """The chunk executor for one job: host pool or worker pool,
+        same ``run()`` contract either way."""
+        if self.hosts_enabled():
+            return HostPool(
+                self.state_dir / "hosts",
+                stale_after_s=self.stale_after_s,
+                max_attempts=self.max_attempts,
+                backoff_base_s=self.backoff_base_s,
+                span=self.host_span,
+                host_rate=self.host_rate,
+                host_burst=self.host_burst,
+                on_event=on_event,
+                on_chunk_done=on_chunk_done,
+                should_stop=lambda: self._stop,
+            )
+        return Supervisor(
+            workers=resolve_jobs(self.workers),
+            chunk_deadline_s=self.chunk_deadline_s,
+            max_attempts=self.max_attempts,
+            backoff_base_s=self.backoff_base_s,
+            chaos=self.inject,
+            on_event=on_event,
+            on_chunk_done=on_chunk_done,
+            should_stop=lambda: self._stop,
+        )
 
     def _chunk_descriptor(self, job: JobState, chunk: int) -> dict:
         return {"job_key": job.key, "chunk": chunk, "plan": job.plan}
@@ -419,6 +657,21 @@ class SweepService:
             crash_after = max(1, self.inject.crash_after_chunks)
         completed_this_run = 0
 
+        # Streaming: publish the completed contiguous chunk prefix after
+        # every completion.  The writer is rebuilt here on every
+        # (re)execution from the same cached records, so each published
+        # snapshot — including across daemon crashes — is a byte prefix
+        # of the final stream.
+        writer = None
+        if self.stream:
+            writer = StreamWriter(
+                self.state_dir / "results", job.id,
+                kind=job.kind, key=job.key, chunks_total=len(plan),
+            )
+            for chunk in sorted(records_by_chunk):
+                writer.offer(chunk, records_by_chunk[chunk])
+            writer.refresh()
+
         def on_chunk_done(chunk: int, records: list) -> None:
             nonlocal completed_this_run
             # Cache first, journal second: if we die between the two the
@@ -432,8 +685,11 @@ class SweepService:
                 "cache": self._chunk_cache_key(job, chunk),
             })
             job.done_chunks.add(chunk)
+            job.attempts.pop(chunk, None)
             records_by_chunk[chunk] = records
             completed_this_run += 1
+            if writer is not None and writer.offer(chunk, records):
+                writer.refresh()
             if crash_after is not None and completed_this_run >= crash_after:
                 raise InjectedServiceCrash(completed_this_run)
 
@@ -444,9 +700,14 @@ class SweepService:
             if event["t"] == "lease":
                 job.leases += 1
                 self.counters["leases"] += 1
+            elif event["t"] == "hlease":
+                self.counters["host_leases"] += 1
+            elif event["t"] == "hrevoke":
+                self.counters["host_revocations"] += 1
             elif event["t"] == "retry":
                 job.retries += 1
                 self.counters["retries"] += 1
+                job.attempts[int(event["chunk"])] = int(event["attempt"])
                 if event.get("reason") == "worker-died":
                     self.counters["worker_deaths"] += 1
                 elif event.get("reason") == "lease-expired":
@@ -454,24 +715,27 @@ class SweepService:
 
         todo = set(range(len(plan))) - set(records_by_chunk)
         if todo:
-            supervisor = Supervisor(
-                workers=resolve_jobs(self.workers),
-                chunk_deadline_s=self.chunk_deadline_s,
-                max_attempts=self.max_attempts,
-                backoff_base_s=self.backoff_base_s,
-                chaos=self.inject,
-                on_event=on_event,
-                on_chunk_done=on_chunk_done,
-            )
-            outcomes = supervisor.run(
+            initial_attempts = {
+                c: a for c, a in job.attempts.items()
+                if c not in records_by_chunk
+            }
+            executor = self._executor(on_event, on_chunk_done)
+            outcomes = executor.run(
                 spec.kind, spec.params, cells, list(plan),
                 skip_chunks=set(records_by_chunk),
+                initial_attempts=initial_attempts,
             )
             for chunk, outcome in outcomes.items():
                 if outcome.quarantined:
                     job.quarantined.add(chunk)
+                    job.attempts.pop(chunk, None)
                     self.counters["quarantined"] += 1
                     records_by_chunk[chunk] = None
+            if executor.drained:
+                # Drain hand-back: no job_done record, no report — the
+                # journal holds every completed chunk, so the next run
+                # (or daemon) resumes exactly the remainder.
+                return None
 
         # Reassemble per-cell records in cell order; quarantined chunks
         # contribute explicit holes.
@@ -496,6 +760,13 @@ class SweepService:
             },
         })
         self._write_report(job, report)
+        if writer is not None:
+            # Quarantined chunks stream as explicit nulls, then the
+            # footer (report digest) seals the file as <job>.stream.jsonl
+            # and the .partial.json disappears.
+            for chunk in sorted(records_by_chunk):
+                writer.offer(chunk, records_by_chunk[chunk])
+            writer.finish(job.digest, sorted(job.quarantined))
         return report
 
     def _write_report(self, job: JobState, report: dict) -> None:
@@ -510,13 +781,25 @@ class SweepService:
     # -- inspection ---------------------------------------------------------
 
     def jobs(self) -> dict[str, Any]:
-        """The ``repro jobs`` payload: states, counters, warnings."""
+        """The ``repro jobs`` payload: states, counters, scheduler and
+        host health, the last shed (with its ``retry_after``), warnings."""
+        summaries = []
+        results = self.state_dir / "results"
+        for job in self.jobs_by_id.values():
+            summary = job.summary()
+            summary["partial"] = (
+                results / f"{job.id}.partial.json").is_file()
+            summaries.append(summary)
         return {
             "state_dir": str(self.state_dir),
-            "jobs": [
-                job.summary() for job in self.jobs_by_id.values()
-            ],
+            "jobs": summaries,
             "counters": dict(self.counters),
+            "scheduler": self.scheduler.snapshot(),
+            "hosts": host_status(
+                self.state_dir / "hosts",
+                stale_after_s=self.stale_after_s,
+            ),
+            "last_shed": self.last_shed,
             "warnings": list(self.warnings),
         }
 

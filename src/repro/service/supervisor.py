@@ -46,10 +46,26 @@ from repro.errors import ServiceError
 from repro.service.chaos import ChaosPolicy, worker_chaos_hook
 from repro.service.jobs import evaluate_chunk
 
-__all__ = ["Supervisor", "ChunkOutcome", "SupervisorCounters"]
+__all__ = [
+    "Supervisor", "ChunkOutcome", "SupervisorCounters", "seeded_backoff",
+]
 
 #: how often the supervisor polls results / liveness / deadlines
 _POLL_S = 0.02
+
+
+def seeded_backoff(seed: int, chunk: int, attempt: int, base_s: float) -> float:
+    """Re-lease delay: ``base * 2**(attempt-1) * u``, ``u`` uniform in
+    [0.5, 1.5) from a generator seeded by ``(seed, chunk, attempt)``.
+
+    A pure function of its arguments — the whole retry schedule is
+    replayable from the journal, so a daemon that crashes mid-backoff
+    resumes the *same* schedule (pinned by
+    ``tests/service/test_supervisor.py``).  Shared by the in-process
+    supervisor and the multi-host pool so both tiers retry identically.
+    """
+    rng = random.Random(seed * 1_000_003 + chunk * 8191 + attempt)
+    return base_s * (2 ** (attempt - 1)) * (0.5 + rng.random())
 
 
 def _worker_main(worker_id, task_q, result_q, chaos):
@@ -174,6 +190,7 @@ class Supervisor:
         on_chunk_done: Callable[[int, list], None] | None = None,
         clock: Callable[[], float] | None = None,
         sleep: Callable[[float], None] | None = None,
+        should_stop: Callable[[], bool] | None = None,
     ):
         if workers < 1:
             raise ServiceError(f"workers must be >= 1, got {workers}")
@@ -197,6 +214,11 @@ class Supervisor:
         # on real time — they guard host resources, not lease policy.
         self._clock = clock or time.monotonic
         self._sleep = sleep or time.sleep
+        # Drain hook: when it turns true the run loop stops leasing,
+        # abandons in-flight work (idempotent — it just re-runs later),
+        # and returns the outcomes gathered so far.
+        self._should_stop = should_stop or (lambda: False)
+        self.drained = False
         self.counters = SupervisorCounters()
         self._ctx = _mp_context()
         self._next_worker_id = 0
@@ -226,10 +248,9 @@ class Supervisor:
         worker.task_q.close()
 
     def _backoff(self, chunk: int, attempt: int) -> float:
-        rng = random.Random(
-            self.backoff_seed * 1_000_003 + chunk * 8191 + attempt
+        return seeded_backoff(
+            self.backoff_seed, chunk, attempt, self.backoff_base_s
         )
-        return self.backoff_base_s * (2 ** (attempt - 1)) * (0.5 + rng.random())
 
     # -- main loop ----------------------------------------------------------
 
@@ -241,33 +262,47 @@ class Supervisor:
         plan: list[tuple[int, int]],
         *,
         skip_chunks: set[int] | None = None,
+        initial_attempts: dict[int, int] | None = None,
     ) -> dict[int, ChunkOutcome]:
         """Execute every chunk of ``plan`` not in ``skip_chunks``.
 
         Returns ``{chunk_id: ChunkOutcome}`` for the chunks this run
         executed.  ``skip_chunks`` is the resume path: chunks the
         journal already records as complete are simply never leased.
+        ``initial_attempts`` maps chunks to the attempt number their
+        next lease should carry (journaled ``retry`` records replay
+        here), so the seeded backoff schedule continues across a daemon
+        restart instead of starting over at attempt 1.
         """
         todo = [
             i for i in range(len(plan))
             if not skip_chunks or i not in skip_chunks
         ]
         outcomes: dict[int, ChunkOutcome] = {}
+        self.drained = False
         if not todo:
             return outcomes
 
+        initial_attempts = initial_attempts or {}
         result_q = self._ctx.Queue()
         pool: list[_Worker] = [
             self._spawn_worker(result_q)
             for _ in range(min(self.workers, len(todo)))
         ]
         pending: list[_PendingChunk] = [
-            _PendingChunk(chunk=i, attempt=1) for i in todo
+            _PendingChunk(chunk=i, attempt=initial_attempts.get(i, 1))
+            for i in todo
         ]
         inflight: dict[int, _Worker] = {}  # chunk -> worker holding lease
 
         try:
             while len(outcomes) < len(todo):
+                if self._should_stop():
+                    # Graceful drain: abandoned leases are handed back by
+                    # construction — the journal has no 'done' for them,
+                    # so the next run re-leases exactly these chunks.
+                    self.drained = True
+                    break
                 now = self._clock()
                 self._assign(pool, pending, inflight, cells, plan,
                              kind, params, now)

@@ -330,7 +330,8 @@ class TestCacheVerify:
         cache.put("k", {"x": 1}, [1, 2, 3])
         audit = cache.verify()
         assert audit == {
-            "checked": 1, "corrupt": 0, "tmp_found": 0, "tmp_removed": 0
+            "checked": 1, "corrupt": 0, "tmp_found": 0, "tmp_removed": 0,
+            "orphan_partials": 0,
         }
 
     def test_old_orphaned_tmp_is_pruned(self, tmp_path):

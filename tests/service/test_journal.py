@@ -118,6 +118,102 @@ def test_corrupt_tail_bytes_damage_stays_recoverable(tmp_path):
     assert len(warnings) == 1
 
 
+def test_torn_only_record_of_rotated_segment_drops_just_that_record(tmp_path):
+    """Regression: a torn FINAL record in a just-rotated segment must
+    drop only that record — the previous segment's (valid) tail is
+    neither dropped nor re-examined."""
+    journal = Journal(tmp_path / "wal")
+    for body in _records(3):
+        journal.append(body)
+    journal.rotate()
+    journal.append({"t": "done", "chunk": 3})
+    journal.close()
+    first, last = journal.segments()
+    first_bytes = first.read_bytes()
+    raw = last.read_bytes()
+    last.write_bytes(raw[:-15])  # tear the rotated segment's only record
+
+    replayed, warnings = Journal(tmp_path / "wal").replay()
+    assert [r["chunk"] for r in replayed] == [0, 1, 2]
+    assert len(warnings) == 1 and "tail" in warnings[0]
+    assert first.read_bytes() == first_bytes  # untouched by replay
+
+    # Appending truncates the damaged rotated tail, never the previous
+    # segment's records.
+    journal2 = Journal(tmp_path / "wal")
+    journal2.append({"t": "done", "chunk": 99})
+    journal2.close()
+    assert first.read_bytes() == first_bytes
+    replayed, warnings = Journal(tmp_path / "wal").replay()
+    assert [r["chunk"] for r in replayed] == [0, 1, 2, 99]
+    assert warnings == []
+
+
+def test_empty_rotated_segment_keeps_previous_tail_recoverable(tmp_path):
+    """Regression: a crash between rotation and the first append leaves
+    an empty final segment; a torn record at the end of the *previous*
+    segment is still the journal's logical tail and must be dropped with
+    a warning, not escalated to JournalCorruptError."""
+    journal = Journal(tmp_path / "wal")
+    for body in _records(3):
+        journal.append(body)
+    journal.rotate()  # empty wal-000002.jsonl, nothing appended
+    journal.close()
+    first, last = journal.segments()
+    assert last.stat().st_size == 0
+    raw = first.read_bytes()
+    first.write_bytes(raw[:-15])  # tear the logical tail (power loss)
+
+    replayed, warnings = Journal(tmp_path / "wal").replay()
+    assert [r["chunk"] for r in replayed] == [0, 1]
+    assert len(warnings) == 1 and "tail" in warnings[0]
+
+    # Appending physically truncates that tail — wherever it lives — so
+    # the next replay is clean and ordered.
+    journal2 = Journal(tmp_path / "wal")
+    journal2.append({"t": "done", "chunk": 99})
+    journal2.close()
+    replayed, warnings = Journal(tmp_path / "wal").replay()
+    assert [r["chunk"] for r in replayed] == [0, 1, 99]
+    assert warnings == []
+
+
+def test_empty_rotated_segment_with_clean_history_is_fine(tmp_path):
+    journal = Journal(tmp_path / "wal")
+    for body in _records(2):
+        journal.append(body)
+    journal.rotate()
+    journal.close()
+
+    replayed, warnings = Journal(tmp_path / "wal").replay()
+    assert [r["chunk"] for r in replayed] == [0, 1]
+    assert warnings == []
+
+    journal2 = Journal(tmp_path / "wal")
+    seq = journal2.append({"t": "done", "chunk": 2})
+    journal2.close()
+    assert seq == 3  # sequence numbering continues across the boundary
+
+
+def test_mid_file_damage_still_fails_with_rotated_segments(tmp_path):
+    """The boundary fix must not widen the forgiveness window: damage in
+    a non-tail record keeps raising, even with a rotated tail segment."""
+    journal = Journal(tmp_path / "wal")
+    for body in _records(3):
+        journal.append(body)
+    journal.rotate()
+    journal.append({"t": "done", "chunk": 3})
+    journal.close()
+    first, _ = journal.segments()
+    lines = first.read_bytes().splitlines(keepends=True)
+    damaged = lines[1].replace(b'"chunk":1,', b'"chunk":7,')
+    assert damaged != lines[1]
+    first.write_bytes(b"".join([lines[0], damaged, *lines[2:]]))
+
+    with pytest.raises(JournalCorruptError):
+        Journal(tmp_path / "wal").replay()
+
+
 def test_duplicate_bodies_are_distinct_records(tmp_path):
     """The journal records facts, not state — identical bodies (e.g. a
     chunk completed twice across a crash) are both preserved, and replay

@@ -1,0 +1,117 @@
+"""Streaming snapshots: prefix stability, atomicity, resume identity.
+
+The load-bearing invariant: every published ``*.partial.json`` snapshot
+is a byte-for-byte prefix of every later snapshot and of the sealed
+``*.stream.jsonl`` — including across a simulated daemon restart that
+rebuilds the writer from cached chunk records.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.service.streaming import (
+    StreamWriter,
+    is_byte_prefix,
+    read_stream,
+)
+
+
+def _writer(tmp_path, chunks_total=4):
+    return StreamWriter(
+        tmp_path / "results",
+        "job-000001",
+        kind="sweep",
+        key="deadbeef",
+        chunks_total=chunks_total,
+    )
+
+
+def _recs(chunk):
+    return [{"chunk": chunk, "value": chunk * 1.5}]
+
+
+def test_snapshots_are_byte_prefix_ordered(tmp_path):
+    writer = _writer(tmp_path)
+    captures = []
+    for chunk in range(4):
+        assert writer.offer(chunk, _recs(chunk))
+        assert writer.refresh()
+        captures.append(writer.path.read_bytes())
+    final = writer.finish("abc123", []).read_bytes()
+    for earlier, later in zip(captures, captures[1:]):
+        assert is_byte_prefix(earlier, later)
+        assert earlier != later
+    for snap in captures:
+        assert is_byte_prefix(snap, final)
+
+
+def test_out_of_order_chunks_wait_for_the_prefix(tmp_path):
+    writer = _writer(tmp_path)
+    # Chunk 2 completes first: staged, not streamed.
+    assert not writer.offer(2, _recs(2))
+    assert writer.streamed_chunks == 0
+    assert writer.offer(0, _recs(0))
+    assert writer.streamed_chunks == 1
+    # Chunk 1 unlocks both itself and the staged chunk 2.
+    assert writer.offer(1, _recs(1))
+    assert writer.streamed_chunks == 3
+    writer.refresh()
+    parsed = read_stream(writer.path)
+    assert sorted(parsed["chunks"]) == [0, 1, 2]
+    assert parsed["footer"] is None
+
+
+def test_refresh_skips_unchanged_snapshots(tmp_path):
+    writer = _writer(tmp_path)
+    writer.offer(0, _recs(0))
+    assert writer.refresh()
+    assert not writer.refresh()  # nothing new -> no write
+    assert not writer.offer(0, _recs(0))  # duplicate completion
+    assert not writer.refresh()
+
+
+def test_resume_rebuild_produces_identical_bytes(tmp_path):
+    """A restarted daemon re-offers cached records; the rebuilt snapshot
+    must byte-match what the dead daemon had published."""
+    writer = _writer(tmp_path)
+    for chunk in range(3):
+        writer.offer(chunk, _recs(chunk))
+    writer.refresh()
+    before_crash = writer.path.read_bytes()
+
+    rebuilt = _writer(tmp_path)  # same job identity, fresh process
+    for chunk in range(3):
+        rebuilt.offer(chunk, _recs(chunk))
+    rebuilt.refresh()
+    assert rebuilt.path.read_bytes() == before_crash
+
+    rebuilt.offer(3, _recs(3))
+    rebuilt.refresh()
+    assert is_byte_prefix(before_crash, rebuilt.path.read_bytes())
+
+
+def test_finish_seals_stream_and_removes_partial(tmp_path):
+    writer = _writer(tmp_path, chunks_total=2)
+    writer.offer(0, _recs(0))
+    writer.offer(1, None)  # quarantined chunk -> explicit null line
+    writer.refresh()
+    stream = writer.finish("digest-xyz", [1])
+    assert not writer.path.exists()
+    assert stream.name == "job-000001.stream.jsonl"
+    parsed = read_stream(stream)
+    assert parsed["header"]["job"] == "job-000001"
+    assert parsed["chunks"][1] is None
+    assert parsed["footer"]["digest"] == "digest-xyz"
+    assert parsed["footer"]["quarantined"] == [1]
+
+
+def test_every_snapshot_line_is_valid_json(tmp_path):
+    writer = _writer(tmp_path, chunks_total=2)
+    writer.offer(0, _recs(0))
+    writer.refresh()
+    for line in writer.path.read_text().splitlines():
+        json.loads(line)
+    stream = writer.finish(None, [])
+    for line in stream.read_text().splitlines():
+        json.loads(line)

@@ -20,7 +20,7 @@ import pytest
 from repro.analysis.parallel import plan_chunks
 from repro.service.chaos import ChaosPolicy
 from repro.service.jobs import build_cells, evaluate_chunk, make_spec
-from repro.service.supervisor import Supervisor
+from repro.service.supervisor import Supervisor, seeded_backoff
 
 
 class VirtualClock:
@@ -175,3 +175,34 @@ def test_lease_events_cover_all_chunks(job):
     for e in events:
         if e["t"] == "lease":
             assert e["cells"] == list(plan[e["chunk"]])
+
+
+def test_initial_attempts_continue_seeded_backoff(job):
+    # A restarted daemon replays journaled attempt counters into
+    # ``initial_attempts``: the poisoned chunk resumes mid-schedule
+    # (attempt 2 of 3) instead of restarting at attempt 1.
+    spec, cells, plan, _ = job
+    events = []
+    supervisor = Supervisor(
+        workers=2,
+        chaos=ChaosPolicy(poison_chunks=frozenset({0})),
+        on_event=events.append,
+        max_attempts=3,
+        backoff_base_s=0.01,
+    )
+    outcomes = supervisor.run(
+        spec.kind, spec.params, cells, plan, initial_attempts={0: 2},
+    )
+    assert outcomes[0].quarantined
+    assert outcomes[0].attempts == 3
+    retries = [e for e in events if e["t"] == "retry" and e["chunk"] == 0]
+    assert [e["attempt"] for e in retries] == [3]  # 2 -> 3, never back to 1
+    assert retries[0]["backoff_s"] == round(seeded_backoff(0, 0, 2, 0.01), 4)
+
+
+def test_should_stop_drains_before_any_lease(job):
+    spec, cells, plan, _ = job
+    supervisor = Supervisor(workers=2, should_stop=lambda: True)
+    outcomes = supervisor.run(spec.kind, spec.params, cells, plan)
+    assert supervisor.drained
+    assert outcomes == {}
